@@ -1,0 +1,415 @@
+package repro
+
+// One benchmark per paper artifact (table, figure, or theorem-shaped
+// claim), as indexed in DESIGN.md §4. Each benchmark runs the scaled-down
+// configuration of the corresponding experiment so `go test -bench=.`
+// finishes in minutes; `cmd/lsibench` runs the full paper-scale versions.
+// b.ReportMetric attaches the headline quantity of each experiment so a
+// bench run doubles as a results summary.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/lsi"
+	"repro/internal/randproj"
+	"repro/internal/svd"
+)
+
+// BenchmarkTable1AngleStats regenerates the paper's Section 4 table
+// (intratopic/intertopic angle statistics, original vs LSI space).
+func BenchmarkTable1AngleStats(b *testing.B) {
+	cfg := experiments.SmallTable1Config()
+	var last *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.LSIIntra.Mean, "intra-rad")
+	b.ReportMetric(last.LSIInter.Mean, "inter-rad")
+}
+
+// BenchmarkTheorem2Skew validates Theorem 2 (0-separable ⇒ near-0-skewed).
+func BenchmarkTheorem2Skew(b *testing.B) {
+	cfg := experiments.SmallTheorem2Config()
+	var last *experiments.Theorem2Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTheorem2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[len(last.Rows)-1].LSISkew, "skew")
+}
+
+// BenchmarkTheorem3EpsilonSweep validates Theorem 3 (skew = O(ε)).
+func BenchmarkTheorem3EpsilonSweep(b *testing.B) {
+	cfg := experiments.SmallTheorem3Config()
+	var last *experiments.Theorem3Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTheorem3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[len(last.Rows)-1].LSISkew, "skew-at-max-eps")
+}
+
+// BenchmarkLemma1Perturbation validates the invariant-subspace stability
+// lemma.
+func BenchmarkLemma1Perturbation(b *testing.B) {
+	cfg := experiments.DefaultLemma1Config()
+	cfg.Epsilons = []float64{0.01, 0.05}
+	cfg.Trials = 2
+	var last *experiments.Lemma1Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunLemma1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[0].Ratio, "Gnorm-per-eps")
+}
+
+// BenchmarkJLDistortion validates Lemma 2 (Johnson–Lindenstrauss).
+func BenchmarkJLDistortion(b *testing.B) {
+	cfg := experiments.SmallJLConfig()
+	var last *experiments.JLResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunJL(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[len(last.Rows)-1].Report.DistanceRatio.Std, "dist-ratio-std")
+}
+
+// BenchmarkTheorem5TwoStep validates the two-step residual bound.
+func BenchmarkTheorem5TwoStep(b *testing.B) {
+	cfg := experiments.SmallTheorem5Config()
+	var last *experiments.Theorem5Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTheorem5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[len(last.Rows)-1].RecoveredFrac, "recovered-frac")
+}
+
+// BenchmarkLSIFullSVD times the paper's direct-LSI cost model — a full SVD
+// of the term-document matrix, the O(mnc) side of the Section 5 cost
+// comparison.
+func BenchmarkLSIFullSVD(b *testing.B) {
+	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
+		NumTopics: 10, TermsPerTopic: 100, Epsilon: 0.05, MinLen: 50, MaxLen: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(model, 400, rand.New(rand.NewSource(99)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ad := corpus.TermDocMatrix(c, corpus.CountWeighting).ToDense()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svd.Decompose(ad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLSIDirect times truncated rank-k Lanczos on the sparse matrix —
+// the modern direct baseline (already below the paper's O(mnc) accounting).
+func BenchmarkLSIDirect(b *testing.B) {
+	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
+		NumTopics: 10, TermsPerTopic: 100, Epsilon: 0.05, MinLen: 50, MaxLen: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(model, 400, rand.New(rand.NewSource(99)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := corpus.TermDocMatrix(c, corpus.CountWeighting)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svd.Lanczos(a, 10, svd.LanczosOptions{
+			Reorthogonalize: true, Rng: rand.New(rand.NewSource(7)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLSITwoStep times the two-step method on the same matrix — the
+// O(ml(l+c)) side.
+func BenchmarkLSITwoStep(b *testing.B) {
+	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
+		NumTopics: 10, TermsPerTopic: 100, Epsilon: 0.05, MinLen: 50, MaxLen: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(model, 400, rand.New(rand.NewSource(99)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := corpus.TermDocMatrix(c, corpus.CountWeighting)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := randproj.NewTwoStep(a, 10, 80, randproj.TwoStepOptions{Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynonymy regenerates the Section 4 synonymy analysis.
+func BenchmarkSynonymy(b *testing.B) {
+	cfg := experiments.SmallSynonymyConfig()
+	var last *experiments.SynonymyResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSynonymy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Pairs[0].LSICosine, "lsi-cos")
+}
+
+// BenchmarkTheorem6Graph validates the graph-model discovery theorem.
+func BenchmarkTheorem6Graph(b *testing.B) {
+	cfg := experiments.SmallTheorem6Config()
+	var last *experiments.Theorem6Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTheorem6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[0].MeanAccuracy, "accuracy")
+}
+
+// BenchmarkRetrievalQuality regenerates the LSI-vs-VSM synonymy comparison.
+func BenchmarkRetrievalQuality(b *testing.B) {
+	cfg := experiments.SmallRetrievalConfig()
+	var last *experiments.RetrievalResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRetrieval(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.LSIMAP-last.VSMMAP, "map-gain")
+}
+
+// BenchmarkCollabFilter regenerates the Section 6 collaborative-filtering
+// comparison.
+func BenchmarkCollabFilter(b *testing.B) {
+	cfg := experiments.SmallCFConfig()
+	var last *experiments.CFResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCF(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[0].LSIRecall-last.Rows[0].PopRecall, "recall-gain")
+}
+
+// BenchmarkStyleDegradation runs the Definition 3 style-strength sweep.
+func BenchmarkStyleDegradation(b *testing.B) {
+	cfg := experiments.SmallStyleConfig()
+	var last *experiments.StyleResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunStyle(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[len(last.Rows)-1].LSISkew, "skew-at-max-strength")
+}
+
+// BenchmarkSampling runs the §5 sampling-vs-projection comparison.
+func BenchmarkSampling(b *testing.B) {
+	cfg := experiments.SmallSamplingConfig()
+	var last *experiments.SamplingResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSampling(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Rows[len(last.Rows)-1].EnergyFrac, "proj-energy-frac")
+}
+
+// BenchmarkPolysemy runs the polysemy open-question experiment.
+func BenchmarkPolysemy(b *testing.B) {
+	cfg := experiments.SmallPolysemyConfig()
+	var last *experiments.PolysemyResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPolysemy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Terms[0].ContextPrecisionA, "ctx-precision")
+}
+
+// BenchmarkMixtureExtension runs the multi-topic extension experiment.
+func BenchmarkMixtureExtension(b *testing.B) {
+	cfg := experiments.SmallMixtureConfig()
+	var last *experiments.MixtureResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMixture(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Correlation, "overlap-corr")
+}
+
+// BenchmarkSVDEngines compares the SVD engines on a fixed corpus matrix —
+// the ablation behind the engine choice in DESIGN.md §5.
+func BenchmarkSVDEngines(b *testing.B) {
+	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
+		NumTopics: 5, TermsPerTopic: 40, Epsilon: 0.05, MinLen: 40, MaxLen: 80,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(model, 150, rand.New(rand.NewSource(99)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := corpus.TermDocMatrix(c, corpus.CountWeighting)
+	ad := a.ToDense()
+	b.Run("golub-reinsch-dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := svd.Decompose(ad); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("jacobi-dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := svd.Jacobi(ad); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lanczos-k5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := svd.Lanczos(a, 5, svd.LanczosOptions{
+				Reorthogonalize: true, Rng: rand.New(rand.NewSource(7)),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("randomized-k5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := svd.Randomized(a, 5, svd.RandomizedOptions{
+				Rng: rand.New(rand.NewSource(7)),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLanczosDimAblation reruns the Krylov-dimension ablation.
+func BenchmarkLanczosDimAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunLanczosDimAblation(17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomizedParamAblation reruns the randomized-SVD parameter
+// ablation.
+func BenchmarkRandomizedParamAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunRandomizedParamAblation(17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightingAblation reruns the §2 weighting-choice ablation.
+func BenchmarkWeightingAblation(b *testing.B) {
+	cfg := experiments.SmallTable1Config()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunWeightingAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexBuild measures end-to-end LSI index construction at the
+// paper's matrix shape (2000×1000 scaled to 1/4 size for bench time).
+func BenchmarkIndexBuild(b *testing.B) {
+	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
+		NumTopics: 20, TermsPerTopic: 25, Epsilon: 0.05, MinLen: 50, MaxLen: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(model, 250, rand.New(rand.NewSource(99)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := corpus.TermDocMatrix(c, corpus.CountWeighting)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lsi.Build(a, 20, lsi.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryLatency measures single-query latency against a built
+// index (project + rank all documents).
+func BenchmarkQueryLatency(b *testing.B) {
+	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
+		NumTopics: 10, TermsPerTopic: 50, Epsilon: 0.05, MinLen: 50, MaxLen: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(model, 500, rand.New(rand.NewSource(99)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := corpus.TermDocMatrix(c, corpus.CountWeighting)
+	ix, err := lsi.Build(a, 10, lsi.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := a.Col(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, 10)
+	}
+}

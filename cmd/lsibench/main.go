@@ -1,0 +1,391 @@
+// Command lsibench reproduces the paper's tables, figures, and
+// theorem-shaped claims from the command line. Each subcommand runs one
+// experiment from internal/experiments and prints its table; `all` runs the
+// full suite (as used to populate EXPERIMENTS.md).
+//
+// Usage:
+//
+//	lsibench <experiment> [flags]
+//	lsibench all [-small]
+//	lsibench list
+//
+// Experiments: table1, thm2, thm3, lemma1, jl, thm5, runtime, synonymy,
+// thm6, retrieval, cf, mixture, ablate-weighting, ablate-projection,
+// ablate-engine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+// experiment is one runnable entry: a description and a runner that parses
+// its own flags from args and returns the rendered table.
+type experiment struct {
+	desc string
+	run  func(args []string, small bool) (string, error)
+}
+
+var registry = map[string]experiment{
+	"table1": {
+		desc: "§4 experiment table: intratopic/intertopic angles, original vs LSI space",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultTable1Config()
+			if small {
+				cfg = experiments.SmallTable1Config()
+			}
+			hist := false
+			fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+			fs.IntVar(&cfg.NumDocs, "docs", cfg.NumDocs, "number of documents")
+			fs.IntVar(&cfg.Corpus.NumTopics, "topics", cfg.Corpus.NumTopics, "number of topics")
+			fs.IntVar(&cfg.Corpus.TermsPerTopic, "terms-per-topic", cfg.Corpus.TermsPerTopic, "primary terms per topic")
+			fs.Float64Var(&cfg.Corpus.Epsilon, "eps", cfg.Corpus.Epsilon, "separability epsilon")
+			fs.IntVar(&cfg.K, "k", cfg.K, "LSI rank")
+			fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+			fs.BoolVar(&hist, "hist", false, "append angle-distribution histograms")
+			if err := fs.Parse(args); err != nil {
+				return "", err
+			}
+			if hist {
+				res, fig, err := experiments.RunTable1WithFigure(cfg)
+				if err != nil {
+					return "", err
+				}
+				return res.Table() + "\n" + fig, nil
+			}
+			res, err := experiments.RunTable1(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"thm2": {
+		desc: "Theorem 2: 0-separable pure corpora give (near-)0-skewed rank-k LSI",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultTheorem2Config()
+			if small {
+				cfg = experiments.SmallTheorem2Config()
+			}
+			res, err := experiments.RunTheorem2(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"thm3": {
+		desc: "Theorem 3: skew grows O(eps) with separability eps",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultTheorem3Config()
+			if small {
+				cfg = experiments.SmallTheorem3Config()
+			}
+			res, err := experiments.RunTheorem3(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"lemma1": {
+		desc: "Lemma 1/4: invariant subspace stability under bounded perturbation",
+		run: func(args []string, small bool) (string, error) {
+			res, err := experiments.RunLemma1(experiments.DefaultLemma1Config())
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"jl": {
+		desc: "Lemma 2: Johnson–Lindenstrauss distance preservation",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultJLConfig()
+			if small {
+				cfg = experiments.SmallJLConfig()
+			}
+			res, err := experiments.RunJL(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"thm5": {
+		desc: "Theorem 5: two-step (random projection + rank-2k LSI) residual bound",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultTheorem5Config()
+			if small {
+				cfg = experiments.SmallTheorem5Config()
+			}
+			res, err := experiments.RunTheorem5(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"runtime": {
+		desc: "§5 running-time comparison: direct LSI vs two-step",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultRuntimeConfig()
+			if small {
+				cfg.Corpora = cfg.Corpora[:2]
+				cfg.NumDocs = cfg.NumDocs[:2]
+			}
+			res, err := experiments.RunRuntime(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"synonymy": {
+		desc: "§4 synonymy: identical co-occurrence pairs are projected out",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultSynonymyConfig()
+			if small {
+				cfg = experiments.SmallSynonymyConfig()
+			}
+			res, err := experiments.RunSynonymy(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"thm6": {
+		desc: "Theorem 6: spectral discovery of high-conductance subgraphs",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultTheorem6Config()
+			if small {
+				cfg = experiments.SmallTheorem6Config()
+			}
+			res, err := experiments.RunTheorem6(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"retrieval": {
+		desc: "§1 claim: LSI beats the vector-space model under synonymy",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultRetrievalConfig()
+			if small {
+				cfg = experiments.SmallRetrievalConfig()
+			}
+			res, err := experiments.RunRetrieval(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"cf": {
+		desc: "§6 collaborative filtering: LSI recommender vs popularity",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultCFConfig()
+			if small {
+				cfg = experiments.SmallCFConfig()
+			}
+			res, err := experiments.RunCF(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"style": {
+		desc: "Definition 3 probe: cross-topic style strength vs LSI separation",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultStyleConfig()
+			if small {
+				cfg = experiments.SmallStyleConfig()
+			}
+			res, err := experiments.RunStyle(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"sampling": {
+		desc: "§5 discussion: document-sampled LSI vs random projection",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultSamplingConfig()
+			if small {
+				cfg = experiments.SmallSamplingConfig()
+			}
+			res, err := experiments.RunSampling(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"polysemy": {
+		desc: "Open question (§6): does LSI address polysemy?",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultPolysemyConfig()
+			if small {
+				cfg = experiments.SmallPolysemyConfig()
+			}
+			res, err := experiments.RunPolysemy(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"mixture": {
+		desc: "Open question after Thm 2: multi-topic documents",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultMixtureConfig()
+			if small {
+				cfg = experiments.SmallMixtureConfig()
+			}
+			res, err := experiments.RunMixture(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"ablate-weighting": {
+		desc: "Ablation: §2 remark that the count function does not matter",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.SmallTable1Config()
+			if !small {
+				cfg = experiments.DefaultTable1Config()
+				cfg.NumDocs = 400 // keep the 4 SVDs affordable
+			}
+			res, err := experiments.RunWeightingAblation(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"ablate-projection": {
+		desc: "Ablation: projection family (orthonormal/gaussian/sign)",
+		run: func(args []string, small bool) (string, error) {
+			cfg := experiments.DefaultTheorem5Config()
+			if small {
+				cfg = experiments.SmallTheorem5Config()
+			}
+			res, err := experiments.RunProjectionAblation(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"ablate-engine": {
+		desc: "Ablation: SVD engine accuracy and time",
+		run: func(args []string, small bool) (string, error) {
+			res, err := experiments.RunEngineAblation(13)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"ablate-lanczos": {
+		desc: "Ablation: Lanczos dimension p vs accuracy",
+		run: func(args []string, small bool) (string, error) {
+			res, err := experiments.RunLanczosDimAblation(17)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+	"ablate-randomized": {
+		desc: "Ablation: randomized SVD power/oversampling vs accuracy",
+		run: func(args []string, small bool) (string, error) {
+			res, err := experiments.RunRandomizedParamAblation(17)
+			if err != nil {
+				return "", err
+			}
+			return res.Table(), nil
+		},
+	},
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	switch cmd {
+	case "list", "help", "-h", "--help":
+		usage()
+		return
+	case "all":
+		small := false
+		fs := flag.NewFlagSet("all", flag.ExitOnError)
+		fs.BoolVar(&small, "small", false, "run scaled-down configurations")
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		for _, name := range sortedNames() {
+			fmt.Printf("==== %s ====\n", name)
+			out, err := registry[name].run(nil, small)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lsibench %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+		}
+		return
+	}
+	exp, ok := registry[cmd]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lsibench: unknown experiment %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	args := os.Args[2:]
+	small := false
+	// A leading -small flag is accepted for every experiment.
+	filtered := args[:0:0]
+	for _, a := range args {
+		if a == "-small" || a == "--small" {
+			small = true
+			continue
+		}
+		filtered = append(filtered, a)
+	}
+	out, err := exp.run(filtered, small)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lsibench %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
+}
+
+func sortedNames() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func usage() {
+	fmt.Println("lsibench — reproduce the experiments of \"Latent Semantic Indexing: A Probabilistic Analysis\"")
+	fmt.Println("\nusage: lsibench <experiment> [-small] [flags]")
+	fmt.Println("       lsibench all [-small]")
+	fmt.Println("\nexperiments:")
+	for _, n := range sortedNames() {
+		fmt.Printf("  %-18s %s\n", n, registry[n].desc)
+	}
+}

@@ -1,0 +1,144 @@
+// Command lsiquery builds an LSI index over plain-text documents and
+// answers interactive queries, printing the LSI ranking side by side with
+// the conventional vector-space ranking so the synonymy behaviour of the
+// paper is visible on real text.
+//
+// Usage:
+//
+//	lsiquery [-k 5] [-top 5] [file1.txt file2.txt ...]
+//
+// Each file is one document. With no files, a small built-in demo corpus
+// (cars/space/cooking themes with synonym variation) is indexed. Queries
+// are read line by line from stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/lsi"
+	"repro/internal/vsm"
+)
+
+// demoCorpus exercises the synonymy scenario of the paper's introduction:
+// some documents say "car", others "automobile"; some say "cosmos", others
+// "galaxy".
+var demoCorpus = []string{
+	"The car dealership sells used cars, and the mechanic inspects every engine.",
+	"An automobile dealership services automobile engines and adjusts the brakes.",
+	"The automobile mechanic repaired the engine and brakes for the driver.",
+	"The car race featured fast cars, skilled drivers and roaring engines.",
+	"Astronomers observed the galaxy through a telescope and charted distant stars.",
+	"The cosmos contains billions of galaxies, stars and planets in expansion.",
+	"A starship in science fiction travels between stars and distant galaxies.",
+	"Telescopes map stars and planets across the galaxy and measure stellar distances.",
+	"The recipe requires fresh basil, olive oil, garlic and ripe tomatoes.",
+	"Cooking pasta al dente takes about nine minutes in salted boiling water.",
+	"A good pasta sauce starts with garlic and olive oil over gentle heat.",
+	"The kitchen smelled of baked bread, garlic and roasted tomatoes.",
+}
+
+func main() {
+	k := flag.Int("k", 3, "LSI rank")
+	topN := flag.Int("top", 5, "results to show per system")
+	saveIndex := flag.String("save-index", "", "write the built LSI index to this path and exit")
+	flag.Parse()
+
+	texts := demoCorpus
+	names := make([]string, len(demoCorpus))
+	for i := range names {
+		names[i] = fmt.Sprintf("demo-%02d", i)
+	}
+	if flag.NArg() > 0 {
+		texts = nil
+		names = nil
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lsiquery: %v\n", err)
+				os.Exit(1)
+			}
+			texts = append(texts, string(data))
+			names = append(names, path)
+		}
+	}
+
+	pipe := ir.NewPipeline()
+	c := pipe.ProcessAll(texts)
+	if c.NumTerms == 0 {
+		fmt.Fprintln(os.Stderr, "lsiquery: corpus is empty after preprocessing")
+		os.Exit(1)
+	}
+	a := corpus.TermDocMatrix(c, corpus.LogWeighting)
+	ix, err := lsi.Build(a, *k, lsi.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lsiquery: %v\n", err)
+		os.Exit(1)
+	}
+	if *saveIndex != "" {
+		f, err := os.Create(*saveIndex)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lsiquery: %v\n", err)
+			os.Exit(1)
+		}
+		if err := ix.Save(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lsiquery: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "lsiquery: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Saved rank-%d index over %d documents to %s\n", ix.K(), ix.NumDocs(), *saveIndex)
+		return
+	}
+	vix := vsm.NewFromMatrix(a)
+	fmt.Printf("Indexed %d documents, %d terms, rank-%d LSI. Enter queries (Ctrl-D to quit).\n",
+		len(c.Docs), c.NumTerms, ix.K())
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("query> ")
+	for sc.Scan() {
+		query := sc.Text()
+		terms := pipe.Terms(query)
+		q := make([]float64, c.NumTerms)
+		known := 0
+		for _, term := range terms {
+			if id, ok := pipe.Vocab.Lookup(term); ok {
+				q[id]++
+				known++
+			}
+		}
+		if known == 0 {
+			fmt.Println("  (no query terms in the vocabulary)")
+			fmt.Print("query> ")
+			continue
+		}
+		fmt.Println("  LSI:")
+		for _, m := range ix.Search(q, *topN) {
+			fmt.Printf("    %-12s score=%.4f  %s\n", names[m.Doc], m.Score, snippet(texts[m.Doc]))
+		}
+		fmt.Println("  VSM:")
+		vres := vix.Search(q, *topN)
+		if len(vres) == 0 {
+			fmt.Println("    (no literal term matches)")
+		}
+		for _, m := range vres {
+			fmt.Printf("    %-12s score=%.4f  %s\n", names[m.Doc], m.Score, snippet(texts[m.Doc]))
+		}
+		fmt.Print("query> ")
+	}
+	fmt.Println()
+}
+
+func snippet(text string) string {
+	const max = 60
+	if len(text) <= max {
+		return text
+	}
+	return text[:max] + "..."
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	C. H. Papadimitriou, P. Raghavan, H. Tamaki, S. Vempala.
+//	"Latent Semantic Indexing: A Probabilistic Analysis."
+//	PODS 1998; JCSS 61(2):217–235, 2000.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), runnable demos under examples/, and CLI tools under cmd/.
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; EXPERIMENTS.md records paper-reported versus measured
+// values.
+package repro

@@ -1,0 +1,45 @@
+// Random projection: demonstrates Section 5 — Johnson–Lindenstrauss
+// distance preservation (Lemma 2), the Theorem 5 two-step residual bound,
+// and the running-time advantage of projecting before LSI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	small := flag.Bool("small", false, "run the scaled-down configuration")
+	flag.Parse()
+
+	jlCfg := experiments.DefaultJLConfig()
+	t5Cfg := experiments.DefaultTheorem5Config()
+	rtCfg := experiments.DefaultRuntimeConfig()
+	if *small {
+		jlCfg = experiments.SmallJLConfig()
+		t5Cfg = experiments.SmallTheorem5Config()
+		rtCfg.Corpora = rtCfg.Corpora[:2]
+		rtCfg.NumDocs = rtCfg.NumDocs[:2]
+	}
+
+	jl, err := experiments.RunJL(jlCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(jl.Table())
+
+	t5, err := experiments.RunTheorem5(t5Cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t5.Table())
+
+	rt, err := experiments.RunRuntime(rtCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rt.Table())
+}

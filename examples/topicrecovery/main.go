@@ -1,0 +1,34 @@
+// Topic recovery: reruns the paper's own Section 4 experiment — generate a
+// corpus from the probabilistic model (20 topics, 2000 terms, 1000
+// documents, 0.05-separable) and measure how the rank-20 LSI space
+// collapses intratopic angles while keeping intertopic pairs orthogonal.
+// Pass -small for a fast scaled-down run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	small := flag.Bool("small", false, "run the scaled-down configuration")
+	flag.Parse()
+
+	cfg := experiments.DefaultTable1Config()
+	if *small {
+		cfg = experiments.SmallTable1Config()
+	}
+	fmt.Printf("Generating %d documents from a %d-topic, %d-term, %.2f-separable model...\n",
+		cfg.NumDocs, cfg.Corpus.NumTopics, cfg.Corpus.NumTerms(), cfg.Corpus.Epsilon)
+	res, err := experiments.RunTable1(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(res.Table())
+	fmt.Println("Compare with the paper: intratopic averages drop from ≈1.09 rad to ≈0.02 rad,")
+	fmt.Println("while intertopic averages stay ≈1.55 rad — LSI discovers the topics.")
+}

@@ -1,0 +1,203 @@
+package cf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{
+		Users: 120, Items: 60, Groups: 4,
+		EventsPerUser: 30, Affinity: 0.9, HoldoutPerUser: 3,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := testConfig()
+	mods := []func(*Config){
+		func(c *Config) { c.Users = 0 },
+		func(c *Config) { c.Items = 0 },
+		func(c *Config) { c.Groups = 0 },
+		func(c *Config) { c.Groups = 61 },
+		func(c *Config) { c.Items = 61 }, // not divisible by groups
+		func(c *Config) { c.EventsPerUser = 0 },
+		func(c *Config) { c.Affinity = -0.1 },
+		func(c *Config) { c.Affinity = 1.1 },
+		func(c *Config) { c.HoldoutPerUser = -1 },
+	}
+	for i, mod := range mods {
+		c := base
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base config invalid: %v", err)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	d, err := Generate(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, users := d.Train.Dims()
+	if items != 60 || users != 120 {
+		t.Fatalf("train %dx%d", items, users)
+	}
+	if len(d.Held) != 120 || len(d.UserGroup) != 120 || len(d.ItemGroup) != 60 {
+		t.Fatal("metadata lengths wrong")
+	}
+	for u := 0; u < 120; u++ {
+		if len(d.Held[u]) > 3 {
+			t.Fatalf("user %d has %d held items", u, len(d.Held[u]))
+		}
+		// Held items must not appear in training.
+		for _, it := range d.Held[u] {
+			if d.Train.At(it, u) != 0 {
+				t.Fatalf("held item %d of user %d leaked into training", it, u)
+			}
+		}
+		// Every user keeps at least one training interaction.
+		var has bool
+		for it := 0; it < items; it++ {
+			if d.Train.At(it, u) > 0 {
+				has = true
+				break
+			}
+		}
+		if !has {
+			t.Fatalf("user %d has no training interactions", u)
+		}
+	}
+	// Item groups partition evenly.
+	for it, g := range d.ItemGroup {
+		if g != it/15 {
+			t.Fatalf("item %d group %d", it, g)
+		}
+	}
+}
+
+func TestGenerateAffinityConcentration(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	d, err := Generate(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most training mass should fall on the user's own group (affinity 0.9
+	// plus uniform spillover ⇒ ≈ 0.925).
+	items, users := d.Train.Dims()
+	var own, total float64
+	for it := 0; it < items; it++ {
+		d.Train.RowIter(it, func(u int, v float64) {
+			total += v
+			if d.ItemGroup[it] == d.UserGroup[u] {
+				own += v
+			}
+		})
+	}
+	_ = users
+	frac := own / total
+	if frac < 0.85 || frac > 0.98 {
+		t.Fatalf("own-group fraction %v", frac)
+	}
+}
+
+func TestLSIRecommenderBeatsPopularity(t *testing.T) {
+	rng := rand.New(rand.NewSource(143))
+	d, err := Generate(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsiRec, err := NewLSIRecommender(d, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popRec := NewPopularityRecommender(d)
+	const n = 10
+	lsiHit, lsiRecall := HitRateAtN(d, lsiRec, n)
+	popHit, popRecall := HitRateAtN(d, popRec, n)
+	if lsiRecall <= popRecall {
+		t.Fatalf("LSI recall %v did not beat popularity %v", lsiRecall, popRecall)
+	}
+	if lsiHit < popHit {
+		t.Fatalf("LSI hit rate %v below popularity %v", lsiHit, popHit)
+	}
+	if lsiHit < 0.5 {
+		t.Fatalf("LSI hit rate %v too low for strongly grouped data", lsiHit)
+	}
+}
+
+func TestRecommendExcludesSeen(t *testing.T) {
+	rng := rand.New(rand.NewSource(144))
+	d, err := Generate(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewLSIRecommender(d, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, _ := d.Train.Dims()
+	for u := 0; u < 20; u++ {
+		out := rec.Recommend(u, 0) // all candidates
+		seenCount := 0
+		for it := 0; it < items; it++ {
+			if d.Train.At(it, u) > 0 {
+				seenCount++
+			}
+		}
+		if len(out)+seenCount != items {
+			t.Fatalf("user %d: %d recommended + %d seen != %d items", u, len(out), seenCount, items)
+		}
+		for _, it := range out {
+			if d.Train.At(it, u) > 0 {
+				t.Fatalf("user %d: recommended already-seen item %d", u, it)
+			}
+		}
+	}
+}
+
+func TestRecommendTopNClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(145))
+	d, err := Generate(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewPopularityRecommender(d)
+	if got := rec.Recommend(0, 5); len(got) != 5 {
+		t.Fatalf("topN=5 returned %d", len(got))
+	}
+	all := rec.Recommend(0, 0)
+	if got := rec.Recommend(0, 10_000); len(got) != len(all) {
+		t.Fatalf("huge topN returned %d, want %d", len(all), len(all))
+	}
+}
+
+func TestNewLSIRecommenderValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(146))
+	d, err := Generate(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLSIRecommender(d, 0, 1); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestHitRateNoHeldout(t *testing.T) {
+	cfg := testConfig()
+	cfg.HoldoutPerUser = 0
+	rng := rand.New(rand.NewSource(147))
+	d, err := Generate(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewPopularityRecommender(d)
+	h, r := HitRateAtN(d, rec, 5)
+	if h != 0 || r != 0 {
+		t.Fatalf("no-holdout metrics %v %v", h, r)
+	}
+}

@@ -1,0 +1,140 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func ratingsConfig() RatingsConfig {
+	return RatingsConfig{
+		Users: 150, Items: 60, Groups: 4,
+		InGroupMean: 4.2, OutGroupMean: 2.4, Noise: 0.4,
+		ObservedFrac: 0.3, TestFrac: 0.2,
+	}
+}
+
+func TestRatingsConfigValidation(t *testing.T) {
+	base := ratingsConfig()
+	mods := []func(*RatingsConfig){
+		func(c *RatingsConfig) { c.Users = 0 },
+		func(c *RatingsConfig) { c.Items = 0 },
+		func(c *RatingsConfig) { c.Groups = 0 },
+		func(c *RatingsConfig) { c.Groups = 7 }, // 60 not divisible by 7
+		func(c *RatingsConfig) { c.Noise = -1 },
+		func(c *RatingsConfig) { c.ObservedFrac = 0 },
+		func(c *RatingsConfig) { c.ObservedFrac = 1.5 },
+		func(c *RatingsConfig) { c.TestFrac = 1 },
+		func(c *RatingsConfig) { c.TestFrac = -0.1 },
+	}
+	for i, mod := range mods {
+		c := base
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGenerateRatingsShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(261))
+	d, err := GenerateRatings(ratingsConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Train) == 0 || len(d.Test) == 0 {
+		t.Fatalf("splits: train %d test %d", len(d.Train), len(d.Test))
+	}
+	total := len(d.Train) + len(d.Test)
+	expected := int(0.3 * 150 * 60)
+	if total < expected*8/10 || total > expected*12/10 {
+		t.Fatalf("observed %d ratings, expected ≈%d", total, expected)
+	}
+	for _, r := range append(append([]Rating(nil), d.Train...), d.Test...) {
+		if r.Value < 1 || r.Value > 5 {
+			t.Fatalf("rating %v outside [1,5]", r.Value)
+		}
+		if r.User < 0 || r.User >= 150 || r.Item < 0 || r.Item >= 60 {
+			t.Fatalf("rating indices out of range: %+v", r)
+		}
+	}
+	// In-group ratings average higher than out-group.
+	var inSum, outSum float64
+	var inN, outN int
+	for _, r := range d.Train {
+		if d.ItemGroup[r.Item] == d.UserGroup[r.User] {
+			inSum += r.Value
+			inN++
+		} else {
+			outSum += r.Value
+			outN++
+		}
+	}
+	if inSum/float64(inN) < outSum/float64(outN)+1 {
+		t.Fatalf("in-group mean %v not clearly above out-group %v",
+			inSum/float64(inN), outSum/float64(outN))
+	}
+}
+
+func TestLSIRatingPredictorBeatsBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(262))
+	d, err := GenerateRatings(ratingsConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsiP, err := NewLSIRatingPredictor(d, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := RMSE(d, NewGlobalMeanPredictor(d))
+	user := RMSE(d, NewUserMeanPredictor(d))
+	lsiRMSE := RMSE(d, lsiP)
+	if lsiRMSE >= user || lsiRMSE >= global {
+		t.Fatalf("LSI RMSE %v not below baselines (user %v, global %v)", lsiRMSE, user, global)
+	}
+	// With strong group structure the rank-k model should get close to the
+	// noise floor.
+	if lsiRMSE > 3*0.4 {
+		t.Fatalf("LSI RMSE %v far above noise floor", lsiRMSE)
+	}
+}
+
+func TestPredictorsClampAndDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(263))
+	d, err := GenerateRatings(ratingsConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsiP, err := NewLSIRatingPredictor(d, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10; u++ {
+		for it := 0; it < 10; it++ {
+			v := lsiP.Predict(u, it)
+			if v < 1 || v > 5 || math.IsNaN(v) {
+				t.Fatalf("prediction %v outside [1,5]", v)
+			}
+		}
+	}
+	if _, err := NewLSIRatingPredictor(d, 0, 7); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	// RMSE on an empty test split is 0.
+	empty := *d
+	empty.Test = nil
+	if got := RMSE(&empty, lsiP); got != 0 {
+		t.Fatalf("empty-test RMSE %v", got)
+	}
+}
+
+func TestGenerateRatingsNoTraining(t *testing.T) {
+	cfg := ratingsConfig()
+	cfg.Users, cfg.Items = 1, 4
+	cfg.Groups = 4
+	cfg.ObservedFrac = 0.0001
+	rng := rand.New(rand.NewSource(264))
+	if _, err := GenerateRatings(cfg, rng); err == nil {
+		t.Fatal("expected error when nothing is observed")
+	}
+}

@@ -1,0 +1,69 @@
+package corpus
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Gamma draws one sample from the Gamma(shape, 1) distribution using the
+// Marsaglia–Tsang squeeze method (with the standard shape<1 boost). The Go
+// standard library has no Gamma sampler; this one backs the Dirichlet
+// topic-mixture weights of MixtureSampler.
+func Gamma(shape float64, rng *rand.Rand) float64 {
+	if shape <= 0 {
+		panic("corpus: Gamma requires positive shape")
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^{1/a}
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return Gamma(shape+1, rng) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet draws a weight vector from the symmetric Dirichlet(alpha)
+// distribution over k components by normalizing independent Gamma samples.
+func Dirichlet(alpha float64, k int, rng *rand.Rand) []float64 {
+	if k <= 0 {
+		panic("corpus: Dirichlet requires positive dimension")
+	}
+	w := make([]float64, k)
+	var sum float64
+	for i := range w {
+		w[i] = Gamma(alpha, rng)
+		sum += w[i]
+	}
+	if sum == 0 {
+		// Astronomically unlikely; fall back to uniform.
+		for i := range w {
+			w[i] = 1 / float64(k)
+		}
+		return w
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}

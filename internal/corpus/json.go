@@ -1,0 +1,109 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// corpusHeaderJSON is the first line of the JSON-lines corpus format.
+type corpusHeaderJSON struct {
+	NumTerms int `json:"num_terms"`
+	NumDocs  int `json:"num_docs"`
+}
+
+// docLineJSON is one document line of the JSON-lines corpus format.
+type docLineJSON struct {
+	ID           int       `json:"id"`
+	TopicIDs     []int     `json:"topic_ids,omitempty"`
+	TopicWeights []float64 `json:"topic_weights,omitempty"`
+	StyleIDs     []int     `json:"style_ids,omitempty"`
+	StyleWeights []float64 `json:"style_weights,omitempty"`
+	Length       int       `json:"length"`
+	Terms        []int     `json:"terms"`
+	Counts       []int     `json:"counts"`
+}
+
+// WriteJSON serializes a corpus as JSON lines: one header object followed
+// by one object per document. The format is what cmd/corpusgen emits and
+// ReadJSON accepts, so corpora can round-trip through files and external
+// tools.
+func WriteJSON(w io.Writer, c *Corpus) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(corpusHeaderJSON{NumTerms: c.NumTerms, NumDocs: len(c.Docs)}); err != nil {
+		return fmt.Errorf("corpus: write header: %w", err)
+	}
+	for i := range c.Docs {
+		d := &c.Docs[i]
+		line := docLineJSON{
+			ID:           d.ID,
+			TopicIDs:     d.Spec.TopicIDs,
+			TopicWeights: d.Spec.TopicWeights,
+			StyleIDs:     d.Spec.StyleIDs,
+			StyleWeights: d.Spec.StyleWeights,
+			Length:       d.Length(),
+			Terms:        d.Terms,
+			Counts:       d.Counts,
+		}
+		if err := enc.Encode(line); err != nil {
+			return fmt.Errorf("corpus: write document %d: %w", d.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON deserializes a corpus written by WriteJSON. Document contents
+// are validated against the header's universe size.
+func ReadJSON(r io.Reader) (*Corpus, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var header corpusHeaderJSON
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("corpus: read header: %w", err)
+	}
+	if header.NumTerms <= 0 || header.NumDocs < 0 {
+		return nil, fmt.Errorf("corpus: invalid header: %d terms, %d docs", header.NumTerms, header.NumDocs)
+	}
+	c := &Corpus{NumTerms: header.NumTerms, Docs: make([]Document, 0, header.NumDocs)}
+	for i := 0; i < header.NumDocs; i++ {
+		var line docLineJSON
+		if err := dec.Decode(&line); err != nil {
+			return nil, fmt.Errorf("corpus: read document %d: %w", i, err)
+		}
+		if len(line.Terms) != len(line.Counts) {
+			return nil, fmt.Errorf("corpus: document %d: %d terms but %d counts", line.ID, len(line.Terms), len(line.Counts))
+		}
+		prev := -1
+		total := 0
+		for j, term := range line.Terms {
+			if term < 0 || term >= header.NumTerms {
+				return nil, fmt.Errorf("corpus: document %d: term %d outside universe [0,%d)", line.ID, term, header.NumTerms)
+			}
+			if term <= prev {
+				return nil, fmt.Errorf("corpus: document %d: terms not strictly ascending", line.ID)
+			}
+			prev = term
+			if line.Counts[j] < 1 {
+				return nil, fmt.Errorf("corpus: document %d: non-positive count", line.ID)
+			}
+			total += line.Counts[j]
+		}
+		if line.Length != 0 && line.Length != total {
+			return nil, fmt.Errorf("corpus: document %d: declared length %d != counted %d", line.ID, line.Length, total)
+		}
+		c.Docs = append(c.Docs, Document{
+			ID: line.ID,
+			Spec: DocSpec{
+				TopicIDs:     line.TopicIDs,
+				TopicWeights: line.TopicWeights,
+				StyleIDs:     line.StyleIDs,
+				StyleWeights: line.StyleWeights,
+				Length:       total,
+			},
+			Terms:  line.Terms,
+			Counts: line.Counts,
+		})
+	}
+	return c, nil
+}

@@ -1,0 +1,71 @@
+package corpus
+
+import (
+	"fmt"
+)
+
+// SharedTerm records one planted polysemous term: a single term that two
+// different topics both generate with non-trivial probability — the
+// "surfing" that belongs to both the ocean and the Internet. The paper
+// leaves "does LSI address polysemy?" as an open question (Section 6);
+// the polysemy experiment probes it with these plants.
+type SharedTerm struct {
+	Term   int
+	TopicA int
+	TopicB int
+	// Mass is the probability each of the two topics assigns to the term.
+	Mass float64
+}
+
+// PolysemousSeparableModel builds a pure separable model with numShared
+// polysemous terms appended to the universe. Topics are paired off
+// (0,1), (2,3), …; each pair shares one extra term to which both topics
+// assign probability shareMass (taken proportionally from their primary
+// mass). Requires 2·numShared <= NumTopics and 0 < shareMass < 1−ε.
+func PolysemousSeparableModel(c SeparableConfig, numShared int, shareMass float64) (*Model, []SharedTerm, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if numShared < 1 || 2*numShared > c.NumTopics {
+		return nil, nil, fmt.Errorf("corpus: numShared = %d, want [1,%d]", numShared, c.NumTopics/2)
+	}
+	if shareMass <= 0 || shareMass >= 1-c.Epsilon {
+		return nil, nil, fmt.Errorf("corpus: shareMass = %v, want (0,%v)", shareMass, 1-c.Epsilon)
+	}
+	base := c.NumTerms()
+	n := base + numShared
+	shared := make([]SharedTerm, numShared)
+	sharedOf := map[int]int{} // topic -> shared term
+	for s := 0; s < numShared; s++ {
+		shared[s] = SharedTerm{Term: base + s, TopicA: 2 * s, TopicB: 2*s + 1, Mass: shareMass}
+		sharedOf[2*s] = base + s
+		sharedOf[2*s+1] = base + s
+	}
+	topics := make([]*Topic, c.NumTopics)
+	for t := 0; t < c.NumTopics; t++ {
+		w := make([]float64, n)
+		// ε mass spread over the topical part of the universe (shared terms
+		// receive their own dedicated mass below).
+		for i := 0; i < base; i++ {
+			w[i] = c.Epsilon / float64(base)
+		}
+		primary := 1 - c.Epsilon
+		if st, ok := sharedOf[t]; ok {
+			w[st] = shareMass
+			primary -= shareMass
+		}
+		for _, i := range c.PrimarySet(t) {
+			w[i] += primary / float64(c.TermsPerTopic)
+		}
+		tp, err := NewTopic(w)
+		if err != nil {
+			return nil, nil, err
+		}
+		topics[t] = tp
+	}
+	return &Model{
+		NumTerms: n,
+		Topics:   topics,
+		Sampler:  NewPureSampler(c.NumTopics, c.MinLen, c.MaxLen),
+	}, shared, nil
+}

@@ -1,0 +1,104 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateQueriesBasics(t *testing.T) {
+	model, err := PureSeparableModel(SeparableConfig{
+		NumTopics: 3, TermsPerTopic: 10, Epsilon: 0, MinLen: 10, MaxLen: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(291))
+	qs, err := GenerateQueries(model, 1, 20, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 20 {
+		t.Fatalf("queries %d", len(qs))
+	}
+	for _, q := range qs {
+		if q.Topic != 1 {
+			t.Fatalf("topic %d", q.Topic)
+		}
+		total := 0
+		for i, term := range q.Terms {
+			// ε = 0: all query terms in topic 1's primary set.
+			if term < 10 || term >= 20 {
+				t.Fatalf("query term %d outside topic 1's set", term)
+			}
+			total += q.Counts[i]
+		}
+		if total != 5 {
+			t.Fatalf("query length %d, want 5", total)
+		}
+		v, err := q.Vector(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, x := range v {
+			sum += x
+		}
+		if int(sum) != 5 {
+			t.Fatalf("vector mass %v", sum)
+		}
+	}
+}
+
+func TestGenerateQueriesValidation(t *testing.T) {
+	model, err := PureSeparableModel(SeparableConfig{
+		NumTopics: 2, TermsPerTopic: 5, Epsilon: 0, MinLen: 5, MaxLen: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(292))
+	if _, err := GenerateQueries(model, -1, 1, 3, rng); err == nil {
+		t.Error("bad topic should error")
+	}
+	if _, err := GenerateQueries(model, 2, 1, 3, rng); err == nil {
+		t.Error("out-of-range topic should error")
+	}
+	if _, err := GenerateQueries(model, 0, 0, 3, rng); err == nil {
+		t.Error("count 0 should error")
+	}
+	if _, err := GenerateQueries(model, 0, 1, 0, rng); err == nil {
+		t.Error("length 0 should error")
+	}
+	bad := &Model{NumTerms: 0}
+	if _, err := GenerateQueries(bad, 0, 1, 1, rng); err == nil {
+		t.Error("invalid model should error")
+	}
+	q := Query{Terms: []int{99}, Counts: []int{1}}
+	if _, err := q.Vector(10); err == nil {
+		t.Error("out-of-universe vector should error")
+	}
+}
+
+func TestGeneratedQueriesRetrieveOwnTopic(t *testing.T) {
+	// Workload sanity: model-generated queries are topically coherent — a
+	// query's terms all carry its topic's mass under ε = 0.
+	model, err := PureSeparableModel(SeparableConfig{
+		NumTopics: 4, TermsPerTopic: 8, Epsilon: 0, MinLen: 10, MaxLen: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(293))
+	for topic := 0; topic < 4; topic++ {
+		qs, err := GenerateQueries(model, topic, 5, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			mass := model.Topics[topic].MassOn(q.Terms)
+			if mass <= 0 {
+				t.Fatalf("topic %d query has no mass under its own topic", topic)
+			}
+		}
+	}
+}

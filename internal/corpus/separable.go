@@ -1,0 +1,170 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SeparableConfig describes a pure, ε-separable corpus model in the sense
+// of Section 4: k topics with mutually disjoint primary term sets, each
+// topic putting mass ≥ 1−ε on its own primary set. The defaults mirror the
+// paper's own experiment: 20 topics × 100 primary terms = 2000 terms,
+// ε = 0.05, documents of 50–100 terms.
+type SeparableConfig struct {
+	NumTopics      int     // k
+	TermsPerTopic  int     // primary set size per topic
+	Epsilon        float64 // mass spread uniformly over the whole universe
+	MinLen, MaxLen int     // document length range (uniform)
+}
+
+// PaperConfig returns the exact parameters of the Section 4 experiment.
+func PaperConfig() SeparableConfig {
+	return SeparableConfig{
+		NumTopics:     20,
+		TermsPerTopic: 100,
+		Epsilon:       0.05,
+		MinLen:        50,
+		MaxLen:        100,
+	}
+}
+
+// Validate checks the configuration.
+func (c SeparableConfig) Validate() error {
+	if c.NumTopics < 1 {
+		return fmt.Errorf("corpus: NumTopics = %d, want >= 1", c.NumTopics)
+	}
+	if c.TermsPerTopic < 1 {
+		return fmt.Errorf("corpus: TermsPerTopic = %d, want >= 1", c.TermsPerTopic)
+	}
+	if c.Epsilon < 0 || c.Epsilon >= 1 {
+		return fmt.Errorf("corpus: Epsilon = %v, want [0,1)", c.Epsilon)
+	}
+	if c.MinLen < 1 || c.MaxLen < c.MinLen {
+		return fmt.Errorf("corpus: length range [%d,%d] invalid", c.MinLen, c.MaxLen)
+	}
+	return nil
+}
+
+// NumTerms returns the universe size k × termsPerTopic.
+func (c SeparableConfig) NumTerms() int { return c.NumTopics * c.TermsPerTopic }
+
+// PrimarySet returns the term IDs of topic t's primary set: the contiguous
+// block [t·TermsPerTopic, (t+1)·TermsPerTopic).
+func (c SeparableConfig) PrimarySet(t int) []int {
+	out := make([]int, c.TermsPerTopic)
+	for i := range out {
+		out[i] = t*c.TermsPerTopic + i
+	}
+	return out
+}
+
+// PureSeparableModel constructs the model: topic t distributes mass 1−ε
+// uniformly over its primary set and mass ε uniformly over the entire
+// universe (exactly the paper's "0.95 / 0.05" construction, so the model is
+// ε-separable), with single-topic documents and uniform lengths.
+func PureSeparableModel(c SeparableConfig) (*Model, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.NumTerms()
+	topics := make([]*Topic, c.NumTopics)
+	for t := 0; t < c.NumTopics; t++ {
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = c.Epsilon / float64(n)
+		}
+		for _, i := range c.PrimarySet(t) {
+			w[i] += (1 - c.Epsilon) / float64(c.TermsPerTopic)
+		}
+		tp, err := NewTopic(w)
+		if err != nil {
+			return nil, err
+		}
+		topics[t] = tp
+	}
+	return &Model{
+		NumTerms: n,
+		Topics:   topics,
+		Sampler:  NewPureSampler(c.NumTopics, c.MinLen, c.MaxLen),
+	}, nil
+}
+
+// MixedSeparableModel is the extension-experiment variant: the same
+// ε-separable topics, but documents mix up to maxTopics topics with
+// Dirichlet(alpha) weights — probing the open question after Theorem 2.
+func MixedSeparableModel(c SeparableConfig, maxTopics int, alpha float64) (*Model, error) {
+	m, err := PureSeparableModel(c)
+	if err != nil {
+		return nil, err
+	}
+	if maxTopics < 1 || maxTopics > c.NumTopics {
+		return nil, fmt.Errorf("corpus: maxTopics = %d out of [1,%d]", maxTopics, c.NumTopics)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("corpus: alpha = %v, want > 0", alpha)
+	}
+	m.Sampler = &MixtureSampler{
+		NumTopics: c.NumTopics,
+		MaxTopics: maxTopics,
+		Alpha:     alpha,
+		MinLen:    c.MinLen,
+		MaxLen:    c.MaxLen,
+	}
+	return m, nil
+}
+
+// SynonymSeparableModel plants numPairs synonym pairs into a pure separable
+// model: for each pair, a primary term of some topic is rewritten (by a
+// style applied to every document) to itself or to a dedicated synonym term
+// with probability 1/2 each. The synonym terms are appended to the universe
+// after the topical terms, so universe size is NumTerms() + numPairs.
+// It returns the model and the planted (original, synonym) pairs.
+func SynonymSeparableModel(c SeparableConfig, numPairs int, rng *rand.Rand) (*Model, [][2]int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if numPairs < 1 {
+		return nil, nil, fmt.Errorf("corpus: numPairs = %d, want >= 1", numPairs)
+	}
+	if numPairs > c.NumTopics {
+		return nil, nil, fmt.Errorf("corpus: at most one synonym pair per topic (%d > %d)", numPairs, c.NumTopics)
+	}
+	base := c.NumTerms()
+	n := base + numPairs
+	topics := make([]*Topic, c.NumTopics)
+	for t := 0; t < c.NumTopics; t++ {
+		w := make([]float64, n)
+		for i := 0; i < base; i++ {
+			w[i] = c.Epsilon / float64(base)
+		}
+		for _, i := range c.PrimarySet(t) {
+			w[i] += (1 - c.Epsilon) / float64(c.TermsPerTopic)
+		}
+		tp, err := NewTopic(w)
+		if err != nil {
+			return nil, nil, err
+		}
+		topics[t] = tp
+	}
+	pairs := make([][2]int, numPairs)
+	pairMap := make(map[int]int, numPairs)
+	for p := 0; p < numPairs; p++ {
+		// One pair per topic p: pick a random primary term of topic p.
+		src := c.PrimarySet(p)[rng.Intn(c.TermsPerTopic)]
+		syn := base + p
+		pairs[p] = [2]int{src, syn}
+		pairMap[src] = syn
+	}
+	style, err := SynonymStyle(n, pairMap)
+	if err != nil {
+		return nil, nil, err
+	}
+	sampler := NewPureSampler(c.NumTopics, c.MinLen, c.MaxLen)
+	sampler.StyleID = 0
+	return &Model{
+		NumTerms: n,
+		Topics:   topics,
+		Styles:   []*Style{style},
+		Sampler:  sampler,
+	}, pairs, nil
+}

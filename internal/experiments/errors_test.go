@@ -1,0 +1,121 @@
+package experiments
+
+import "testing"
+
+// Error-path coverage: every Run* function must reject inconsistent
+// configurations with an error rather than panicking or producing silent
+// garbage.
+
+func TestRunTable1InvalidCorpus(t *testing.T) {
+	cfg := SmallTable1Config()
+	cfg.Corpus.NumTopics = 0
+	if _, err := RunTable1(cfg); err == nil {
+		t.Fatal("invalid corpus config should error")
+	}
+	cfg = SmallTable1Config()
+	cfg.K = 0
+	if _, err := RunTable1(cfg); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestRunTheorem2InvalidConfig(t *testing.T) {
+	cfg := SmallTheorem2Config()
+	cfg.TermsPerTopic = 0
+	if _, err := RunTheorem2(cfg); err == nil {
+		t.Fatal("invalid config should error")
+	}
+}
+
+func TestRunTheorem3InvalidEpsilon(t *testing.T) {
+	cfg := SmallTheorem3Config()
+	cfg.Epsilons = []float64{1.5}
+	if _, err := RunTheorem3(cfg); err == nil {
+		t.Fatal("eps >= 1 should error")
+	}
+}
+
+func TestRunJLInvalidDimension(t *testing.T) {
+	cfg := SmallJLConfig()
+	cfg.Ls = []int{0}
+	if _, err := RunJL(cfg); err == nil {
+		t.Fatal("l=0 should error")
+	}
+	cfg = SmallJLConfig()
+	cfg.Ls = []int{cfg.N + 1}
+	if _, err := RunJL(cfg); err == nil {
+		t.Fatal("l>n should error")
+	}
+}
+
+func TestRunTheorem5InvalidK(t *testing.T) {
+	cfg := SmallTheorem5Config()
+	cfg.K = 0
+	if _, err := RunTheorem5(cfg); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestRunSynonymyInvalidPairs(t *testing.T) {
+	cfg := SmallSynonymyConfig()
+	cfg.NumPairs = cfg.Corpus.NumTopics + 1
+	if _, err := RunSynonymy(cfg); err == nil {
+		t.Fatal("too many pairs should error")
+	}
+}
+
+func TestRunTheorem6InvalidBlocks(t *testing.T) {
+	cfg := SmallTheorem6Config()
+	cfg.BlockSize = 1
+	if _, err := RunTheorem6(cfg); err == nil {
+		t.Fatal("block size 1 should error")
+	}
+}
+
+func TestRunRetrievalInvalidCorpus(t *testing.T) {
+	cfg := SmallRetrievalConfig()
+	cfg.Corpus.MinLen = 0
+	if _, err := RunRetrieval(cfg); err == nil {
+		t.Fatal("invalid lengths should error")
+	}
+}
+
+func TestRunCFInvalidGroups(t *testing.T) {
+	cfg := SmallCFConfig()
+	cfg.Groups = cfg.Items + 1
+	if _, err := RunCF(cfg); err == nil {
+		t.Fatal("groups > items should error")
+	}
+}
+
+func TestRunMixtureInvalidAlpha(t *testing.T) {
+	cfg := SmallMixtureConfig()
+	cfg.Alpha = 0
+	if _, err := RunMixture(cfg); err == nil {
+		t.Fatal("alpha=0 should error")
+	}
+}
+
+func TestRunStyleInvalidStrength(t *testing.T) {
+	cfg := SmallStyleConfig()
+	cfg.Strengths = []float64{2}
+	if _, err := RunStyle(cfg); err == nil {
+		t.Fatal("strength > 1 should error")
+	}
+}
+
+func TestRunWeightingAblationInvalidCorpus(t *testing.T) {
+	cfg := SmallTable1Config()
+	cfg.Corpus.Epsilon = -1
+	if _, err := RunWeightingAblation(cfg); err == nil {
+		t.Fatal("invalid epsilon should error")
+	}
+}
+
+func TestRunProjectionAblationInvalidCorpus(t *testing.T) {
+	cfg := SmallTheorem5Config()
+	cfg.Corpus.NumTopics = 0
+	if _, err := RunProjectionAblation(cfg); err == nil {
+		t.Fatal("invalid corpus should error")
+	}
+}

@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1Small(t *testing.T) {
+	res, err := RunTable1(SmallTable1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's qualitative shape: intratopic angles collapse in LSI
+	// space; intertopic angles stay near π/2 on average.
+	if res.LSIIntra.Mean >= res.OriginalIntra.Mean/2 {
+		t.Fatalf("LSI intra mean %v not far below original %v", res.LSIIntra.Mean, res.OriginalIntra.Mean)
+	}
+	if res.LSIInter.Mean < 1.2 {
+		t.Fatalf("LSI inter mean %v too small", res.LSIInter.Mean)
+	}
+	if res.OriginalInter.Mean < 1.3 {
+		t.Fatalf("original inter mean %v unexpected", res.OriginalInter.Mean)
+	}
+	// Pair counts: 150 docs → C(150,2) pairs split between the sets.
+	total := res.OriginalIntra.N + res.OriginalInter.N
+	if total != 150*149/2 {
+		t.Fatalf("pair count %d", total)
+	}
+	if len(res.SingularValues) != 5 {
+		t.Fatalf("singular values %d", len(res.SingularValues))
+	}
+	tab := res.Table()
+	for _, want := range []string{"Intratopic", "Intertopic", "Original space", "LSI space"} {
+		if !strings.Contains(tab, want) {
+			t.Fatalf("table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestRunTheorem2Small(t *testing.T) {
+	res, err := RunTheorem2(SmallTheorem2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.LSISkew > 0.2 {
+			t.Fatalf("m=%d: LSI skew %v on 0-separable corpus", row.NumDocs, row.LSISkew)
+		}
+		if row.LSISkew >= row.OriginalSkew {
+			t.Fatalf("m=%d: LSI skew %v >= original %v", row.NumDocs, row.LSISkew, row.OriginalSkew)
+		}
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunTheorem3Small(t *testing.T) {
+	res, err := RunTheorem3(SmallTheorem3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skew at ε=0 should be (near) the smallest; skew grows with ε.
+	if res.Rows[0].LSISkew > res.Rows[len(res.Rows)-1].LSISkew {
+		t.Fatalf("skew not increasing with eps: %v vs %v",
+			res.Rows[0].LSISkew, res.Rows[len(res.Rows)-1].LSISkew)
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunLemma1(t *testing.T) {
+	cfg := DefaultLemma1Config()
+	cfg.Epsilons = []float64{0.005, 0.02}
+	cfg.Trials = 2
+	res, err := RunLemma1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		// Lemma 4's bound with constant 9 (the σ scale here is ≈1).
+		if row.Ratio > 9 {
+			t.Fatalf("eps=%v: ratio %v exceeds Lemma 4 constant", row.Epsilon, row.Ratio)
+		}
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+	bad := cfg
+	bad.K = 2 // mismatched with 3 top sigmas
+	if _, err := RunLemma1(bad); err == nil {
+		t.Fatal("mismatched K should error")
+	}
+}
+
+func TestRunJLSmall(t *testing.T) {
+	res, err := RunJL(SmallJLConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Distortion must shrink as l grows.
+	if res.Rows[1].Report.DistanceRatio.Std >= res.Rows[0].Report.DistanceRatio.Std {
+		t.Fatalf("distortion did not shrink: %v -> %v",
+			res.Rows[0].Report.DistanceRatio.Std, res.Rows[1].Report.DistanceRatio.Std)
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunTheorem5Small(t *testing.T) {
+	res, err := RunTheorem5(SmallTheorem5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		// B₂ₖ can never beat the rank-2k optimum, and must recover a
+		// meaningful fraction of what direct LSI recovers.
+		if row.TwoStepResid < 0 {
+			t.Fatal("negative residual")
+		}
+		if row.RecoveredFrac <= 0 || row.RecoveredFrac > 1.5 {
+			t.Fatalf("recovered fraction %v out of range", row.RecoveredFrac)
+		}
+	}
+	// Higher l recovers more.
+	if res.Rows[1].RecoveredFrac <= res.Rows[0].RecoveredFrac-0.05 {
+		t.Fatalf("recovery did not improve with l: %v -> %v",
+			res.Rows[0].RecoveredFrac, res.Rows[1].RecoveredFrac)
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunRuntimeSmall(t *testing.T) {
+	cfg := RuntimeConfig{
+		Corpora: DefaultRuntimeConfig().Corpora[:2],
+		NumDocs: DefaultRuntimeConfig().NumDocs[:2],
+		K:       5, L: 40, Seed: 7,
+	}
+	res, err := RunRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.FullMillis <= 0 || row.DirectMillis <= 0 || row.TwoStepMillis <= 0 {
+			t.Fatalf("non-positive timing %+v", row)
+		}
+		// The paper's headline: the two-step method is far cheaper than the
+		// O(mnc) direct-LSI computation.
+		if row.SpeedupVsFull < 2 {
+			t.Fatalf("two-step speedup vs full SVD only %vx", row.SpeedupVsFull)
+		}
+		// Corollary 4 bounds the ratio below by ≈ (1−ε); above, tail energy
+		// of A folded into l dimensions inflates it, so only sanity-cap it.
+		if row.EnergyRatio < 0.7 || row.EnergyRatio > 3 {
+			t.Fatalf("energy ratio %v outside [0.7,3]", row.EnergyRatio)
+		}
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+	bad := cfg
+	bad.NumDocs = bad.NumDocs[:1]
+	if _, err := RunRuntime(bad); err == nil {
+		t.Fatal("mismatched lengths should error")
+	}
+}
+
+func TestRunSynonymySmall(t *testing.T) {
+	res, err := RunSynonymy(SmallSynonymyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 2 {
+		t.Fatalf("pairs %d", len(res.Pairs))
+	}
+	for _, p := range res.Pairs {
+		// Prediction 1: the synonym difference direction carries little
+		// singular mass relative to the retained topical directions.
+		if p.SigmaRatio > 0.5 {
+			t.Fatalf("pair (%d,%d): sigma ratio %v", p.TermA, p.TermB, p.SigmaRatio)
+		}
+		// Prediction 2: LSI projects the difference out almost entirely.
+		if p.TailProjection < 0.95 {
+			t.Fatalf("pair (%d,%d): tail projection %v", p.TermA, p.TermB, p.TailProjection)
+		}
+		// Prediction 3: the synonyms are nearly parallel in LSI space.
+		if p.LSICosine < 0.98 {
+			t.Fatalf("pair (%d,%d): LSI cosine %v", p.TermA, p.TermB, p.LSICosine)
+		}
+		// The literal single-eigenvector reading holds loosely at this
+		// corpus size.
+		if p.DiffAlignment < 0.5 {
+			t.Fatalf("pair (%d,%d): best alignment %v", p.TermA, p.TermB, p.DiffAlignment)
+		}
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunTheorem6Small(t *testing.T) {
+	res, err := RunTheorem6(SmallTheorem6Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small ε: near-perfect discovery. Accuracy decreases (weakly) with ε.
+	if res.Rows[0].MeanAccuracy < 0.95 {
+		t.Fatalf("accuracy %v at eps=%v", res.Rows[0].MeanAccuracy, res.Rows[0].Epsilon)
+	}
+	for _, row := range res.Rows {
+		if row.MeanCrossFrac > row.Epsilon+1e-9 {
+			t.Fatalf("realized cross fraction %v exceeds eps %v", row.MeanCrossFrac, row.Epsilon)
+		}
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunRetrievalSmall(t *testing.T) {
+	res, err := RunRetrieval(SmallRetrievalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueryCount == 0 {
+		t.Fatal("no queries evaluated")
+	}
+	// The paper's claim: LSI beats the vector-space model under synonymy.
+	// VSM only retrieves literal matches, so its recall is capped; LSI
+	// retrieves the whole topic.
+	if res.LSIRecallAtN <= res.VSMRecallAtN+0.1 {
+		t.Fatalf("LSI R@%d %v did not clearly beat VSM %v",
+			res.Config.TopN, res.LSIRecallAtN, res.VSMRecallAtN)
+	}
+	if res.LSIMAP <= res.VSMMAP+0.1 {
+		t.Fatalf("LSI MAP %v did not clearly beat VSM %v", res.LSIMAP, res.VSMMAP)
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunCFSmall(t *testing.T) {
+	res, err := RunCF(SmallCFConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.LSIRecall <= row.PopRecall {
+			t.Fatalf("top-%d: LSI recall %v did not beat popularity %v",
+				row.TopN, row.LSIRecall, row.PopRecall)
+		}
+	}
+	// Ratings face of the claim: rank-k RMSE beats both mean baselines.
+	if res.LSIRMSE >= res.UserMeanRMSE || res.LSIRMSE >= res.GlobalMeanRMSE {
+		t.Fatalf("LSI RMSE %v not below baselines (user %v, global %v)",
+			res.LSIRMSE, res.UserMeanRMSE, res.GlobalMeanRMSE)
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunMixtureSmall(t *testing.T) {
+	res, err := RunMixture(SmallMixtureConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LSI geometry should track topical overlap: high-overlap pairs more
+	// parallel than low-overlap pairs, positive correlation overall.
+	if res.HighOverlap.N == 0 || res.LowOverlap.N == 0 {
+		t.Fatalf("buckets empty: %+v", res)
+	}
+	if res.HighOverlap.Mean <= res.LowOverlap.Mean {
+		t.Fatalf("high-overlap cos %v not above low-overlap %v",
+			res.HighOverlap.Mean, res.LowOverlap.Mean)
+	}
+	if res.Correlation < 0.5 {
+		t.Fatalf("correlation %v too weak", res.Correlation)
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunWeightingAblation(t *testing.T) {
+	res, err := RunWeightingAblation(SmallTable1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// The paper's remark: the choice does not affect the result — every
+	// weighting must give strong topic separation.
+	for _, row := range res.Rows {
+		if row.LSISkew > 0.35 {
+			t.Fatalf("%v weighting: skew %v", row.Weighting, row.LSISkew)
+		}
+		if row.InterMean < 1.2 || row.IntraMean > 0.35 {
+			t.Fatalf("%v weighting: intra %v inter %v", row.Weighting, row.IntraMean, row.InterMean)
+		}
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunProjectionAblation(t *testing.T) {
+	res, err := RunProjectionAblation(SmallTheorem5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.RecoveredFrac < 0.5 {
+			t.Fatalf("%v projection recovered only %v", row.Kind, row.RecoveredFrac)
+		}
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunEngineAblation(t *testing.T) {
+	res, err := RunEngineAblation(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Name == "lanczos-noreorth" {
+			continue // allowed to be inaccurate — that is the point
+		}
+		if math.IsInf(row.MaxRelErr, 1) || row.MaxRelErr > 1e-5 {
+			t.Fatalf("engine %s error %v", row.Name, row.MaxRelErr)
+		}
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTable1WithFigure(t *testing.T) {
+	res, fig, err := RunTable1WithFigure(SmallTable1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Summary values must match the plain run (same seed).
+	plain, err := RunTable1(SmallTable1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LSISkew != plain.LSISkew || res.LSIIntra.Mean != plain.LSIIntra.Mean {
+		t.Fatal("figure run diverged from plain run under the same seed")
+	}
+	// Figure content sanity: all four populations present, bars drawn.
+	for _, want := range []string{
+		"Intratopic, original space",
+		"Intratopic, LSI space",
+		"Intertopic, original space",
+		"Intertopic, LSI space",
+		"#",
+	} {
+		if !strings.Contains(fig, want) {
+			t.Fatalf("figure missing %q:\n%s", want, fig)
+		}
+	}
+	// In the LSI space, the intratopic histogram's first bin must dominate
+	// (mass collapses to ≈0); check the rendered section has its largest
+	// bar on the first line.
+	lines := strings.Split(fig, "\n")
+	for i, line := range lines {
+		if strings.HasPrefix(line, "Intratopic, LSI space") {
+			first := strings.Count(lines[i+1], "#")
+			for j := i + 2; j < len(lines) && strings.Contains(lines[j], "|"); j++ {
+				if strings.Count(lines[j], "#") > first {
+					t.Fatal("LSI intratopic mass not concentrated in the first bin")
+				}
+			}
+			return
+		}
+	}
+	t.Fatal("LSI intratopic section not found")
+}
+
+func TestRenderHistogramEmpty(t *testing.T) {
+	out := renderHistogram("empty", nil)
+	if !strings.Contains(out, "(empty)") {
+		t.Fatalf("empty histogram rendering: %q", out)
+	}
+}

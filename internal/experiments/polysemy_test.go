@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+func TestRunPolysemySmall(t *testing.T) {
+	res, err := RunPolysemy(SmallPolysemyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Terms) != 2 {
+		t.Fatalf("terms %d", len(res.Terms))
+	}
+	for _, tr := range res.Terms {
+		// The polysemous term loads substantially on BOTH topics...
+		if tr.LoadA < 0.3 || tr.LoadB < 0.3 {
+			t.Fatalf("term %d loads %v/%v — not polysemous in the LSI space", tr.Term, tr.LoadA, tr.LoadB)
+		}
+		// ...unlike a monosemous reference term.
+		if tr.MonoLoadOwn < 0.9 {
+			t.Fatalf("monosemous reference own-load %v", tr.MonoLoadOwn)
+		}
+		if tr.MonoLoadOther > 0.3 {
+			t.Fatalf("monosemous reference other-load %v", tr.MonoLoadOther)
+		}
+		// A single context term disambiguates retrieval almost perfectly.
+		if tr.ContextPrecisionA < 0.9 || tr.ContextPrecisionB < 0.9 {
+			t.Fatalf("context precision %v/%v", tr.ContextPrecisionA, tr.ContextPrecisionB)
+		}
+		// The bare query is genuinely ambiguous: its precision for topic A
+		// is clearly below the context-disambiguated one.
+		if tr.BarePrecisionA > tr.ContextPrecisionA-0.05 {
+			t.Fatalf("bare precision %v not below context precision %v",
+				tr.BarePrecisionA, tr.ContextPrecisionA)
+		}
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunPolysemyValidation(t *testing.T) {
+	cfg := SmallPolysemyConfig()
+	cfg.NumShared = 99
+	if _, err := RunPolysemy(cfg); err == nil {
+		t.Fatal("invalid config should error")
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+func TestRunSamplingSmall(t *testing.T) {
+	res, err := RunSampling(SmallSamplingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: full + 2 sample rates + projection.
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	byMethod := map[string]SamplingRow{}
+	for _, row := range res.Rows {
+		byMethod[row.Method] = row
+	}
+	full := byMethod["full"]
+	if full.Skew > 0.35 || full.EnergyFrac != 1 {
+		t.Fatalf("full row %+v", full)
+	}
+	// The provable guarantees are about average geometry and spectral
+	// energy (Lemma 2 / Theorem 5), not the worst pair: projection must
+	// track the full-LSI mean angles and energy.
+	proj := byMethod["projection-l30"]
+	if proj.IntraMean > full.IntraMean+0.3 {
+		t.Fatalf("projection intra mean %v far above full %v", proj.IntraMean, full.IntraMean)
+	}
+	if proj.InterMean < 1.2 {
+		t.Fatalf("projection inter mean %v", proj.InterMean)
+	}
+	if proj.EnergyFrac < 0.75 {
+		t.Fatalf("projection energy %v", proj.EnergyFrac)
+	}
+	// Sampling quality improves with the rate (the §5 point: small samples
+	// are unreliable compared to projection).
+	s15 := byMethod["sample-15%"]
+	s50 := byMethod["sample-50%"]
+	if s50.Skew > s15.Skew+0.1 {
+		t.Fatalf("50%% sample skew %v worse than 15%% sample %v", s50.Skew, s15.Skew)
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunSamplingInvalidRate(t *testing.T) {
+	cfg := SmallSamplingConfig()
+	cfg.SampleRates = []float64{0}
+	if _, err := RunSampling(cfg); err == nil {
+		t.Fatal("rate 0 should error")
+	}
+	cfg.SampleRates = []float64{1.5}
+	if _, err := RunSampling(cfg); err == nil {
+		t.Fatal("rate > 1 should error")
+	}
+}

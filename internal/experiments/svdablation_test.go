@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+func TestRunLanczosDimAblation(t *testing.T) {
+	res, err := RunLanczosDimAblation(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Accuracy at the largest p must be excellent; the sweep must be
+	// (weakly) improving from the smallest to the largest dimension.
+	last := res.Rows[len(res.Rows)-1]
+	if last.MaxRelErr > 1e-8 {
+		t.Fatalf("p=%d err %v", last.P, last.MaxRelErr)
+	}
+	first := res.Rows[0]
+	if first.MaxRelErr < last.MaxRelErr {
+		t.Fatalf("p=k err %v below p=max err %v — sweep inverted?", first.MaxRelErr, last.MaxRelErr)
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunRandomizedParamAblation(t *testing.T) {
+	res, err := RunRandomizedParamAblation(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// The heaviest configuration must reach near machine precision; the
+	// lightest must still be a usable approximation.
+	var best, worst float64
+	for _, row := range res.Rows {
+		if row.PowerIters == 6 && row.Oversample == 10 {
+			best = row.MaxRelErr
+		}
+		if row.PowerIters == 1 && row.Oversample == 2 {
+			worst = row.MaxRelErr
+		}
+	}
+	if best > 1e-8 {
+		t.Fatalf("heavy config err %v", best)
+	}
+	if worst > 0.2 {
+		t.Fatalf("light config err %v — not even a rough approximation", worst)
+	}
+	if best > worst {
+		t.Fatal("heavy config worse than light config")
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/lsi"
+	"repro/internal/mat"
+	"repro/internal/svd"
+)
+
+// SynonymyConfig parameterizes the Section 4 synonymy experiment: terms
+// with identical co-occurrences are planted via a style that rewrites a
+// term to itself or its synonym with probability 1/2.
+type SynonymyConfig struct {
+	Corpus   corpus.SeparableConfig
+	NumPairs int
+	NumDocs  int
+	K        int
+	Seed     int64
+}
+
+// DefaultSynonymyConfig plants 3 pairs in a 6-topic corpus.
+func DefaultSynonymyConfig() SynonymyConfig {
+	return SynonymyConfig{
+		Corpus: corpus.SeparableConfig{
+			NumTopics: 6, TermsPerTopic: 30, Epsilon: 0.03, MinLen: 60, MaxLen: 100,
+		},
+		NumPairs: 3,
+		NumDocs:  240,
+		K:        6,
+		Seed:     8,
+	}
+}
+
+// SmallSynonymyConfig is the test-sized variant. Documents are long enough
+// that each planted pair accumulates many occurrences — the paper's
+// "identical co-occurrences" prediction is asymptotic, and the sampled
+// difference vector converges to the trailing eigenvector at a 1/√count
+// rate.
+func SmallSynonymyConfig() SynonymyConfig {
+	return SynonymyConfig{
+		Corpus: corpus.SeparableConfig{
+			NumTopics: 3, TermsPerTopic: 12, Epsilon: 0, MinLen: 150, MaxLen: 220,
+		},
+		NumPairs: 2,
+		NumDocs:  120,
+		K:        3,
+		Seed:     8,
+	}
+}
+
+// SynonymyPairResult reports the paper's predictions for one planted pair
+// (a, b), whose difference direction is diff = (e_a − e_b)/√2:
+//
+//  1. diff carries very little singular mass: SigmaRatio = ‖Aᵀ·diff‖/σₖ is
+//     small (the "very small eigenvalue" of AAᵀ in the paper's argument —
+//     at finite corpus size the eigenvector mixes with neighbouring noise
+//     directions, so the robust statement is about the Rayleigh quotient).
+//  2. LSI "projects out" the difference: TailProjection, the norm of diff's
+//     component outside the rank-k LSI space, is ≈ 1.
+//  3. In the rank-k LSI space the two terms map to nearly parallel vectors:
+//     LSICosine is the cosine between rows a and b of Uₖ. OriginalCosine is
+//     the raw co-occurrence cosine of the two term rows of A for contrast.
+//
+// DiffAlignment and TrailingRank report the literal single-eigenvector
+// reading (best |cos| against any eigenvector, position from the bottom of
+// the spectrum); they approach 1 and 0 as the corpus grows.
+type SynonymyPairResult struct {
+	TermA, TermB   int
+	SigmaRatio     float64
+	TailProjection float64
+	DiffAlignment  float64
+	TrailingRank   int
+	LSICosine      float64
+	OriginalCosine float64
+}
+
+// SynonymyResult aggregates the per-pair measurements.
+type SynonymyResult struct {
+	Config SynonymyConfig
+	Pairs  []SynonymyPairResult
+}
+
+// RunSynonymy builds a corpus with planted synonym pairs and tests both of
+// the paper's synonymy predictions.
+func RunSynonymy(cfg SynonymyConfig) (*SynonymyResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model, pairs, err := corpus.SynonymSeparableModel(cfg.Corpus, cfg.NumPairs, rng)
+	if err != nil {
+		return nil, err
+	}
+	c, err := corpus.Generate(model, cfg.NumDocs, rng)
+	if err != nil {
+		return nil, err
+	}
+	a := corpus.TermDocMatrix(c, corpus.CountWeighting)
+	ad := a.ToDense()
+	full, err := svd.Decompose(ad)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := lsi.Build(a, cfg.K, lsi.Options{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	uk := ix.Basis()
+	n := model.NumTerms
+	out := &SynonymyResult{Config: cfg}
+	for _, p := range pairs {
+		ta, tb := p[0], p[1]
+		// Difference direction (e_a − e_b)/√2.
+		diff := make([]float64, n)
+		diff[ta] = 1 / math.Sqrt2
+		diff[tb] = -1 / math.Sqrt2
+		// Find the left singular vector best aligned with the difference,
+		// searching from the bottom of the spectrum.
+		bestAlign, bestRank := 0.0, -1
+		for j := len(full.S) - 1; j >= 0; j-- {
+			c := math.Abs(mat.Dot(diff, full.U.Col(j)))
+			if c > bestAlign {
+				bestAlign = c
+				bestRank = len(full.S) - 1 - j
+			}
+		}
+		// Singular mass of the difference direction relative to the
+		// smallest retained topical direction.
+		sigmaK := ix.SingularValues()[ix.K()-1]
+		var sigmaRatio float64
+		if sigmaK > 0 {
+			sigmaRatio = mat.Norm(mulTVecCSR(a, diff)) / sigmaK
+		}
+		// Component of diff outside the LSI space.
+		inLSI := mat.MulTVec(uk, diff)
+		tail := math.Sqrt(math.Max(0, 1-mat.Dot(inLSI, inLSI)))
+		pr := SynonymyPairResult{
+			TermA: ta, TermB: tb,
+			SigmaRatio:     sigmaRatio,
+			TailProjection: tail,
+			DiffAlignment:  bestAlign,
+			TrailingRank:   bestRank,
+			LSICosine:      mat.Cosine(uk.Row(ta), uk.Row(tb)),
+			OriginalCosine: mat.Cosine(ad.Row(ta), ad.Row(tb)),
+		}
+		out.Pairs = append(out.Pairs, pr)
+	}
+	return out, nil
+}
+
+// mulTVecCSR applies Aᵀ to a dense vector via the sparse operator.
+func mulTVecCSR(a interface {
+	MulTVec(x []float64) []float64
+}, x []float64) []float64 {
+	return a.MulTVec(x)
+}
+
+// Table renders the per-pair report.
+func (r *SynonymyResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Synonymy (§4): planted identical-co-occurrence pairs, rank-%d LSI\n", r.Config.K)
+	fmt.Fprintf(&b, "%8s %8s %10s %10s %10s %10s %10s %12s\n",
+		"term a", "term b", "σ ratio", "tail proj", "best align", "trail rank", "LSI cos", "original cos")
+	for _, p := range r.Pairs {
+		fmt.Fprintf(&b, "%8d %8d %10.4f %10.4f %10.4f %10d %10.4f %12.4f\n",
+			p.TermA, p.TermB, p.SigmaRatio, p.TailProjection, p.DiffAlignment,
+			p.TrailingRank, p.LSICosine, p.OriginalCosine)
+	}
+	b.WriteString("\n(σ ratio ≪ 1: the synonym difference carries little singular mass;\n")
+	b.WriteString(" tail proj ≈ 1: LSI projects the difference out;\n")
+	b.WriteString(" LSI cos ≈ 1: the synonyms collapse to one direction in the LSI space)\n")
+	return b.String()
+}

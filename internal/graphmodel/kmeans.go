@@ -1,0 +1,152 @@
+package graphmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// KMeans clusters the rows of points into k clusters with Lloyd's algorithm
+// and k-means++ seeding. It returns a label per row and the k×d centroid
+// matrix. Deterministic for a fixed rng. Empty clusters are re-seeded from
+// the farthest point.
+func KMeans(points *mat.Dense, k, maxIters int, rng *rand.Rand) ([]int, *mat.Dense) {
+	n, d := points.Dims()
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("graphmodel: KMeans k=%d out of [1,%d]", k, n))
+	}
+	centroids := kmeansPlusPlusSeed(points, k, rng)
+	labels := make([]int, n)
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bd := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				dist := mat.Dist(points.Row(i), centroids.Row(c))
+				if dist < bd {
+					best, bd = c, dist
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		next := mat.NewDense(k, d)
+		for i := 0; i < n; i++ {
+			c := labels[i]
+			counts[c]++
+			mat.Axpy(1, points.Row(i), next.Row(c))
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed empty cluster at the point farthest from its
+				// centroid.
+				far, fd := 0, -1.0
+				for i := 0; i < n; i++ {
+					dist := mat.Dist(points.Row(i), centroids.Row(labels[i]))
+					if dist > fd {
+						far, fd = i, dist
+					}
+				}
+				next.SetRow(c, points.Row(far))
+				changed = true
+				continue
+			}
+			mat.ScaleVec(1/float64(counts[c]), next.Row(c))
+		}
+		centroids = next
+		if !changed {
+			break
+		}
+	}
+	return labels, centroids
+}
+
+func kmeansPlusPlusSeed(points *mat.Dense, k int, rng *rand.Rand) *mat.Dense {
+	n, d := points.Dims()
+	centroids := mat.NewDense(k, d)
+	first := rng.Intn(n)
+	centroids.SetRow(0, points.Row(first))
+	d2 := make([]float64, n)
+	for c := 1; c < k; c++ {
+		var total float64
+		for i := 0; i < n; i++ {
+			best := math.Inf(1)
+			for p := 0; p < c; p++ {
+				dist := mat.Dist(points.Row(i), centroids.Row(p))
+				if dd := dist * dist; dd < best {
+					best = dd
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with chosen centroids; pick arbitrary.
+			centroids.SetRow(c, points.Row(rng.Intn(n)))
+			continue
+		}
+		r := rng.Float64() * total
+		pick := 0
+		for i := 0; i < n; i++ {
+			r -= d2[i]
+			if r <= 0 {
+				pick = i
+				break
+			}
+		}
+		centroids.SetRow(c, points.Row(pick))
+	}
+	return centroids
+}
+
+// ClusterAccuracy returns the fraction of items whose predicted cluster
+// matches the ground truth under the best greedy matching of predicted
+// clusters to true labels (a lower bound on the optimal-permutation
+// accuracy; exact when the confusion matrix is diagonally dominant, as in
+// the Theorem 6 experiments).
+func ClusterAccuracy(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("graphmodel: %d predictions for %d truths", len(pred), len(truth)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	// Confusion counts.
+	type key struct{ p, t int }
+	conf := map[key]int{}
+	pset := map[int]bool{}
+	tset := map[int]bool{}
+	for i := range pred {
+		conf[key{pred[i], truth[i]}]++
+		pset[pred[i]] = true
+		tset[truth[i]] = true
+	}
+	usedP := map[int]bool{}
+	usedT := map[int]bool{}
+	matched := 0
+	// Greedy: repeatedly take the largest remaining confusion cell.
+	for len(usedP) < len(pset) && len(usedT) < len(tset) {
+		bestC, found := -1, key{}
+		for k, c := range conf {
+			if usedP[k.p] || usedT[k.t] {
+				continue
+			}
+			if c > bestC {
+				bestC, found = c, k
+			}
+		}
+		if bestC < 0 {
+			break
+		}
+		matched += bestC
+		usedP[found.p] = true
+		usedT[found.t] = true
+	}
+	return float64(matched) / float64(len(pred))
+}

@@ -1,0 +1,157 @@
+package graphmodel
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PlantedConfig describes the Theorem 6 workload: k disjoint blocks, dense
+// (high-conductance) inside, joined by cross edges whose total weight per
+// vertex is bounded by an ε fraction of the vertex's intra-block weight.
+type PlantedConfig struct {
+	Blocks    int     // k
+	BlockSize int     // vertices per block
+	IntraProb float64 // probability of each intra-block edge
+	Epsilon   float64 // per-vertex cross weight as a fraction of intra weight
+}
+
+// Validate checks the configuration.
+func (c PlantedConfig) Validate() error {
+	if c.Blocks < 1 {
+		return fmt.Errorf("graphmodel: Blocks = %d, want >= 1", c.Blocks)
+	}
+	if c.BlockSize < 2 {
+		return fmt.Errorf("graphmodel: BlockSize = %d, want >= 2", c.BlockSize)
+	}
+	if c.IntraProb <= 0 || c.IntraProb > 1 {
+		return fmt.Errorf("graphmodel: IntraProb = %v, want (0,1]", c.IntraProb)
+	}
+	if c.Epsilon < 0 || c.Epsilon >= 1 {
+		return fmt.Errorf("graphmodel: Epsilon = %v, want [0,1)", c.Epsilon)
+	}
+	return nil
+}
+
+// Planted generates a planted-partition graph and its ground-truth block
+// labels. Intra-block edges of weight 1 appear independently with
+// probability IntraProb; then each vertex receives cross edges to uniformly
+// random vertices of other blocks with total weight ε × (its intra-block
+// degree), spread over several edges so no single cross edge dominates.
+func Planted(c PlantedConfig, rng *rand.Rand) (*Graph, []int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := c.Blocks * c.BlockSize
+	g := NewGraph(n)
+	labels := make([]int, n)
+	for b := 0; b < c.Blocks; b++ {
+		lo := b * c.BlockSize
+		for i := lo; i < lo+c.BlockSize; i++ {
+			labels[i] = b
+		}
+		for i := lo; i < lo+c.BlockSize; i++ {
+			for j := i + 1; j < lo+c.BlockSize; j++ {
+				if rng.Float64() < c.IntraProb {
+					g.SetWeight(i, j, 1)
+				}
+			}
+		}
+	}
+	if c.Epsilon > 0 && c.Blocks > 1 {
+		// Per-vertex cross budget: cross(v) ≤ ε·(intra(v)+cross(v)) iff
+		// cross(v) ≤ ε/(1−ε)·intra(v). Every cross edge is charged to BOTH
+		// endpoints' budgets, so the Theorem 6 hypothesis ("total weight
+		// per vertex bounded from above by an ε fraction") holds by
+		// construction.
+		const crossEdges = 4
+		budget := make([]float64, n)
+		for v := 0; v < n; v++ {
+			budget[v] = c.Epsilon / (1 - c.Epsilon) * g.Degree(v)
+		}
+		remaining := append([]float64(nil), budget...)
+		for v := 0; v < n; v++ {
+			per := budget[v] / crossEdges
+			if per <= 0 {
+				continue
+			}
+			for e := 0; e < crossEdges; e++ {
+				// A few attempts to find a partner with spare budget.
+				for attempt := 0; attempt < 16; attempt++ {
+					u := rng.Intn(n)
+					if labels[u] == labels[v] {
+						continue
+					}
+					w := min(per, min(remaining[v], remaining[u]))
+					if w <= 0 {
+						continue
+					}
+					g.AddWeight(v, u, w)
+					remaining[v] -= w
+					remaining[u] -= w
+					break
+				}
+			}
+		}
+	}
+	return g, labels, nil
+}
+
+// CrossFraction returns the largest, over all vertices, fraction of a
+// vertex's total weighted degree that crosses block boundaries — the ε of
+// Theorem 6's hypothesis as realized by the generated graph.
+func CrossFraction(g *Graph, labels []int) float64 {
+	if len(labels) != g.N() {
+		panic(fmt.Sprintf("graphmodel: %d labels for %d vertices", len(labels), g.N()))
+	}
+	var worst float64
+	for v := 0; v < g.N(); v++ {
+		deg := g.Degree(v)
+		if deg == 0 {
+			continue
+		}
+		var cross float64
+		for u := 0; u < g.N(); u++ {
+			if labels[u] != labels[v] {
+				cross += g.Weight(v, u)
+			}
+		}
+		if f := cross / deg; f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// BlockConductance returns the minimum, over the k planted blocks, of the
+// sweep-estimated conductance of the block's induced subgraph — the "high
+// conductance" hypothesis of Theorem 6.
+func BlockConductance(g *Graph, labels []int, k int) (float64, error) {
+	best := -1.0
+	for b := 0; b < k; b++ {
+		var verts []int
+		for v, l := range labels {
+			if l == b {
+				verts = append(verts, v)
+			}
+		}
+		if len(verts) < 2 {
+			continue
+		}
+		sub := NewGraph(len(verts))
+		for i, vi := range verts {
+			for j := i + 1; j < len(verts); j++ {
+				if w := g.Weight(vi, verts[j]); w > 0 {
+					sub.SetWeight(i, j, w)
+				}
+			}
+		}
+		c, _, err := sub.SweepConductance()
+		if err != nil {
+			return 0, err
+		}
+		if best < 0 || c < best {
+			best = c
+		}
+	}
+	return best, nil
+}

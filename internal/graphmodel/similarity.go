@@ -1,0 +1,40 @@
+package graphmodel
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// FromSimilarity builds a document-proximity graph from a symmetric
+// non-negative similarity matrix — Section 6's construction, where "this
+// distance matrix could be derived from, or in fact coincide with, AAᵀ"
+// (for documents as columns of A, the document-document Gram matrix AᵀA).
+// The diagonal is ignored (no self-loops). It returns an error if the
+// matrix is not square, not symmetric within 1e-9, or has negative
+// off-diagonal entries.
+func FromSimilarity(sim *mat.Dense) (*Graph, error) {
+	n, c := sim.Dims()
+	if n != c {
+		return nil, fmt.Errorf("graphmodel: similarity matrix %dx%d not square", n, c)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("graphmodel: empty similarity matrix")
+	}
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a, b := sim.At(i, j), sim.At(j, i)
+			if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+				return nil, fmt.Errorf("graphmodel: similarity not symmetric at (%d,%d): %v vs %v", i, j, a, b)
+			}
+			if a < 0 {
+				return nil, fmt.Errorf("graphmodel: negative similarity %v at (%d,%d)", a, i, j)
+			}
+			if a > 0 {
+				g.SetWeight(i, j, a)
+			}
+		}
+	}
+	return g, nil
+}

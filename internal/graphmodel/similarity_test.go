@@ -1,0 +1,81 @@
+package graphmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/lsi"
+	"repro/internal/mat"
+)
+
+func TestFromSimilarityBasics(t *testing.T) {
+	sim := mat.FromRows([][]float64{
+		{9, 2, 0},
+		{2, 9, 1},
+		{0, 1, 9},
+	})
+	g, err := FromSimilarity(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(0, 1) != 2 || g.Weight(1, 2) != 1 || g.Weight(0, 2) != 0 {
+		t.Fatal("weights wrong")
+	}
+	// Diagonal ignored.
+	if g.Degree(0) != 2 {
+		t.Fatalf("degree %v includes diagonal?", g.Degree(0))
+	}
+}
+
+func TestFromSimilarityValidation(t *testing.T) {
+	if _, err := FromSimilarity(mat.NewDense(2, 3)); err == nil {
+		t.Error("non-square should error")
+	}
+	if _, err := FromSimilarity(mat.NewDense(0, 0)); err == nil {
+		t.Error("empty should error")
+	}
+	asym := mat.FromRows([][]float64{{0, 1}, {2, 0}})
+	if _, err := FromSimilarity(asym); err == nil {
+		t.Error("asymmetric should error")
+	}
+	neg := mat.FromRows([][]float64{{0, -1}, {-1, 0}})
+	if _, err := FromSimilarity(neg); err == nil {
+		t.Error("negative should error")
+	}
+}
+
+func TestCorpusGramGraphDiscovery(t *testing.T) {
+	// Section 6's bridge: derive the document-proximity graph from the
+	// document Gram matrix of a separable corpus and run the Theorem 6
+	// discovery — the corpus topics reappear as high-conductance subgraphs.
+	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
+		NumTopics: 3, TermsPerTopic: 20, Epsilon: 0.05, MinLen: 50, MaxLen: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(171))
+	c, err := corpus.Generate(model, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := corpus.TermDocMatrix(c, corpus.CountWeighting)
+	gram := lsi.GramFromColumns(a)
+	g, err := FromSimilarity(gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := DiscoverTopics(g, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ClusterAccuracy(pred, c.Labels()); acc < 0.95 {
+		t.Fatalf("corpus-derived graph discovery accuracy %v", acc)
+	}
+	// The planted blocks' cross fraction in the Gram graph is the ε of
+	// Theorem 6's hypothesis; for a 0.05-separable corpus it must be small.
+	if cf := CrossFraction(g, c.Labels()); cf > 0.3 {
+		t.Fatalf("cross fraction %v too large", cf)
+	}
+}

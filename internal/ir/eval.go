@@ -1,0 +1,122 @@
+package ir
+
+import "fmt"
+
+// PrecisionAtK returns the fraction of the first k retrieved documents that
+// are relevant. If fewer than k documents were retrieved the denominator is
+// still k (standard convention). It panics if k < 1.
+func PrecisionAtK(retrieved []int, relevant map[int]bool, k int) float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("ir: PrecisionAtK k=%d", k))
+	}
+	hits := 0
+	for i, d := range retrieved {
+		if i >= k {
+			break
+		}
+		if relevant[d] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAtK returns the fraction of all relevant documents found within the
+// first k retrieved. It returns 0 if there are no relevant documents.
+func RecallAtK(retrieved []int, relevant map[int]bool, k int) float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("ir: RecallAtK k=%d", k))
+	}
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, d := range retrieved {
+		if i >= k {
+			break
+		}
+		if relevant[d] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// AveragePrecision returns the average of precision values at each relevant
+// document's rank (AP). It returns 0 if there are no relevant documents.
+func AveragePrecision(retrieved []int, relevant map[int]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	var sum float64
+	for i, d := range retrieved {
+		if relevant[d] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(relevant))
+}
+
+// MeanAveragePrecision averages AP over queries. Each entry pairs a ranked
+// retrieval list with its relevance set.
+func MeanAveragePrecision(runs []RankedRun) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range runs {
+		sum += AveragePrecision(r.Retrieved, r.Relevant)
+	}
+	return sum / float64(len(runs))
+}
+
+// RankedRun is one query's ranked retrieval output and ground truth.
+type RankedRun struct {
+	Retrieved []int
+	Relevant  map[int]bool
+}
+
+// F1 returns the harmonic mean of precision and recall (0 if both are 0).
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// InterpolatedPrecision returns the standard 11-point interpolated
+// precision curve: for recall levels 0.0, 0.1, …, 1.0, the maximum
+// precision at any rank with recall ≥ that level. All points are 0 when
+// there are no relevant documents.
+func InterpolatedPrecision(retrieved []int, relevant map[int]bool) [11]float64 {
+	var curve [11]float64
+	if len(relevant) == 0 {
+		return curve
+	}
+	// Precision/recall at every rank.
+	type pr struct{ p, r float64 }
+	var points []pr
+	hits := 0
+	for i, d := range retrieved {
+		if relevant[d] {
+			hits++
+		}
+		points = append(points, pr{
+			p: float64(hits) / float64(i+1),
+			r: float64(hits) / float64(len(relevant)),
+		})
+	}
+	for level := 0; level <= 10; level++ {
+		r := float64(level) / 10
+		var best float64
+		for _, pt := range points {
+			if pt.r >= r-1e-12 && pt.p > best {
+				best = pt.p
+			}
+		}
+		curve[level] = best
+	}
+	return curve
+}

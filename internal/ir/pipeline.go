@@ -1,0 +1,120 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/corpus"
+)
+
+// Vocabulary assigns stable integer IDs to terms in order of first
+// appearance.
+type Vocabulary struct {
+	ids   map[string]int
+	terms []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: map[string]int{}}
+}
+
+// IDOf returns the ID of a term, adding it if unseen.
+func (v *Vocabulary) IDOf(term string) int {
+	if id, ok := v.ids[term]; ok {
+		return id
+	}
+	id := len(v.terms)
+	v.ids[term] = id
+	v.terms = append(v.terms, term)
+	return id
+}
+
+// Lookup returns the ID of a term and whether it is known.
+func (v *Vocabulary) Lookup(term string) (int, bool) {
+	id, ok := v.ids[term]
+	return id, ok
+}
+
+// Term returns the term with the given ID.
+func (v *Vocabulary) Term(id int) string {
+	if id < 0 || id >= len(v.terms) {
+		panic(fmt.Sprintf("ir: term ID %d out of range [0,%d)", id, len(v.terms)))
+	}
+	return v.terms[id]
+}
+
+// Size returns the number of distinct terms.
+func (v *Vocabulary) Size() int { return len(v.terms) }
+
+// Pipeline converts raw text into corpus documents: tokenize, optionally
+// drop stopwords, optionally stem, then map terms to vocabulary IDs.
+type Pipeline struct {
+	// RemoveStopwords drops tokens in the default English stopword list
+	// (before stemming).
+	RemoveStopwords bool
+	// Stemming applies the Porter stemmer to each surviving token.
+	Stemming bool
+	// Vocab accumulates term IDs across every document processed by this
+	// pipeline; nil means a fresh vocabulary is allocated on first use.
+	Vocab *Vocabulary
+}
+
+// NewPipeline returns a pipeline with stopword removal and stemming on.
+func NewPipeline() *Pipeline {
+	return &Pipeline{RemoveStopwords: true, Stemming: true, Vocab: NewVocabulary()}
+}
+
+// Terms runs the token-level stages on a text and returns the processed
+// term strings (after stopword removal and stemming, before ID mapping).
+func (p *Pipeline) Terms(text string) []string {
+	var out []string
+	for _, tok := range Tokenize(text) {
+		if p.RemoveStopwords && IsStopword(tok) {
+			continue
+		}
+		if p.Stemming {
+			tok = Stem(tok)
+		}
+		if tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// Process converts one text into a corpus.Document with the given ID,
+// growing the shared vocabulary as needed. A document may come out empty
+// (all tokens stopworded away); that is not an error.
+func (p *Pipeline) Process(id int, text string) corpus.Document {
+	if p.Vocab == nil {
+		p.Vocab = NewVocabulary()
+	}
+	counts := map[int]int{}
+	for _, term := range p.Terms(text) {
+		counts[p.Vocab.IDOf(term)]++
+	}
+	terms := make([]int, 0, len(counts))
+	for t := range counts {
+		terms = append(terms, t)
+	}
+	sort.Ints(terms)
+	cs := make([]int, len(terms))
+	for i, t := range terms {
+		cs[i] = counts[t]
+	}
+	return corpus.Document{ID: id, Terms: terms, Counts: cs}
+}
+
+// ProcessAll converts a batch of texts into a corpus over the pipeline's
+// shared vocabulary.
+func (p *Pipeline) ProcessAll(texts []string) *corpus.Corpus {
+	docs := make([]corpus.Document, len(texts))
+	for i, t := range texts {
+		docs[i] = p.Process(i, t)
+	}
+	if p.Vocab == nil {
+		p.Vocab = NewVocabulary()
+	}
+	return &corpus.Corpus{NumTerms: p.Vocab.Size(), Docs: docs}
+}

@@ -1,0 +1,356 @@
+package ir
+
+// Stem reduces an English word to its Porter stem (M. F. Porter, "An
+// algorithm for suffix stripping", Program 14(3), 1980). The implementation
+// is a faithful port of Porter's reference algorithm, including the two
+// published departures (abli→able as bli→ble, and the logi→log rule).
+// Input is expected to be a lowercase word; words of length ≤ 2 are
+// returned unchanged.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	s := &porterStemmer{b: []byte(word), k: len(word) - 1}
+	s.step1ab()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5()
+	return string(s.b[:s.k+1])
+}
+
+type porterStemmer struct {
+	b []byte
+	k int // index of the last character of the current word
+	j int // end of the stem for condition checks, set by ends
+}
+
+// cons reports whether b[i] is a consonant.
+func (s *porterStemmer) cons(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.cons(i - 1)
+	default:
+		return true
+	}
+}
+
+// m measures the number of consonant-vowel sequences in b[0..j]:
+// [C](VC)^m[V] has measure m.
+func (s *porterStemmer) m() int {
+	n, i := 0, 0
+	for {
+		if i > s.j {
+			return n
+		}
+		if !s.cons(i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > s.j {
+				return n
+			}
+			if s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > s.j {
+				return n
+			}
+			if !s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+// vowelInStem reports whether b[0..j] contains a vowel.
+func (s *porterStemmer) vowelInStem() bool {
+	for i := 0; i <= s.j; i++ {
+		if !s.cons(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doublec reports whether b[j-1..j] is a double consonant.
+func (s *porterStemmer) doublec(j int) bool {
+	if j < 1 {
+		return false
+	}
+	if s.b[j] != s.b[j-1] {
+		return false
+	}
+	return s.cons(j)
+}
+
+// cvc reports whether b[i-2..i] is consonant-vowel-consonant with the final
+// consonant not w, x or y (used to restore a trailing e, as in hop(e)).
+func (s *porterStemmer) cvc(i int) bool {
+	if i < 2 || !s.cons(i) || s.cons(i-1) || !s.cons(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// ends reports whether the word ends with suffix; if so it sets j to the
+// stem end.
+func (s *porterStemmer) ends(suffix string) bool {
+	l := len(suffix)
+	if l > s.k+1 {
+		return false
+	}
+	if string(s.b[s.k+1-l:s.k+1]) != suffix {
+		return false
+	}
+	s.j = s.k - l
+	return true
+}
+
+// setto replaces the suffix after j with the given string.
+func (s *porterStemmer) setto(repl string) {
+	s.b = append(s.b[:s.j+1], repl...)
+	s.k = s.j + len(repl)
+}
+
+// r replaces the suffix if the stem measure is positive.
+func (s *porterStemmer) r(repl string) {
+	if s.m() > 0 {
+		s.setto(repl)
+	}
+}
+
+func (s *porterStemmer) step1ab() {
+	if s.b[s.k] == 's' {
+		switch {
+		case s.ends("sses"):
+			s.k -= 2
+		case s.ends("ies"):
+			s.setto("i")
+		case s.b[s.k-1] != 's':
+			s.k--
+		}
+	}
+	if s.ends("eed") {
+		if s.m() > 0 {
+			s.k--
+		}
+	} else if (s.ends("ed") || s.ends("ing")) && s.vowelInStem() {
+		s.k = s.j
+		switch {
+		case s.ends("at"):
+			s.setto("ate")
+		case s.ends("bl"):
+			s.setto("ble")
+		case s.ends("iz"):
+			s.setto("ize")
+		case s.doublec(s.k):
+			s.k--
+			switch s.b[s.k] {
+			case 'l', 's', 'z':
+				s.k++
+			}
+		default:
+			if s.m() == 1 && s.cvc(s.k) {
+				s.j = s.k
+				s.setto("e")
+			}
+		}
+	}
+}
+
+func (s *porterStemmer) step1c() {
+	if s.ends("y") && s.vowelInStem() {
+		s.b[s.k] = 'i'
+	}
+}
+
+func (s *porterStemmer) step2() {
+	if s.k < 1 {
+		return
+	}
+	switch s.b[s.k-1] {
+	case 'a':
+		if s.ends("ational") {
+			s.r("ate")
+		} else if s.ends("tional") {
+			s.r("tion")
+		}
+	case 'c':
+		if s.ends("enci") {
+			s.r("ence")
+		} else if s.ends("anci") {
+			s.r("ance")
+		}
+	case 'e':
+		if s.ends("izer") {
+			s.r("ize")
+		}
+	case 'l':
+		if s.ends("bli") {
+			s.r("ble") // departure: abli→able stated as bli→ble
+		} else if s.ends("alli") {
+			s.r("al")
+		} else if s.ends("entli") {
+			s.r("ent")
+		} else if s.ends("eli") {
+			s.r("e")
+		} else if s.ends("ousli") {
+			s.r("ous")
+		}
+	case 'o':
+		if s.ends("ization") {
+			s.r("ize")
+		} else if s.ends("ation") {
+			s.r("ate")
+		} else if s.ends("ator") {
+			s.r("ate")
+		}
+	case 's':
+		if s.ends("alism") {
+			s.r("al")
+		} else if s.ends("iveness") {
+			s.r("ive")
+		} else if s.ends("fulness") {
+			s.r("ful")
+		} else if s.ends("ousness") {
+			s.r("ous")
+		}
+	case 't':
+		if s.ends("aliti") {
+			s.r("al")
+		} else if s.ends("iviti") {
+			s.r("ive")
+		} else if s.ends("biliti") {
+			s.r("ble")
+		}
+	case 'g':
+		if s.ends("logi") {
+			s.r("log") // departure
+		}
+	}
+}
+
+func (s *porterStemmer) step3() {
+	switch s.b[s.k] {
+	case 'e':
+		if s.ends("icate") {
+			s.r("ic")
+		} else if s.ends("ative") {
+			s.r("")
+		} else if s.ends("alize") {
+			s.r("al")
+		}
+	case 'i':
+		if s.ends("iciti") {
+			s.r("ic")
+		}
+	case 'l':
+		if s.ends("ical") {
+			s.r("ic")
+		} else if s.ends("ful") {
+			s.r("")
+		}
+	case 's':
+		if s.ends("ness") {
+			s.r("")
+		}
+	}
+}
+
+func (s *porterStemmer) step4() {
+	if s.k < 1 {
+		return
+	}
+	switch s.b[s.k-1] {
+	case 'a':
+		if !s.ends("al") {
+			return
+		}
+	case 'c':
+		if !s.ends("ance") && !s.ends("ence") {
+			return
+		}
+	case 'e':
+		if !s.ends("er") {
+			return
+		}
+	case 'i':
+		if !s.ends("ic") {
+			return
+		}
+	case 'l':
+		if !s.ends("able") && !s.ends("ible") {
+			return
+		}
+	case 'n':
+		if !s.ends("ant") && !s.ends("ement") && !s.ends("ment") && !s.ends("ent") {
+			return
+		}
+	case 'o':
+		if s.ends("ion") && s.j >= 0 && (s.b[s.j] == 's' || s.b[s.j] == 't') {
+			// ok
+		} else if !s.ends("ou") {
+			return
+		}
+	case 's':
+		if !s.ends("ism") {
+			return
+		}
+	case 't':
+		if !s.ends("ate") && !s.ends("iti") {
+			return
+		}
+	case 'u':
+		if !s.ends("ous") {
+			return
+		}
+	case 'v':
+		if !s.ends("ive") {
+			return
+		}
+	case 'z':
+		if !s.ends("ize") {
+			return
+		}
+	default:
+		return
+	}
+	if s.m() > 1 {
+		s.k = s.j
+	}
+}
+
+func (s *porterStemmer) step5() {
+	s.j = s.k
+	if s.b[s.k] == 'e' {
+		a := s.m()
+		if a > 1 || (a == 1 && !s.cvc(s.k-1)) {
+			s.k--
+		}
+	}
+	if s.b[s.k] == 'l' && s.doublec(s.k) && s.m() > 1 {
+		s.k--
+	}
+}

@@ -1,0 +1,146 @@
+package ir
+
+import "testing"
+
+// Known input/output pairs from Porter's 1980 paper and the reference
+// implementation's vocabulary test.
+func TestStemKnownPairs(t *testing.T) {
+	pairs := map[string]string{
+		// Step 1a
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// Step 1b
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// Step 1c
+		"happy": "happi",
+		"sky":   "sky",
+		// Step 2
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// Step 3
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// Step 4
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// Step 5
+		"probate": "probat",
+		"rate":    "rate",
+		"cease":   "ceas",
+		"roll":    "roll",
+		// Paper-domain words (sanity checks for the LSI examples)
+		"indexing":   "index",
+		"retrieval":  "retriev",
+		"documents":  "document",
+		"semantic":   "semant",
+		"projection": "project",
+	}
+	for in, want := range pairs {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "go", "by"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	// Stemming a stem should usually be a no-op; verify on a realistic word
+	// list (idempotence is not guaranteed by the algorithm in general, but
+	// holds for this vocabulary and guards against index-corruption bugs).
+	words := []string{
+		"information", "retrieval", "latent", "semantic", "indexing",
+		"probabilistic", "analysis", "matrices", "singular", "values",
+		"decomposition", "topics", "documents", "corpora", "projection",
+		"random", "spectral", "synonymy", "polysemy", "conductance",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not idempotent on %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemMergesInflections(t *testing.T) {
+	// The property LSI preprocessing relies on: morphological variants
+	// collapse to one vocabulary entry.
+	groups := [][]string{
+		{"connect", "connected", "connecting", "connection", "connections"},
+		{"retrieve", "retrieval", "retrieved", "retrieving"},
+		{"index", "indexing", "indexed"},
+	}
+	for _, g := range groups {
+		stem := Stem(g[0])
+		for _, w := range g[1:] {
+			if Stem(w) != stem {
+				t.Errorf("Stem(%q) = %q, want %q (group %v)", w, Stem(w), stem, g)
+			}
+		}
+	}
+}

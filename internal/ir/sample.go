@@ -1,0 +1,60 @@
+package ir
+
+// SampleCorpus is a small labeled plain-text corpus used by the examples
+// and the end-to-end integration tests: three themes (vehicles, astronomy,
+// cooking) with deliberate synonym variation inside each theme ("car" vs
+// "automobile", "galaxy" vs "cosmos", "sauce" vs "gravy") so the LSI-vs-VSM
+// comparisons of the paper's introduction can be exercised on text.
+var SampleCorpus = []SampleDoc{
+	// Theme 0: vehicles. Even docs say "car", odd docs say "automobile".
+	{0, "The car dealership sells used cars, and the mechanic inspects every engine before delivery."},
+	{0, "An automobile dealership services automobile engines, brakes and transmissions for customers."},
+	{0, "The car driver praised the mechanic after the engine repair and brake adjustment."},
+	{0, "Automobile insurance covers engine damage, brake failure and collision repair costs."},
+	{0, "A racing car needs a tuned engine, fresh tires and precise brakes to win."},
+	{0, "The automobile factory assembles engines, fits brakes and paints each vehicle body."},
+	{0, "Car maintenance includes engine oil changes, brake checks and tire rotation."},
+	{0, "The automobile show displayed vintage engines and hand-built vehicle bodies."},
+	// Theme 1: astronomy. Even docs say "galaxy", odd docs say "cosmos".
+	{1, "Astronomers observed the galaxy through a telescope and charted its brightest stars."},
+	{1, "The cosmos contains billions of stars, and telescopes reveal planets orbiting them."},
+	{1, "A spiral galaxy rotates slowly while its stars drift around the luminous core."},
+	{1, "Probes sent into the cosmos photograph planets, moons and distant stars."},
+	{1, "The galaxy survey mapped stars and measured distances with orbital telescopes."},
+	{1, "Radiation from the early cosmos still reaches telescopes as faint background light."},
+	{1, "Star clusters within the galaxy form from collapsing clouds of gas."},
+	{1, "The expanding cosmos carries stars and planets ever farther apart."},
+	// Theme 2: cooking. Even docs say "sauce", odd docs say "gravy".
+	{2, "The tomato sauce simmers with garlic, basil and olive oil in the pan."},
+	{2, "A rich gravy needs butter, flour and slow stirring over gentle heat in the pan."},
+	{2, "Pasta with garlic sauce tastes best with fresh basil and grated cheese."},
+	{2, "Roast dinners pair with onion gravy, butter-soft potatoes and seasonal greens."},
+	{2, "Reduce the sauce over heat until it coats the back of a spoon."},
+	{2, "Whisk the gravy constantly so the flour thickens without lumps in the pan."},
+	{2, "A splash of wine deepens the sauce before the garlic and basil go in."},
+	{2, "Strain the gravy, season with pepper and serve it hot over the roast."},
+}
+
+// SampleDoc is one labeled document of the sample corpus.
+type SampleDoc struct {
+	Theme int
+	Text  string
+}
+
+// SampleTexts returns just the texts of the sample corpus, in order.
+func SampleTexts() []string {
+	out := make([]string, len(SampleCorpus))
+	for i, d := range SampleCorpus {
+		out[i] = d.Text
+	}
+	return out
+}
+
+// SampleLabels returns the theme labels of the sample corpus, in order.
+func SampleLabels() []int {
+	out := make([]int, len(SampleCorpus))
+	for i, d := range SampleCorpus {
+		out[i] = d.Theme
+	}
+	return out
+}

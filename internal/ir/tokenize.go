@@ -1,0 +1,37 @@
+// Package ir provides the text-processing substrate an LSI system needs to
+// run on real documents rather than pre-built matrices: a tokenizer, an
+// English stopword list (the paper notes ε-separability is "reasonably
+// realistic, since documents are usually preprocessed to eliminate
+// commonly-occurring stop-words"), the Porter stemmer, a vocabulary
+// builder, and the standard retrieval-evaluation metrics (precision,
+// recall, average precision, 11-point interpolated curves) used to compare
+// LSI against the conventional vector-space baseline.
+package ir
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases the text and splits it into maximal runs of letters.
+// Digits, punctuation, and symbols separate tokens; the result contains no
+// empty strings.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}

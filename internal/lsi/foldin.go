@@ -1,0 +1,45 @@
+package lsi
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// AppendDocument folds a new term-space document vector into the index
+// without recomputing the SVD (the standard LSI "folding-in" update: the
+// new document is represented by Uₖᵀ·d, exactly how queries are projected,
+// and appended to the document matrix). It returns the new document's ID.
+//
+// Folding-in keeps the original latent space fixed, so it is exact for
+// documents drawn from the same corpus model and degrades as the corpus
+// drifts; rebuild the index periodically when adding many documents.
+func (ix *Index) AppendDocument(d []float64) int {
+	proj := ix.Project(d) // validates the length
+	m, k := ix.docs.Dims()
+	grown := mat.NewDense(m+1, k)
+	copy(grown.RawData(), ix.docs.RawData())
+	grown.SetRow(m, proj)
+	ix.docs = grown
+	return m
+}
+
+// AppendDocuments folds a batch of term-space document vectors into the
+// index, returning the ID of the first appended document. It validates all
+// vectors before mutating the index, so a length error leaves the index
+// unchanged.
+func (ix *Index) AppendDocuments(ds [][]float64) (int, error) {
+	for i, d := range ds {
+		if len(d) != ix.numTerms {
+			return 0, fmt.Errorf("lsi: document %d has %d terms, want %d", i, len(d), ix.numTerms)
+		}
+	}
+	m, k := ix.docs.Dims()
+	grown := mat.NewDense(m+len(ds), k)
+	copy(grown.RawData(), ix.docs.RawData())
+	for i, d := range ds {
+		grown.SetRow(m+i, mat.MulTVec(ix.uk, d))
+	}
+	ix.docs = grown
+	return m, nil
+}

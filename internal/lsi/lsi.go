@@ -1,0 +1,235 @@
+// Package lsi implements latent semantic indexing as described in
+// Section 2 of the paper: documents are columns of a term-document matrix
+// A; LSI keeps the k largest singular values of A = U·D·Vᵀ and represents
+// document j by row j of Vₖ·Dₖ (equivalently, by the projection of column
+// j onto the span of Uₖ, the "LSI space of A"). Queries are folded into the
+// same space by projecting onto Uₖ, and retrieval ranks documents by cosine
+// similarity in the k-dimensional space.
+//
+// The package also provides the measurement machinery of Section 4: the
+// δ-skew of an index on a labeled corpus (how close intratopic pairs are to
+// parallel and intertopic pairs to orthogonal) and the intratopic /
+// intertopic angle statistics reported in the paper's experiment table.
+package lsi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+	"repro/internal/sparse"
+	"repro/internal/svd"
+)
+
+// Engine selects the SVD algorithm used to build an index.
+type Engine int
+
+const (
+	// EngineAuto picks Randomized for small k relative to the matrix and
+	// Dense otherwise.
+	EngineAuto Engine = iota
+	// EngineDense densifies the matrix and runs the full Golub–Reinsch SVD.
+	EngineDense
+	// EngineLanczos runs Golub–Kahan–Lanczos with full reorthogonalization
+	// (what SVDPACK, the paper's tool, implements).
+	EngineLanczos
+	// EngineRandomized runs randomized subspace iteration (robust to the
+	// clustered spectra that equal-sized topics produce).
+	EngineRandomized
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineDense:
+		return "dense"
+	case EngineLanczos:
+		return "lanczos"
+	case EngineRandomized:
+		return "randomized"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Options configures index construction.
+type Options struct {
+	// Engine selects the SVD algorithm; the zero value is EngineAuto.
+	Engine Engine
+	// Seed seeds the randomized engines; builds are deterministic for a
+	// fixed seed. Zero means a fixed default.
+	Seed int64
+}
+
+// Index is a rank-k LSI index over a corpus of m documents and n terms.
+type Index struct {
+	k        int
+	numTerms int
+	uk       *mat.Dense // n×k: columns span the LSI space
+	sigma    []float64  // k singular values, descending
+	docs     *mat.Dense // m×k: row j is document j's LSI representation
+}
+
+// Build constructs a rank-k index from a term-document matrix (terms as
+// rows, documents as columns). k is clamped to the matrix rank bound
+// min(n, m); it returns an error if k < 1 or the matrix is empty.
+func Build(a *sparse.CSR, k int, opts Options) (*Index, error) {
+	n, m := a.Dims()
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("lsi: empty term-document matrix %dx%d", n, m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("lsi: rank k = %d, want >= 1", k)
+	}
+	if k > min(n, m) {
+		k = min(n, m)
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 271828
+	}
+	var res *svd.Result
+	var err error
+	switch opts.Engine {
+	case EngineDense:
+		res, err = svd.Decompose(a.ToDense())
+	case EngineLanczos:
+		res, err = svd.Lanczos(a, k, svd.LanczosOptions{
+			Reorthogonalize: true,
+			Rng:             rand.New(rand.NewSource(seed)),
+		})
+	case EngineRandomized:
+		res, err = svd.Randomized(a, k, svd.RandomizedOptions{
+			Rng: rand.New(rand.NewSource(seed)),
+		})
+	case EngineAuto:
+		if k*4 <= min(n, m) || min(n, m) > 500 {
+			res, err = svd.Randomized(a, k, svd.RandomizedOptions{
+				Rng: rand.New(rand.NewSource(seed)),
+			})
+		} else {
+			res, err = svd.Decompose(a.ToDense())
+		}
+	default:
+		return nil, fmt.Errorf("lsi: unknown engine %d", int(opts.Engine))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lsi: SVD failed: %w", err)
+	}
+	res = res.Truncate(k)
+	return &Index{
+		k:        len(res.S),
+		numTerms: n,
+		uk:       res.U,
+		sigma:    res.S,
+		docs:     res.DocSpace(),
+	}, nil
+}
+
+// BuildFromCorpus builds the term-document matrix of c with the given
+// weighting and indexes it.
+func BuildFromCorpus(c *corpus.Corpus, k int, w corpus.Weighting, opts Options) (*Index, error) {
+	return Build(corpus.TermDocMatrix(c, w), k, opts)
+}
+
+// NewIndexFromSVD wraps an existing (truncated) SVD as an index. numTerms
+// must match the row dimension of res.U; it is the length of vectors
+// accepted by Project. The random-projection layer uses this to build its
+// rank-2k index over the projected matrix B (Section 5).
+func NewIndexFromSVD(res *svd.Result, numTerms int) (*Index, error) {
+	if res.U.Rows() != numTerms {
+		return nil, fmt.Errorf("lsi: SVD row space %d does not match numTerms %d", res.U.Rows(), numTerms)
+	}
+	return &Index{
+		k:        len(res.S),
+		numTerms: numTerms,
+		uk:       res.U,
+		sigma:    append([]float64(nil), res.S...),
+		docs:     res.DocSpace(),
+	}, nil
+}
+
+// K returns the effective rank of the index (it may be below the requested
+// rank for degenerate matrices).
+func (ix *Index) K() int { return ix.k }
+
+// NumTerms returns the vocabulary size the index was built over.
+func (ix *Index) NumTerms() int { return ix.numTerms }
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return ix.docs.Rows() }
+
+// SingularValues returns a copy of the retained singular values.
+func (ix *Index) SingularValues() []float64 {
+	return append([]float64(nil), ix.sigma...)
+}
+
+// DocVector returns a copy of document j's k-dimensional representation
+// (row j of Vₖ·Dₖ).
+func (ix *Index) DocVector(j int) []float64 {
+	return mat.CloneVec(ix.docs.Row(j))
+}
+
+// DocVectors returns the m×k matrix of document representations (shared
+// storage; callers must not mutate).
+func (ix *Index) DocVectors() *mat.Dense { return ix.docs }
+
+// Basis returns the n×k orthonormal basis Uₖ of the LSI space (shared
+// storage; callers must not mutate).
+func (ix *Index) Basis() *mat.Dense { return ix.uk }
+
+// Project folds a term-space vector into the LSI space: q ↦ Uₖᵀ·q. This is
+// how queries — and unseen documents — are mapped into the index (note
+// Uₖᵀ·A's columns are exactly the stored document vectors).
+func (ix *Index) Project(q []float64) []float64 {
+	if len(q) != ix.numTerms {
+		panic(fmt.Sprintf("lsi: Project vector length %d, want %d", len(q), ix.numTerms))
+	}
+	return mat.MulTVec(ix.uk, q)
+}
+
+// Match is one retrieval result.
+type Match struct {
+	Doc   int
+	Score float64 // cosine similarity in LSI space
+}
+
+// Search projects the term-space query and returns the topN documents by
+// cosine similarity in LSI space (all documents if topN <= 0 or exceeds the
+// corpus). Ties are broken by document ID for determinism.
+func (ix *Index) Search(query []float64, topN int) []Match {
+	return ix.SearchProjected(ix.Project(query), topN)
+}
+
+// SearchProjected ranks documents against an already-projected query.
+func (ix *Index) SearchProjected(pq []float64, topN int) []Match {
+	if len(pq) != ix.k {
+		panic(fmt.Sprintf("lsi: SearchProjected vector length %d, want %d", len(pq), ix.k))
+	}
+	m := ix.docs.Rows()
+	matches := make([]Match, m)
+	for j := 0; j < m; j++ {
+		matches[j] = Match{Doc: j, Score: mat.Cosine(pq, ix.docs.Row(j))}
+	}
+	sort.Slice(matches, func(a, b int) bool {
+		if matches[a].Score != matches[b].Score {
+			return matches[a].Score > matches[b].Score
+		}
+		return matches[a].Doc < matches[b].Doc
+	})
+	if topN > 0 && topN < m {
+		matches = matches[:topN]
+	}
+	return matches
+}
+
+// ApproxMatrix returns the rank-k approximation Aₖ = Uₖ·Dₖ·Vₖᵀ of the
+// indexed matrix (Theorem 1's optimal rank-k approximation). Intended for
+// analysis and tests; it materializes an n×m dense matrix.
+func (ix *Index) ApproxMatrix() *mat.Dense {
+	return mat.MulBT(ix.uk, ix.docs)
+}

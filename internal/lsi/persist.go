@@ -1,0 +1,74 @@
+package lsi
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/mat"
+)
+
+// indexWire is the serialized form of an Index. The latent basis and the
+// document representations are stored row-major; everything an Index needs
+// to answer queries is included, so a loaded index serves searches without
+// access to the original matrix.
+type indexWire struct {
+	Version  int
+	K        int
+	NumTerms int
+	Sigma    []float64
+	UkRows   int
+	UkData   []float64
+	DocRows  int
+	DocData  []float64
+}
+
+const wireVersion = 1
+
+// Save writes the index to w in a self-contained binary format (gob).
+// The original term-document matrix is not needed to use a loaded index.
+func (ix *Index) Save(w io.Writer) error {
+	wire := indexWire{
+		Version:  wireVersion,
+		K:        ix.k,
+		NumTerms: ix.numTerms,
+		Sigma:    ix.sigma,
+		UkRows:   ix.uk.Rows(),
+		UkData:   ix.uk.RawData(),
+		DocRows:  ix.docs.Rows(),
+		DocData:  ix.docs.RawData(),
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("lsi: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index previously written by Save.
+func Load(r io.Reader) (*Index, error) {
+	var wire indexWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("lsi: load: %w", err)
+	}
+	if wire.Version != wireVersion {
+		return nil, fmt.Errorf("lsi: load: unsupported index version %d", wire.Version)
+	}
+	if wire.K < 0 || wire.NumTerms <= 0 || len(wire.Sigma) != wire.K {
+		return nil, fmt.Errorf("lsi: load: corrupt header (k=%d, terms=%d, sigmas=%d)",
+			wire.K, wire.NumTerms, len(wire.Sigma))
+	}
+	if wire.UkRows != wire.NumTerms || len(wire.UkData) != wire.UkRows*wire.K {
+		return nil, fmt.Errorf("lsi: load: corrupt basis (%d rows, %d values)", wire.UkRows, len(wire.UkData))
+	}
+	if wire.DocRows < 0 || len(wire.DocData) != wire.DocRows*wire.K {
+		return nil, fmt.Errorf("lsi: load: corrupt document matrix (%d rows, %d values)",
+			wire.DocRows, len(wire.DocData))
+	}
+	return &Index{
+		k:        wire.K,
+		numTerms: wire.NumTerms,
+		sigma:    wire.Sigma,
+		uk:       mat.NewDenseData(wire.UkRows, wire.K, wire.UkData),
+		docs:     mat.NewDenseData(wire.DocRows, wire.K, wire.DocData),
+	}, nil
+}

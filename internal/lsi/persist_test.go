@@ -1,0 +1,76 @@
+package lsi
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := testCorpus(t, 3, 10, 0.05, 30, 241)
+	a := corpus.TermDocMatrix(c, corpus.CountWeighting)
+	ix, err := Build(a, 3, Options{Engine: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.K() != ix.K() || loaded.NumDocs() != ix.NumDocs() || loaded.NumTerms() != ix.NumTerms() {
+		t.Fatalf("shape mismatch after load: k=%d docs=%d terms=%d",
+			loaded.K(), loaded.NumDocs(), loaded.NumTerms())
+	}
+	if !mat.EqualApprox(loaded.DocVectors(), ix.DocVectors(), 0) {
+		t.Fatal("document vectors changed through save/load")
+	}
+	if !mat.EqualApprox(loaded.Basis(), ix.Basis(), 0) {
+		t.Fatal("basis changed through save/load")
+	}
+	// The loaded index must answer queries identically.
+	q := a.Col(5)
+	want := ix.Search(q, 5)
+	got := loaded.Search(q, 5)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("search result %d differs: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+	// And accept fold-ins.
+	id := loaded.AppendDocument(a.Col(0))
+	if mat.Dist(loaded.DocVector(id), loaded.DocVector(0)) > 1e-10 {
+		t.Fatal("fold-in on a loaded index is wrong")
+	}
+}
+
+func TestLoadRejectsCorruptStreams(t *testing.T) {
+	c := testCorpus(t, 2, 6, 0, 8, 242)
+	ix, err := BuildFromCorpus(c, 2, corpus.CountWeighting, Options{Engine: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Truncated stream.
+	if _, err := Load(bytes.NewReader(full[:len(full)/2])); err == nil {
+		t.Error("truncated stream should fail to load")
+	}
+	// Garbage stream.
+	if _, err := Load(bytes.NewReader([]byte("not an index"))); err == nil {
+		t.Error("garbage stream should fail to load")
+	}
+	// Empty stream.
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail to load")
+	}
+}

@@ -1,0 +1,58 @@
+package lsi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// TermMatch is one entry of a related-terms ranking.
+type TermMatch struct {
+	Term  int
+	Score float64 // cosine similarity in the LSI term space
+}
+
+// TermVector returns term i's representation in the LSI term space: row i
+// of Uₖ·Dₖ (the term-space analogue of the document representation VₖDₖ —
+// two terms are similar when they co-occur with the same latent
+// directions, which is how LSI identifies synonyms that never co-occur
+// literally).
+func (ix *Index) TermVector(i int) []float64 {
+	if i < 0 || i >= ix.numTerms {
+		panic(fmt.Sprintf("lsi: term %d out of range [0,%d)", i, ix.numTerms))
+	}
+	v := mat.CloneVec(ix.uk.Row(i))
+	for j := 0; j < ix.k; j++ {
+		v[j] *= ix.sigma[j]
+	}
+	return v
+}
+
+// RelatedTerms ranks all other terms by cosine similarity to the given term
+// in the LSI term space, returning the topN best (all if topN <= 0). Terms
+// with zero representation are omitted. Ties break by term ID.
+func (ix *Index) RelatedTerms(term, topN int) []TermMatch {
+	tv := ix.TermVector(term)
+	out := make([]TermMatch, 0, ix.numTerms-1)
+	for i := 0; i < ix.numTerms; i++ {
+		if i == term {
+			continue
+		}
+		ov := ix.TermVector(i)
+		if mat.Norm(ov) == 0 {
+			continue
+		}
+		out = append(out, TermMatch{Term: i, Score: mat.Cosine(tv, ov)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Term < out[b].Term
+	})
+	if topN > 0 && topN < len(out) {
+		out = out[:topN]
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package lsi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// synonymPairMatrix builds a matrix where terms 0 and 1 have identical
+// occurrence patterns (perfect synonyms) and term 2 is independent.
+func synonymPairMatrix() *sparse.CSR {
+	coo := sparse.NewCOO(3, 6)
+	for j := 0; j < 3; j++ {
+		coo.Add(0, j, 2)
+		coo.Add(1, j, 2)
+	}
+	for j := 3; j < 6; j++ {
+		coo.Add(2, j, 3)
+	}
+	return coo.ToCSR()
+}
+
+func TestTermVectorScalesBySigma(t *testing.T) {
+	ix, err := Build(synonymPairMatrix(), 2, Options{Engine: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ix.SingularValues()
+	tv := ix.TermVector(0)
+	row := ix.Basis().Row(0)
+	for j := range tv {
+		want := row[j] * s[j]
+		if math.Abs(tv[j]-want) > 1e-12 {
+			t.Fatalf("TermVector[%d] = %v, want %v", j, tv[j], want)
+		}
+	}
+}
+
+func TestRelatedTermsPerfectSynonyms(t *testing.T) {
+	ix, err := Build(synonymPairMatrix(), 2, Options{Engine: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := ix.RelatedTerms(0, 0)
+	if len(rel) != 2 {
+		t.Fatalf("related count %d", len(rel))
+	}
+	// Term 1 (the exact synonym) must rank first with cosine ≈ 1; term 2
+	// (independent) must be near orthogonal.
+	if rel[0].Term != 1 || rel[0].Score < 1-1e-9 {
+		t.Fatalf("top related = %+v, want term 1 at ≈1", rel[0])
+	}
+	if rel[1].Term != 2 || math.Abs(rel[1].Score) > 1e-9 {
+		t.Fatalf("second related = %+v, want term 2 at ≈0", rel[1])
+	}
+}
+
+func TestRelatedTermsTopNAndPanic(t *testing.T) {
+	ix, err := Build(synonymPairMatrix(), 2, Options{Engine: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.RelatedTerms(0, 1); len(got) != 1 {
+		t.Fatalf("topN=1 returned %d", len(got))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range term")
+		}
+	}()
+	ix.TermVector(99)
+}
+
+func TestBuildWithEmptyDocuments(t *testing.T) {
+	// Failure injection: documents with no terms produce zero columns. The
+	// index must build, represent them as zero vectors, and keep searching.
+	coo := sparse.NewCOO(4, 5)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, 2)
+	coo.Add(2, 3, 1)
+	coo.Add(3, 3, 1)
+	// Columns 2 and 4 are entirely empty.
+	a := coo.ToCSR()
+	ix, err := Build(a, 2, Options{Engine: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := mat.Norm(ix.DocVector(2)); n > 1e-12 {
+		t.Fatalf("empty document has nonzero representation %v", n)
+	}
+	res := ix.Search(a.Col(0), 0)
+	if len(res) != 5 {
+		t.Fatalf("search returned %d results", len(res))
+	}
+	for _, m := range res {
+		if math.IsNaN(m.Score) {
+			t.Fatal("NaN score for empty document")
+		}
+	}
+}
+
+func TestBuildSingleDocumentCorpus(t *testing.T) {
+	coo := sparse.NewCOO(3, 1)
+	coo.Add(0, 0, 1)
+	coo.Add(2, 0, 2)
+	ix, err := Build(coo.ToCSR(), 2, Options{Engine: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.K() != 1 || ix.NumDocs() != 1 {
+		t.Fatalf("k=%d docs=%d", ix.K(), ix.NumDocs())
+	}
+	res := ix.Search([]float64{1, 0, 2}, 0)
+	if len(res) != 1 || res[0].Score < 1-1e-9 {
+		t.Fatalf("single-doc search = %v", res)
+	}
+}
+
+func TestBuildFromCorpusWithEmptyDocs(t *testing.T) {
+	// A corpus containing documents that lost every term (e.g. stopword-only
+	// text) flows through TermDocMatrix and Build without error.
+	c := &corpus.Corpus{
+		NumTerms: 3,
+		Docs: []corpus.Document{
+			{ID: 0, Terms: []int{0, 1}, Counts: []int{1, 1}},
+			{ID: 1}, // empty
+			{ID: 2, Terms: []int{2}, Counts: []int{4}},
+		},
+	}
+	ix, err := BuildFromCorpus(c, 2, corpus.CountWeighting, Options{Engine: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumDocs() != 3 {
+		t.Fatalf("docs %d", ix.NumDocs())
+	}
+}

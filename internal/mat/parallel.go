@@ -1,0 +1,105 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate flop count below which MulParallel
+// falls back to the serial kernel — goroutine fan-out costs more than it
+// saves on small products.
+const parallelThreshold = 1 << 21
+
+// MulParallel returns a*b, splitting the row range of a across
+// runtime.GOMAXPROCS workers for large products and falling back to Mul for
+// small ones. Results are bitwise identical to Mul (each output row is
+// computed by exactly one goroutine with the same loop order).
+//
+// The experiment harness uses it for the m×m Gram matrices of the angle
+// measurements, the largest dense products in the reproduction.
+func MulParallel(a, b *Dense) *Dense {
+	work := a.rows * a.cols * b.cols
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || a.rows < 2 {
+		return Mul(a, b)
+	}
+	if a.cols != b.rows {
+		// Delegate the panic message to the serial kernel for consistency.
+		return Mul(a, b)
+	}
+	if workers > a.rows {
+		workers = a.rows
+	}
+	out := NewDense(a.rows, b.cols)
+	var wg sync.WaitGroup
+	chunk := (a.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, a.rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				arow := a.data[i*a.cols : (i+1)*a.cols]
+				orow := out.data[i*out.cols : (i+1)*out.cols]
+				for k, av := range arow {
+					if av == 0 {
+						continue
+					}
+					brow := b.data[k*b.cols : (k+1)*b.cols]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// MulBTParallel returns a*bᵀ with the same worker split as MulParallel.
+func MulBTParallel(a, b *Dense) *Dense {
+	work := a.rows * a.cols * b.rows
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers < 2 || a.rows < 2 {
+		return MulBT(a, b)
+	}
+	if a.cols != b.cols {
+		return MulBT(a, b) // panic with the serial kernel's message
+	}
+	if workers > a.rows {
+		workers = a.rows
+	}
+	out := NewDense(a.rows, b.rows)
+	var wg sync.WaitGroup
+	chunk := (a.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, a.rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				arow := a.data[i*a.cols : (i+1)*a.cols]
+				orow := out.data[i*out.cols : (i+1)*out.cols]
+				for j := 0; j < b.rows; j++ {
+					brow := b.data[j*b.cols : (j+1)*b.cols]
+					var s float64
+					for k, av := range arow {
+						s += av * brow[k]
+					}
+					orow[j] = s
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,121 @@
+package mat
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// forceParallel raises GOMAXPROCS so the parallel kernels take their
+// goroutine path even on single-CPU machines, restoring the old value on
+// cleanup.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+func TestMulParallelMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(151))
+	shapes := [][3]int{
+		{3, 4, 5},       // below threshold: serial fallback
+		{80, 120, 90},   // still small
+		{200, 150, 220}, // above threshold: parallel path
+		{201, 149, 223}, // odd sizes: uneven worker chunks
+	}
+	for _, sh := range shapes {
+		a := randDense(sh[0], sh[1], rng)
+		b := randDense(sh[1], sh[2], rng)
+		got := MulParallel(a, b)
+		want := Mul(a, b)
+		if !EqualApprox(got, want, 0) {
+			t.Fatalf("%v: MulParallel differs from Mul", sh)
+		}
+	}
+}
+
+func TestMulBTParallelMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(152))
+	shapes := [][3]int{
+		{3, 4, 5},
+		{150, 60, 150},
+		{300, 40, 300},
+		{301, 41, 299},
+	}
+	for _, sh := range shapes {
+		a := randDense(sh[0], sh[1], rng)
+		b := randDense(sh[2], sh[1], rng)
+		got := MulBTParallel(a, b)
+		want := MulBT(a, b)
+		if !EqualApprox(got, want, 0) {
+			t.Fatalf("%v: MulBTParallel differs from MulBT", sh)
+		}
+	}
+}
+
+func TestParallelFewRowsClampsWorkers(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(156))
+	// 2 rows but huge inner dimension: crosses the flop threshold with
+	// fewer rows than workers.
+	a := randDense(2, 2000, rng)
+	b := randDense(2000, 600, rng)
+	if !EqualApprox(MulParallel(a, b), Mul(a, b), 0) {
+		t.Fatal("few-row parallel multiply wrong")
+	}
+	c := randDense(2, 2000, rng)
+	if !EqualApprox(MulBTParallel(a, c), MulBT(a, c), 0) {
+		t.Fatal("few-row parallel BT multiply wrong")
+	}
+}
+
+func TestMulParallelDimensionPanic(t *testing.T) {
+	forceParallel(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dimension panic")
+		}
+	}()
+	MulParallel(NewDense(300, 10), NewDense(11, 300))
+}
+
+func TestMulBTParallelDimensionPanic(t *testing.T) {
+	forceParallel(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dimension panic")
+		}
+	}()
+	MulBTParallel(NewDense(300, 10), NewDense(300, 11))
+}
+
+func BenchmarkMulSerial(b *testing.B) {
+	rng := rand.New(rand.NewSource(153))
+	x := randDense(300, 300, rng)
+	y := randDense(300, 300, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(154))
+	x := randDense(300, 300, rng)
+	y := randDense(300, 300, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulParallel(x, y)
+	}
+}
+
+func BenchmarkQR(b *testing.B) {
+	rng := rand.New(rand.NewSource(155))
+	x := randDense(1000, 80, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QR(x)
+	}
+}

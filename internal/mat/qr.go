@@ -1,0 +1,174 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR computes the thin Householder QR factorization a = Q*R, where Q is
+// m x n with orthonormal columns and R is n x n upper triangular.
+// It requires m >= n and panics otherwise.
+//
+// QR is used to orthonormalize random Gaussian matrices into the
+// column-orthonormal projection matrices R of Section 5 of the paper; it
+// runs on column-major scratch so the Householder inner loops stream over
+// contiguous memory.
+func QR(a *Dense) (q, r *Dense) {
+	m, n := a.Dims()
+	if m < n {
+		panic(fmt.Sprintf("mat: QR requires rows >= cols, got %dx%d", m, n))
+	}
+	// Column-major working copy: w[j*m+i] = a[i][j]. The Householder tails
+	// live in the strictly-lower part of each column; v0 (the leading
+	// reflector component) and beta = 2/vᵀv are kept aside.
+	w := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			w[j*m+i] = v
+		}
+	}
+	betas := make([]float64, n)
+	v0s := make([]float64, n)
+	for k := 0; k < n; k++ {
+		ck := w[k*m:] // column k
+		var norm float64
+		for i := k; i < m; i++ {
+			norm += ck[i] * ck[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := ck[k]
+		if alpha > 0 {
+			norm = -norm
+		}
+		v0 := alpha - norm
+		ck[k] = norm // becomes R[k,k]
+		vtv := v0 * v0
+		for i := k + 1; i < m; i++ {
+			vtv += ck[i] * ck[i]
+		}
+		if vtv == 0 {
+			continue
+		}
+		beta := 2 / vtv
+		betas[k] = beta
+		v0s[k] = v0
+		// Apply H = I - beta v vᵀ to the trailing columns.
+		for j := k + 1; j < n; j++ {
+			cj := w[j*m:]
+			s := v0 * cj[k]
+			for i := k + 1; i < m; i++ {
+				s += ck[i] * cj[i]
+			}
+			s *= beta
+			cj[k] -= s * v0
+			for i := k + 1; i < m; i++ {
+				cj[i] -= s * ck[i]
+			}
+		}
+	}
+	r = NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, w[j*m+i])
+		}
+	}
+	// Accumulate Q = H_0 H_1 ... H_{n-1} * I_{m x n} in column-major
+	// scratch, applying the reflectors in reverse order.
+	qc := make([]float64, m*n)
+	for j := 0; j < n; j++ {
+		qc[j*m+j] = 1
+	}
+	for k := n - 1; k >= 0; k-- {
+		if betas[k] == 0 {
+			continue
+		}
+		v0 := v0s[k]
+		beta := betas[k]
+		ck := w[k*m:]
+		for j := 0; j < n; j++ {
+			cj := qc[j*m:]
+			s := v0 * cj[k]
+			for i := k + 1; i < m; i++ {
+				s += ck[i] * cj[i]
+			}
+			s *= beta
+			cj[k] -= s * v0
+			for i := k + 1; i < m; i++ {
+				cj[i] -= s * ck[i]
+			}
+		}
+	}
+	q = NewDense(m, n)
+	for i := 0; i < m; i++ {
+		row := q.Row(i)
+		for j := 0; j < n; j++ {
+			row[j] = qc[j*m+i]
+		}
+	}
+	return q, r
+}
+
+// OrthonormalizeCols runs modified Gram-Schmidt on the columns of a in
+// place, returning the number of columns that survived (columns that were
+// linearly dependent on earlier ones, within tol, are zeroed).
+// It is a cheaper alternative to QR when R is not needed, e.g. for
+// reorthogonalization inside the Lanczos iteration.
+func OrthonormalizeCols(a *Dense, tol float64) int {
+	m, n := a.Dims()
+	// Column-major scratch for contiguous inner loops.
+	w := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			w[j*m+i] = v
+		}
+	}
+	kept := 0
+	zeroed := make([]bool, n)
+	for j := 0; j < n; j++ {
+		cj := w[j*m : (j+1)*m]
+		// Two rounds of MGS against all previous kept columns ("twice is
+		// enough" reorthogonalization).
+		for pass := 0; pass < 2; pass++ {
+			for p := 0; p < j; p++ {
+				if zeroed[p] {
+					continue
+				}
+				cp := w[p*m : (p+1)*m]
+				var dot float64
+				for i := 0; i < m; i++ {
+					dot += cj[i] * cp[i]
+				}
+				if dot == 0 {
+					continue
+				}
+				for i := 0; i < m; i++ {
+					cj[i] -= dot * cp[i]
+				}
+			}
+		}
+		nrm := Norm(cj)
+		if nrm <= tol {
+			for i := range cj {
+				cj[i] = 0
+			}
+			zeroed[j] = true
+			continue
+		}
+		for i := range cj {
+			cj[i] /= nrm
+		}
+		kept++
+	}
+	for i := 0; i < m; i++ {
+		row := a.Row(i)
+		for j := 0; j < n; j++ {
+			row[j] = w[j*m+i]
+		}
+	}
+	return kept
+}

@@ -1,0 +1,107 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range [][2]int{{4, 4}, {8, 3}, {20, 7}, {50, 50}, {1, 1}} {
+		a := randDense(dims[0], dims[1], rng)
+		q, r := QR(a)
+		if !q.IsOrthonormalCols(1e-10) {
+			t.Errorf("%dx%d: Q columns not orthonormal", dims[0], dims[1])
+		}
+		back := Mul(q, r)
+		if !EqualApprox(back, a, 1e-10) {
+			t.Errorf("%dx%d: QR reconstruction error %g", dims[0], dims[1], SubMat(back, a).MaxAbs())
+		}
+		// R upper triangular.
+		for i := 0; i < r.Rows(); i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Errorf("%dx%d: R not upper triangular at (%d,%d)", dims[0], dims[1], i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestQRZeroColumn(t *testing.T) {
+	a := FromRows([][]float64{{0, 1}, {0, 2}, {0, 3}})
+	q, r := QR(a)
+	back := Mul(q, r)
+	if !EqualApprox(back, a, 1e-12) {
+		t.Fatalf("QR of rank-deficient matrix fails to reconstruct: %v", back)
+	}
+}
+
+func TestQRWideMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wide matrix")
+		}
+	}()
+	QR(NewDense(2, 3))
+}
+
+func TestOrthonormalizeCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randDense(10, 4, rng)
+	kept := OrthonormalizeCols(a, 1e-12)
+	if kept != 4 {
+		t.Fatalf("kept = %d, want 4", kept)
+	}
+	if !a.IsOrthonormalCols(1e-10) {
+		t.Fatal("columns not orthonormal after OrthonormalizeCols")
+	}
+}
+
+func TestOrthonormalizeColsDependent(t *testing.T) {
+	// Third column is the sum of the first two: must be dropped.
+	a := FromRows([][]float64{
+		{1, 0, 1},
+		{0, 1, 1},
+		{0, 0, 0},
+	})
+	kept := OrthonormalizeCols(a, 1e-10)
+	if kept != 2 {
+		t.Fatalf("kept = %d, want 2", kept)
+	}
+	for i := 0; i < 3; i++ {
+		if a.At(i, 2) != 0 {
+			t.Fatal("dependent column should be zeroed")
+		}
+	}
+}
+
+func TestNorm2MatchesKnownSingularValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Diagonal matrix: spectral norm is the max |diagonal|.
+	d := Diag([]float64{3, -7, 2})
+	got := Norm2(d, 100, rng)
+	if math.Abs(got-7) > 1e-8 {
+		t.Fatalf("Norm2(diag) = %v, want 7", got)
+	}
+	// Rank-1: sigma = ‖x‖‖y‖.
+	x := []float64{1, 2, 2}
+	y := []float64{3, 4}
+	r1 := Outer(x, y)
+	want := Norm(x) * Norm(y)
+	got = Norm2(r1, 100, rng)
+	if math.Abs(got-want) > 1e-8*want {
+		t.Fatalf("Norm2(rank1) = %v, want %v", got, want)
+	}
+}
+
+func TestNorm2Empty(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	if got := Norm2(NewDense(0, 0), 10, rng); got != 0 {
+		t.Fatalf("Norm2(empty) = %v", got)
+	}
+	if got := Norm2(NewDense(3, 3), 10, rng); got != 0 {
+		t.Fatalf("Norm2(zero matrix) = %v", got)
+	}
+}

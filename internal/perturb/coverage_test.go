@@ -1,0 +1,74 @@
+package perturb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// Targeted tests for branches the main suite does not reach.
+
+func TestSinThetaDistErrorsAndEmpty(t *testing.T) {
+	if _, err := SinThetaDist(mat.NewDense(3, 1), mat.NewDense(4, 1)); err == nil {
+		t.Error("row mismatch should error")
+	}
+	// Zero-dimensional subspaces: distance 0 by convention.
+	d, err := SinThetaDist(mat.NewDense(3, 0), mat.NewDense(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("empty subspace distance %v", d)
+	}
+}
+
+func TestAlignShapeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(281))
+	if _, err := Align(mat.NewDense(3, 1), mat.NewDense(3, 2), rng); err == nil {
+		t.Error("shape mismatch should error")
+	}
+	if _, err := Align(mat.NewDense(3, 1), mat.NewDense(4, 1), rng); err == nil {
+		t.Error("row mismatch should error")
+	}
+}
+
+func TestTopKBasisClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(282))
+	a := mat.NewDense(4, 3)
+	for i := range a.RawData() {
+		a.RawData()[i] = rng.NormFloat64()
+	}
+	basis, err := TopKBasis(a, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basis.Cols() != 3 {
+		t.Fatalf("basis cols %d, want clamped 3", basis.Cols())
+	}
+}
+
+func TestRandomWithNorm2Tiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(283))
+	f, err := RandomWithNorm2(1, 1, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.At(0, 0)
+	if d := got - 0.5; d > 1e-12 || d < -1e-12 {
+		if d := got + 0.5; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("1x1 norm-calibrated entry %v, want ±0.5", got)
+		}
+	}
+}
+
+func TestGapOnSpectrumWithZeroTop(t *testing.T) {
+	// All-zero matrix: relative gap guarded against division by zero.
+	g, err := Gap(mat.NewDense(3, 3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.RelGap != 0 {
+		t.Fatalf("zero-matrix RelGap %v", g.RelGap)
+	}
+}

@@ -1,0 +1,158 @@
+// Package perturb provides the matrix-perturbation machinery behind
+// Lemma 1 of the paper (via Stewart's invariant-subspace theorem): tools to
+// generate noise matrices with a prescribed 2-norm, to compare the
+// invariant subspaces of a matrix and its perturbation (principal angles,
+// ‖sin Θ‖), and to compute the orthogonal alignment R and residual G in the
+// lemma's conclusion U′ₖ = Uₖ·R + G with ‖G‖₂ = O(ε).
+package perturb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+	"repro/internal/svd"
+)
+
+// RandomWithNorm2 returns an r×c random Gaussian matrix rescaled so its
+// spectral norm is exactly norm2 (to the accuracy of a dense SVD). This is
+// how the experiments realize the paper's "arbitrary n×m matrix F with
+// ‖F‖₂ = ε".
+func RandomWithNorm2(r, c int, norm2 float64, rng *rand.Rand) (*mat.Dense, error) {
+	if r < 1 || c < 1 {
+		return nil, fmt.Errorf("perturb: invalid dimensions %dx%d", r, c)
+	}
+	if norm2 < 0 {
+		return nil, fmt.Errorf("perturb: negative target norm %v", norm2)
+	}
+	f := mat.NewDense(r, c)
+	d := f.RawData()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	if norm2 == 0 {
+		return mat.NewDense(r, c), nil
+	}
+	res, err := svd.Decompose(f)
+	if err != nil {
+		return nil, err
+	}
+	top := res.S[0]
+	if top == 0 {
+		// All-zero sample (essentially impossible); retry deterministic.
+		f.Set(0, 0, norm2)
+		return f, nil
+	}
+	f.Scale(norm2 / top)
+	return f, nil
+}
+
+// PrincipalAngles returns the principal angles (radians, ascending) between
+// the column spaces of u1 and u2, which must have orthonormal columns of
+// equal count over the same row space. The angles are acos of the singular
+// values of u1ᵀ·u2.
+func PrincipalAngles(u1, u2 *mat.Dense) ([]float64, error) {
+	if u1.Rows() != u2.Rows() {
+		return nil, fmt.Errorf("perturb: row mismatch %d vs %d", u1.Rows(), u2.Rows())
+	}
+	if u1.Cols() != u2.Cols() {
+		return nil, fmt.Errorf("perturb: subspace dimension mismatch %d vs %d", u1.Cols(), u2.Cols())
+	}
+	m := mat.MulT(u1, u2)
+	res, err := svd.Decompose(m)
+	if err != nil {
+		return nil, err
+	}
+	angles := make([]float64, len(res.S))
+	for i, s := range res.S {
+		if s > 1 {
+			s = 1
+		}
+		// S is descending, so angles come out ascending.
+		angles[i] = math.Acos(s)
+	}
+	return angles, nil
+}
+
+// SinThetaDist returns ‖sin Θ‖₂ — the sine of the largest principal angle —
+// the standard distance between equal-dimensional subspaces. 0 means the
+// same subspace, 1 means some direction of one space is orthogonal to all
+// of the other.
+func SinThetaDist(u1, u2 *mat.Dense) (float64, error) {
+	angles, err := PrincipalAngles(u1, u2)
+	if err != nil {
+		return 0, err
+	}
+	if len(angles) == 0 {
+		return 0, nil
+	}
+	return math.Sin(angles[len(angles)-1]), nil
+}
+
+// Alignment holds the Lemma 1 decomposition U′ₖ = Uₖ·R + G.
+type Alignment struct {
+	// R is the k×k orthogonal matrix best aligning Uₖ with U′ₖ
+	// (the orthogonal Procrustes solution).
+	R *mat.Dense
+	// G is the residual U′ₖ − Uₖ·R.
+	G *mat.Dense
+	// GNorm2 is ‖G‖₂, the quantity Lemma 1 bounds by O(ε).
+	GNorm2 float64
+}
+
+// Align computes the orthogonal Procrustes alignment between two
+// orthonormal bases: R = argmin over orthogonal matrices of ‖u2 − u1·R‖_F,
+// obtained from the SVD of u1ᵀ·u2 = W·Σ·Zᵀ as R = W·Zᵀ.
+func Align(u1, u2 *mat.Dense, rng *rand.Rand) (*Alignment, error) {
+	if u1.Rows() != u2.Rows() || u1.Cols() != u2.Cols() {
+		return nil, fmt.Errorf("perturb: Align shape mismatch %dx%d vs %dx%d",
+			u1.Rows(), u1.Cols(), u2.Rows(), u2.Cols())
+	}
+	m := mat.MulT(u1, u2)
+	res, err := svd.Decompose(m)
+	if err != nil {
+		return nil, err
+	}
+	r := mat.MulBT(res.U, res.V)
+	g := mat.SubMat(u2, mat.Mul(u1, r))
+	return &Alignment{R: r, G: g, GNorm2: mat.Norm2(g, 60, rng)}, nil
+}
+
+// GapReport describes the singular value gap hypothesis of Lemma 1 for a
+// given matrix and cut index k: the lemma requires σₖ − σₖ₊₁ > c·σ₁·... —
+// in the lemma's normalized statement, the top k singular values sit near
+// σ₁ and the rest near 0. RelGap = (σₖ−σₖ₊₁)/σ₁ quantifies it.
+type GapReport struct {
+	SigmaK, SigmaK1 float64
+	RelGap          float64
+}
+
+// Gap inspects the spectrum of a at index k (1-based count of retained
+// values).
+func Gap(a *mat.Dense, k int) (GapReport, error) {
+	res, err := svd.Decompose(a)
+	if err != nil {
+		return GapReport{}, err
+	}
+	if k < 1 || k >= len(res.S) {
+		return GapReport{}, fmt.Errorf("perturb: gap index k=%d out of (0,%d)", k, len(res.S))
+	}
+	g := GapReport{SigmaK: res.S[k-1], SigmaK1: res.S[k]}
+	if res.S[0] > 0 {
+		g.RelGap = (g.SigmaK - g.SigmaK1) / res.S[0]
+	}
+	return g, nil
+}
+
+// TopKBasis returns the first k left singular vectors of a.
+func TopKBasis(a *mat.Dense, k int) (*mat.Dense, error) {
+	res, err := svd.Decompose(a)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(res.S) {
+		k = len(res.S)
+	}
+	return res.U.SliceCols(0, k), nil
+}

@@ -1,0 +1,55 @@
+package randproj
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/svd"
+)
+
+// TestCorollary4EnergyLowerBound checks Corollary 4 directly: for
+// l = Ω(log n / ε²), the top-2k singular values of B = √(n/l)·Rᵀ·A satisfy
+// Σ_{p≤2k} λ_p² ≥ (1−ε)·‖Aₖ‖²_F with high probability.
+func TestCorollary4EnergyLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	a, _ := corpusMatrix(t, 3, 15, 40, 192)
+	n, _ := a.Dims()
+	full, err := svd.Decompose(a.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	var akEnergy float64
+	for i := 0; i < k; i++ {
+		akEnergy += full.S[i] * full.S[i]
+	}
+	eps := 0.5
+	l := JLDim(n, eps, 1.0)
+	if l > n {
+		l = n
+	}
+	failures := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		p, err := New(n, l, Orthonormal, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := p.ApplySparse(a)
+		bs, err := svd.Decompose(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var energy float64
+		for i := 0; i < 2*k && i < len(bs.S); i++ {
+			energy += bs.S[i] * bs.S[i]
+		}
+		if energy < (1-eps)*akEnergy {
+			failures++
+		}
+	}
+	// "With high probability": allow at most one unlucky projection.
+	if failures > 1 {
+		t.Fatalf("Corollary 4 lower bound failed in %d/%d trials", failures, trials)
+	}
+}

@@ -1,0 +1,82 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCSR(b *testing.B, r, c int, density float64) *CSR {
+	b.Helper()
+	rng := rand.New(rand.NewSource(221))
+	coo := NewCOO(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				coo.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func BenchmarkMulVec2000x1000(b *testing.B) {
+	m := benchCSR(b, 2000, 1000, 0.04) // ~paper-scale term-doc density
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(x)
+	}
+}
+
+func BenchmarkMulTVec2000x1000(b *testing.B) {
+	m := benchCSR(b, 2000, 1000, 0.04)
+	x := make([]float64, 2000)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulTVec(x)
+	}
+}
+
+func BenchmarkTMulDenseGram(b *testing.B) {
+	// The Gram-matrix computation of the Table 1 experiment.
+	m := benchCSR(b, 2000, 500, 0.04)
+	d := m.ToDense()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TMulDense(d)
+	}
+}
+
+func BenchmarkCOOToCSR(b *testing.B) {
+	rng := rand.New(rand.NewSource(222))
+	type entry struct {
+		i, j int
+		v    float64
+	}
+	entries := make([]entry, 100000)
+	for k := range entries {
+		entries[k] = entry{rng.Intn(2000), rng.Intn(1000), rng.NormFloat64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coo := NewCOO(2000, 1000)
+		for _, e := range entries {
+			coo.Add(e.i, e.j, e.v)
+		}
+		coo.ToCSR()
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	m := benchCSR(b, 2000, 1000, 0.04)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.T()
+	}
+}

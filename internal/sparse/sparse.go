@@ -1,0 +1,317 @@
+// Package sparse implements the sparse-matrix substrate for term-document
+// matrices. A corpus with m documents of ~c terms each over an n-term
+// vocabulary is an n×m matrix with only c·m nonzeros; Section 5's
+// running-time analysis (direct LSI costs O(mnc), the two-step method
+// O(ml(l+c))) only makes sense when matrix-vector products exploit that
+// sparsity, which the CSR type here provides.
+//
+// Matrices are built through a COO accumulator and frozen into immutable
+// CSR form. CSR satisfies svd.Op, so the Lanczos and randomized truncated
+// SVD engines run on it directly.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// COO is a coordinate-format accumulator for building sparse matrices.
+// Duplicate entries are summed when the matrix is frozen to CSR.
+type COO struct {
+	rows, cols int
+	ri, ci     []int
+	vals       []float64
+}
+
+// NewCOO returns an empty accumulator for an r×c matrix.
+func NewCOO(r, c int) *COO {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("sparse: negative dimensions %dx%d", r, c))
+	}
+	return &COO{rows: r, cols: c}
+}
+
+// Add records v at (i, j). Zero values are ignored. It panics if the index
+// is out of range.
+func (a *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= a.rows || j < 0 || j >= a.cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range for %dx%d", i, j, a.rows, a.cols))
+	}
+	if v == 0 {
+		return
+	}
+	a.ri = append(a.ri, i)
+	a.ci = append(a.ci, j)
+	a.vals = append(a.vals, v)
+}
+
+// NNZ returns the number of recorded entries (before duplicate merging).
+func (a *COO) NNZ() int { return len(a.vals) }
+
+// ToCSR freezes the accumulator into compressed sparse row form, summing
+// duplicates and dropping entries that cancel to zero.
+func (a *COO) ToCSR() *CSR {
+	n := len(a.vals)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		ix, iy := order[x], order[y]
+		if a.ri[ix] != a.ri[iy] {
+			return a.ri[ix] < a.ri[iy]
+		}
+		return a.ci[ix] < a.ci[iy]
+	})
+	rowPtr := make([]int, a.rows+1)
+	colIdx := make([]int, 0, n)
+	vals := make([]float64, 0, n)
+	for p := 0; p < n; {
+		idx := order[p]
+		r, c := a.ri[idx], a.ci[idx]
+		sum := a.vals[idx]
+		p++
+		for p < n && a.ri[order[p]] == r && a.ci[order[p]] == c {
+			sum += a.vals[order[p]]
+			p++
+		}
+		if sum != 0 {
+			colIdx = append(colIdx, c)
+			vals = append(vals, sum)
+			rowPtr[r+1]++
+		}
+	}
+	for i := 0; i < a.rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	return &CSR{rows: a.rows, cols: a.cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+}
+
+// CSR is an immutable sparse matrix in compressed sparse row format.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// Dims returns (rows, cols). Together with MulVec and MulTVec this makes
+// CSR satisfy svd.Op.
+func (m *CSR) Dims() (int, int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// At returns the value at (i, j) with a binary search over row i.
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range for %dx%d", i, j, m.rows, m.cols))
+	}
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	pos := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if pos < hi && m.colIdx[pos] == j {
+		return m.vals[pos]
+	}
+	return 0
+}
+
+// MulVec returns A·x. It panics if len(x) != Cols().
+func (m *CSR) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch %dx%d * vec(%d)", m.rows, m.cols, len(x)))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			s += m.vals[p] * x[m.colIdx[p]]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulTVec returns Aᵀ·x. It panics if len(x) != Rows().
+func (m *CSR) MulTVec(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("sparse: MulTVec dimension mismatch %dx%d ᵀ* vec(%d)", m.rows, m.cols, len(x)))
+	}
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			out[m.colIdx[p]] += xi * m.vals[p]
+		}
+	}
+	return out
+}
+
+// MulDense returns A·B for dense B as a new dense matrix.
+func (m *CSR) MulDense(b *mat.Dense) *mat.Dense {
+	br, bc := b.Dims()
+	if m.cols != br {
+		panic(fmt.Sprintf("sparse: MulDense dimension mismatch %dx%d * %dx%d", m.rows, m.cols, br, bc))
+	}
+	out := mat.NewDense(m.rows, bc)
+	for i := 0; i < m.rows; i++ {
+		orow := out.Row(i)
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			v := m.vals[p]
+			brow := b.Row(m.colIdx[p])
+			for j, bv := range brow {
+				orow[j] += v * bv
+			}
+		}
+	}
+	return out
+}
+
+// TMulDense returns Aᵀ·B for dense B as a new dense matrix.
+func (m *CSR) TMulDense(b *mat.Dense) *mat.Dense {
+	br, bc := b.Dims()
+	if m.rows != br {
+		panic(fmt.Sprintf("sparse: TMulDense dimension mismatch %dx%d ᵀ* %dx%d", m.rows, m.cols, br, bc))
+	}
+	out := mat.NewDense(m.cols, bc)
+	for i := 0; i < m.rows; i++ {
+		brow := b.Row(i)
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			v := m.vals[p]
+			orow := out.Row(m.colIdx[p])
+			for j, bv := range brow {
+				orow[j] += v * bv
+			}
+		}
+	}
+	return out
+}
+
+// T returns the transpose as a new CSR matrix.
+func (m *CSR) T() *CSR {
+	rowPtr := make([]int, m.cols+1)
+	for _, c := range m.colIdx {
+		rowPtr[c+1]++
+	}
+	for i := 0; i < m.cols; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	colIdx := make([]int, len(m.colIdx))
+	vals := make([]float64, len(m.vals))
+	next := append([]int(nil), rowPtr[:m.cols]...)
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			c := m.colIdx[p]
+			pos := next[c]
+			next[c]++
+			colIdx[pos] = i
+			vals[pos] = m.vals[p]
+		}
+	}
+	return &CSR{rows: m.cols, cols: m.rows, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+}
+
+// ToDense materializes the matrix densely.
+func (m *CSR) ToDense() *mat.Dense {
+	out := mat.NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := out.Row(i)
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			row[m.colIdx[p]] = m.vals[p]
+		}
+	}
+	return out
+}
+
+// Frob returns the Frobenius norm.
+func (m *CSR) Frob() float64 {
+	var s float64
+	for _, v := range m.vals {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ColNorms returns the Euclidean norm of each column.
+func (m *CSR) ColNorms() []float64 {
+	sq := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			sq[m.colIdx[p]] += m.vals[p] * m.vals[p]
+		}
+	}
+	for i, v := range sq {
+		sq[i] = math.Sqrt(v)
+	}
+	return sq
+}
+
+// Col returns column j as a dense vector.
+func (m *CSR) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("sparse: column %d out of range for %dx%d", j, m.rows, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		pos := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+		if pos < hi && m.colIdx[pos] == j {
+			out[i] = m.vals[pos]
+		}
+	}
+	return out
+}
+
+// RowNNZ returns the number of nonzeros in row i.
+func (m *CSR) RowNNZ(i int) int {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("sparse: row %d out of range for %dx%d", i, m.rows, m.cols))
+	}
+	return m.rowPtr[i+1] - m.rowPtr[i]
+}
+
+// Scale returns a copy of the matrix with every entry multiplied by s.
+func (m *CSR) Scale(s float64) *CSR {
+	vals := make([]float64, len(m.vals))
+	for i, v := range m.vals {
+		vals[i] = v * s
+	}
+	return &CSR{
+		rows: m.rows, cols: m.cols,
+		rowPtr: m.rowPtr, colIdx: m.colIdx, // immutable; safe to share
+		vals: vals,
+	}
+}
+
+// RowIter calls fn for every nonzero (column, value) pair in row i.
+func (m *CSR) RowIter(i int, fn func(j int, v float64)) {
+	for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+		fn(m.colIdx[p], m.vals[p])
+	}
+}
+
+// FromDense converts a dense matrix to CSR, dropping exact zeros.
+func FromDense(d *mat.Dense) *CSR {
+	r, c := d.Dims()
+	coo := NewCOO(r, c)
+	for i := 0; i < r; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if v != 0 {
+				coo.Add(i, j, v)
+			}
+		}
+	}
+	return coo.ToCSR()
+}

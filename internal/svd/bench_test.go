@@ -1,0 +1,87 @@
+package svd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func benchMatrix(b *testing.B, r, c int) *mat.Dense {
+	b.Helper()
+	rng := rand.New(rand.NewSource(211))
+	m := mat.NewDense(r, c)
+	d := m.RawData()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkDecompose100x100(b *testing.B) {
+	m := benchMatrix(b, 100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompose400x200(b *testing.B) {
+	m := benchMatrix(b, 400, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJacobi100x100(b *testing.B) {
+	m := benchMatrix(b, 100, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Jacobi(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLanczosTop10Of400x200(b *testing.B) {
+	m := benchMatrix(b, 400, 200)
+	op := DenseOp{m}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Lanczos(op, 10, LanczosOptions{
+			Reorthogonalize: true, Rng: rand.New(rand.NewSource(7)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomizedTop10Of400x200(b *testing.B) {
+	m := benchMatrix(b, 400, 200)
+	op := DenseOp{m}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Randomized(op, 10, RandomizedOptions{
+			Rng: rand.New(rand.NewSource(7)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymEigen200(b *testing.B) {
+	m := benchMatrix(b, 200, 200)
+	// Symmetrize.
+	sym := mat.AddMat(m, m.T()).Scale(0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SymEigen(sym); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

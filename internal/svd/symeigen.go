@@ -1,0 +1,271 @@
+package svd
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// SymEigen computes all eigenvalues and eigenvectors of a symmetric dense
+// matrix via Householder tridiagonalization (tred2) followed by the
+// implicit-shift QL algorithm (tqli). Eigenvalues are returned in
+// descending order; column j of the returned matrix is the eigenvector for
+// eigenvalue j.
+//
+// The paper's synonymy analysis inspects the smallest eigenpairs of the
+// term–term autocorrelation matrix AAᵀ, and Theorem 6 inspects the top
+// eigenpairs of a document-proximity graph; this solver serves both.
+func SymEigen(a *mat.Dense) ([]float64, *mat.Dense, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, nil, dimError("SymEigen", n, c)
+	}
+	if n == 0 {
+		return nil, mat.NewDense(0, 0), nil
+	}
+	z := a.Clone()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(z, d, e)
+	if err := tqli(d, e, z); err != nil {
+		return nil, nil, err
+	}
+	// Sort descending, permuting eigenvector columns.
+	sortEigenDescending(d, z)
+	return d, z, nil
+}
+
+func sortEigenDescending(d []float64, z *mat.Dense) {
+	n := len(d)
+	for i := 0; i < n-1; i++ {
+		p := i
+		for j := i + 1; j < n; j++ {
+			if d[j] > d[p] {
+				p = j
+			}
+		}
+		if p != i {
+			d[i], d[p] = d[p], d[i]
+			for r := 0; r < z.Rows(); r++ {
+				vi, vp := z.At(r, i), z.At(r, p)
+				z.Set(r, i, vp)
+				z.Set(r, p, vi)
+			}
+		}
+	}
+}
+
+// tred2 reduces the symmetric matrix stored in z to tridiagonal form,
+// accumulating the orthogonal transformation in z. On return d holds the
+// diagonal and e the subdiagonal (e[0] unused).
+func tred2(z *mat.Dense, d, e []float64) {
+	n := len(d)
+	zd := z.RawData()
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		var h, scale float64
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(zd[i*n+k])
+			}
+			if scale == 0 {
+				e[i] = zd[i*n+l]
+			} else {
+				for k := 0; k <= l; k++ {
+					zd[i*n+k] /= scale
+					h += zd[i*n+k] * zd[i*n+k]
+				}
+				f := zd[i*n+l]
+				g := math.Sqrt(h)
+				if f >= 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				zd[i*n+l] = f - g
+				f = 0
+				for j := 0; j <= l; j++ {
+					zd[j*n+i] = zd[i*n+j] / h
+					var g float64
+					for k := 0; k <= j; k++ {
+						g += zd[j*n+k] * zd[i*n+k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += zd[k*n+j] * zd[i*n+k]
+					}
+					e[j] = g / h
+					f += e[j] * zd[i*n+j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f := zd[i*n+j]
+					g := e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						zd[j*n+k] -= f*e[k] + g*zd[i*n+k]
+					}
+				}
+			}
+		} else {
+			e[i] = zd[i*n+l]
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				var g float64
+				for k := 0; k <= l; k++ {
+					g += zd[i*n+k] * zd[k*n+j]
+				}
+				for k := 0; k <= l; k++ {
+					zd[k*n+j] -= g * zd[k*n+i]
+				}
+			}
+		}
+		d[i] = zd[i*n+i]
+		zd[i*n+i] = 1
+		for j := 0; j <= l; j++ {
+			zd[j*n+i] = 0
+			zd[i*n+j] = 0
+		}
+	}
+}
+
+// tqli diagonalizes a symmetric tridiagonal matrix (diagonal d, subdiagonal
+// e with e[0] unused) by the QL algorithm with implicit shifts, updating
+// the eigenvector accumulation in z.
+func tqli(d, e []float64, z *mat.Dense) error {
+	n := len(d)
+	zd := z.RawData()
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m])+dd == dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 50 {
+				return ErrNoConvergence
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := pythag(g, 1)
+			g = d[m] - d[l] + e[l]/(g+signOf(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			i := m - 1
+			underflow := false
+			for ; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = pythag(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					underflow = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < n; k++ {
+					f := zd[k*n+i+1]
+					zd[k*n+i+1] = s*zd[k*n+i] + c*f
+					zd[k*n+i] = c*zd[k*n+i] - s*f
+				}
+			}
+			if underflow && i >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+// SymJacobi computes all eigenpairs of a symmetric matrix with the cyclic
+// Jacobi rotation method. It is O(sweeps·n³) and extremely robust; tests
+// use it to cross-validate SymEigen.
+func SymJacobi(a *mat.Dense) ([]float64, *mat.Dense, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, nil, dimError("SymJacobi", n, c)
+	}
+	w := a.Clone()
+	v := mat.Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-28*float64(n*n) {
+			break
+		}
+		if sweep == maxSweeps-1 {
+			return nil, nil, ErrNoConvergence
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := signOf(1, theta) / (math.Abs(theta) + math.Sqrt(1+theta*theta))
+				cth := 1 / math.Sqrt(1+t*t)
+				sth := t * cth
+				// Rotate rows/columns p and q of w.
+				for k := 0; k < n; k++ {
+					wkp := w.At(k, p)
+					wkq := w.At(k, q)
+					w.Set(k, p, cth*wkp-sth*wkq)
+					w.Set(k, q, sth*wkp+cth*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.At(p, k)
+					wqk := w.At(q, k)
+					w.Set(p, k, cth*wpk-sth*wqk)
+					w.Set(q, k, sth*wpk+cth*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, cth*vkp-sth*vkq)
+					v.Set(k, q, sth*vkp+cth*vkq)
+				}
+			}
+		}
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = w.At(i, i)
+	}
+	sortEigenDescending(d, v)
+	return d, v, nil
+}

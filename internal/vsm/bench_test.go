@@ -1,0 +1,60 @@
+package vsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func benchIndex(b *testing.B) (*Index, []float64) {
+	b.Helper()
+	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
+		NumTopics: 10, TermsPerTopic: 100, Epsilon: 0.05, MinLen: 50, MaxLen: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(model, 1000, rand.New(rand.NewSource(231)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := corpus.TermDocMatrix(c, corpus.CountWeighting)
+	return NewFromMatrix(a), a.Col(0)
+}
+
+func BenchmarkIndexBuild1000Docs(b *testing.B) {
+	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
+		NumTopics: 10, TermsPerTopic: 100, Epsilon: 0.05, MinLen: 50, MaxLen: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(model, 1000, rand.New(rand.NewSource(231)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := corpus.TermDocMatrix(c, corpus.CountWeighting)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewFromMatrix(a)
+	}
+}
+
+func BenchmarkSearchFullDocumentQuery(b *testing.B) {
+	ix, q := benchIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, 10)
+	}
+}
+
+func BenchmarkSearchShortQuery(b *testing.B) {
+	ix, _ := benchIndex(b)
+	terms := []int{3, 150, 777}
+	weights := []float64{1, 1, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchSparse(terms, weights, 10)
+	}
+}

@@ -1,0 +1,132 @@
+// Package vsm implements the conventional vector-space retrieval model —
+// the baseline the paper says LSI improves on. Documents are the raw
+// columns of the term-document matrix; retrieval ranks documents by cosine
+// similarity computed through an inverted index, so query cost is
+// proportional to the postings of the query's terms rather than to n·m.
+//
+// Because it matches terms literally, the model exhibits exactly the
+// synonymy failure of the paper's introduction: a query using term t never
+// retrieves documents that only use t's synonym. The retrieval experiments
+// quantify that gap against LSI.
+package vsm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// posting is one (document, weight) pair in a term's postings list.
+type posting struct {
+	doc int
+	w   float64
+}
+
+// Index is an inverted-file cosine retrieval index.
+type Index struct {
+	numTerms int
+	numDocs  int
+	postings [][]posting
+	norms    []float64
+}
+
+// Match is one retrieval result.
+type Match struct {
+	Doc   int
+	Score float64 // cosine similarity in term space
+}
+
+// NewFromMatrix builds the index from a term-document matrix (terms are
+// rows, documents are columns), using the matrix entries as weights.
+func NewFromMatrix(a *sparse.CSR) *Index {
+	n, m := a.Dims()
+	ix := &Index{
+		numTerms: n,
+		numDocs:  m,
+		postings: make([][]posting, n),
+		norms:    make([]float64, m),
+	}
+	for t := 0; t < n; t++ {
+		a.RowIter(t, func(doc int, w float64) {
+			ix.postings[t] = append(ix.postings[t], posting{doc: doc, w: w})
+			ix.norms[doc] += w * w
+		})
+	}
+	for d := range ix.norms {
+		ix.norms[d] = math.Sqrt(ix.norms[d])
+	}
+	return ix
+}
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int { return ix.numTerms }
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return ix.numDocs }
+
+// DocFrequency returns the number of documents containing the term.
+func (ix *Index) DocFrequency(term int) int {
+	if term < 0 || term >= ix.numTerms {
+		panic(fmt.Sprintf("vsm: term %d out of range [0,%d)", term, ix.numTerms))
+	}
+	return len(ix.postings[term])
+}
+
+// Search ranks documents by cosine similarity against a dense term-space
+// query vector, returning the topN best (all if topN <= 0). Documents with
+// zero overlap are omitted. Ties break by document ID.
+func (ix *Index) Search(query []float64, topN int) []Match {
+	if len(query) != ix.numTerms {
+		panic(fmt.Sprintf("vsm: query length %d, want %d", len(query), ix.numTerms))
+	}
+	var qnorm float64
+	scores := map[int]float64{}
+	for t, qw := range query {
+		if qw == 0 {
+			continue
+		}
+		qnorm += qw * qw
+		for _, p := range ix.postings[t] {
+			scores[p.doc] += qw * p.w
+		}
+	}
+	qnorm = math.Sqrt(qnorm)
+	if qnorm == 0 {
+		return nil
+	}
+	matches := make([]Match, 0, len(scores))
+	for doc, dot := range scores {
+		if ix.norms[doc] == 0 {
+			continue
+		}
+		matches = append(matches, Match{Doc: doc, Score: dot / (qnorm * ix.norms[doc])})
+	}
+	sort.Slice(matches, func(a, b int) bool {
+		if matches[a].Score != matches[b].Score {
+			return matches[a].Score > matches[b].Score
+		}
+		return matches[a].Doc < matches[b].Doc
+	})
+	if topN > 0 && topN < len(matches) {
+		matches = matches[:topN]
+	}
+	return matches
+}
+
+// SearchSparse ranks documents against a query given as parallel term/
+// weight slices — the natural form for short queries.
+func (ix *Index) SearchSparse(terms []int, weights []float64, topN int) []Match {
+	if len(terms) != len(weights) {
+		panic(fmt.Sprintf("vsm: %d terms but %d weights", len(terms), len(weights)))
+	}
+	q := make([]float64, ix.numTerms)
+	for i, t := range terms {
+		if t < 0 || t >= ix.numTerms {
+			panic(fmt.Sprintf("vsm: term %d out of range [0,%d)", t, ix.numTerms))
+		}
+		q[t] += weights[i]
+	}
+	return ix.Search(q, topN)
+}

@@ -1,0 +1,38 @@
+# Single source of truth for the commands CI runs — `make <target>` locally
+# reproduces the corresponding workflow job exactly.
+
+GO ?= go
+
+.PHONY: all build test lint vet fmt-check race bench-smoke bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails (and lists the offenders) if any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+lint: vet fmt-check
+
+# Race-detect the concurrency-bearing packages: the worker pool and the
+# numeric + retrieval layers built on it.
+race:
+	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/lsi ./internal/vsm
+
+# Compile-and-run guard for every benchmark: one iteration each, no tests.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Full benchmark sweep (slow; for perf-trajectory measurements).
+bench:
+	$(GO) test -bench=. -run='^$$' ./...

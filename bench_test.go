@@ -14,6 +14,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/experiments"
 	"repro/internal/lsi"
+	"repro/internal/par"
 	"repro/internal/randproj"
 	"repro/internal/svd"
 )
@@ -386,6 +387,57 @@ func BenchmarkIndexBuild(b *testing.B) {
 		if _, err := lsi.Build(a, 20, lsi.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchBatchQueries builds an index over a paper-scale corpus plus a
+// batch of 64 full-document queries for the serial/parallel throughput
+// pair below.
+func benchBatchQueries(b *testing.B) (*lsi.Index, [][]float64) {
+	b.Helper()
+	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
+		NumTopics: 10, TermsPerTopic: 50, Epsilon: 0.05, MinLen: 50, MaxLen: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := corpus.Generate(model, 2000, rand.New(rand.NewSource(99)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := corpus.TermDocMatrix(c, corpus.CountWeighting)
+	ix, err := lsi.Build(a, 10, lsi.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]float64, 64)
+	for i := range queries {
+		queries[i] = a.Col(i % a.Cols())
+	}
+	return ix, queries
+}
+
+// BenchmarkBatchQueriesSerial times folding + cosine ranking a 64-query
+// batch with the parallel substrate pinned to one worker — the serial
+// baseline for the pair.
+func BenchmarkBatchQueriesSerial(b *testing.B) {
+	ix, queries := benchBatchQueries(b)
+	old := par.SetMaxProcs(1)
+	defer par.SetMaxProcs(old)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchBatch(queries, 10)
+	}
+}
+
+// BenchmarkBatchQueriesParallel is the same batch with query fan-out
+// enabled; the speedup over BenchmarkBatchQueriesSerial is the serving-
+// path headline for the perf trajectory.
+func BenchmarkBatchQueriesParallel(b *testing.B) {
+	ix, queries := benchBatchQueries(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchBatch(queries, 10)
 	}
 }
 

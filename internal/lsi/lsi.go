@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/mat"
+	"repro/internal/par"
 	"repro/internal/sparse"
 	"repro/internal/svd"
 )
@@ -61,7 +62,10 @@ type Options struct {
 	// Engine selects the SVD algorithm; the zero value is EngineAuto.
 	Engine Engine
 	// Seed seeds the randomized engines; builds are deterministic for a
-	// fixed seed. Zero means a fixed default.
+	// fixed seed and a fixed par.MaxProcs (the parallel reduction layout
+	// enters the Lanczos engine's numerics at ulp level — pin
+	// par.SetMaxProcs for cross-machine bitwise reproducibility). Zero
+	// means a fixed default.
 	Seed int64
 }
 
@@ -98,7 +102,11 @@ func Build(a *sparse.CSR, k int, opts Options) (*Index, error) {
 	case EngineDense:
 		res, err = svd.Decompose(a.ToDense())
 	case EngineLanczos:
-		res, err = svd.Lanczos(a, k, svd.LanczosOptions{
+		// Lanczos iterates vector by vector, so its only parallelism is
+		// inside each matvec: run it on the parallel CSR operator. Results
+		// are deterministic for a fixed par.MaxProcs (the Aᵀx side may
+		// differ from the serial operator in the last ulps).
+		res, err = svd.Lanczos(a.Par(), k, svd.LanczosOptions{
 			Reorthogonalize: true,
 			Rng:             rand.New(rand.NewSource(seed)),
 		})
@@ -206,15 +214,21 @@ func (ix *Index) Search(query []float64, topN int) []Match {
 }
 
 // SearchProjected ranks documents against an already-projected query.
+// Scoring fans out across par workers for large corpora (the grain scales
+// with the ~3k flops each cosine costs, so small corpora stay serial);
+// each document's cosine is computed independently, so results are
+// bitwise identical to the serial loop.
 func (ix *Index) SearchProjected(pq []float64, topN int) []Match {
 	if len(pq) != ix.k {
 		panic(fmt.Sprintf("lsi: SearchProjected vector length %d, want %d", len(pq), ix.k))
 	}
 	m := ix.docs.Rows()
 	matches := make([]Match, m)
-	for j := 0; j < m; j++ {
-		matches[j] = Match{Doc: j, Score: mat.Cosine(pq, ix.docs.Row(j))}
-	}
+	par.For(m, par.GrainFor(3*ix.k), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			matches[j] = Match{Doc: j, Score: mat.Cosine(pq, ix.docs.Row(j))}
+		}
+	})
 	sort.Slice(matches, func(a, b int) bool {
 		if matches[a].Score != matches[b].Score {
 			return matches[a].Score > matches[b].Score
@@ -225,6 +239,47 @@ func (ix *Index) SearchProjected(pq []float64, topN int) []Match {
 		matches = matches[:topN]
 	}
 	return matches
+}
+
+// ProjectBatch folds a batch of term-space vectors into the LSI space,
+// one Uₖᵀ·q per input, fanning the independent projections across par
+// workers. Results are bitwise identical to calling Project in a loop. It
+// panics if any vector has the wrong length.
+func (ix *Index) ProjectBatch(qs [][]float64) [][]float64 {
+	for i, q := range qs {
+		if len(q) != ix.numTerms {
+			panic(fmt.Sprintf("lsi: ProjectBatch vector %d has length %d, want %d", i, len(q), ix.numTerms))
+		}
+	}
+	out := make([][]float64, len(qs))
+	par.For(len(qs), par.GrainFor(ix.numTerms*ix.k), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = mat.MulTVec(ix.uk, qs[i])
+		}
+	})
+	return out
+}
+
+// SearchBatch runs Search for a batch of term-space queries, fanning
+// whole queries across par workers. (Each query's ranking may itself fan
+// out through SearchProjected on large corpora; the nested call is safe
+// and per-document scores are bitwise-stable, so parallelism never
+// changes results.) Element i of the result is bitwise identical to
+// Search(queries[i], topN).
+func (ix *Index) SearchBatch(queries [][]float64, topN int) [][]Match {
+	for i, q := range queries {
+		if len(q) != ix.numTerms {
+			panic(fmt.Sprintf("lsi: SearchBatch query %d has length %d, want %d", i, len(q), ix.numTerms))
+		}
+	}
+	out := make([][]Match, len(queries))
+	perQuery := (ix.numTerms + ix.docs.Rows()) * ix.k // fold + score flops
+	par.For(len(queries), par.GrainFor(perQuery), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = ix.Search(queries[i], topN)
+		}
+	})
+	return out
 }
 
 // ApproxMatrix returns the rank-k approximation Aₖ = Uₖ·Dₖ·Vₖᵀ of the

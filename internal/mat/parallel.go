@@ -1,105 +1,145 @@
 package mat
 
 import (
-	"runtime"
-	"sync"
+	"repro/internal/par"
 )
 
-// parallelThreshold is the approximate flop count below which MulParallel
-// falls back to the serial kernel — goroutine fan-out costs more than it
-// saves on small products.
+// parallelThreshold is the approximate flop count below which the parallel
+// kernels fall back to their serial counterparts — goroutine fan-out costs
+// more than it saves on small products.
 const parallelThreshold = 1 << 21
 
-// MulParallel returns a*b, splitting the row range of a across
-// runtime.GOMAXPROCS workers for large products and falling back to Mul for
-// small ones. Results are bitwise identical to Mul (each output row is
-// computed by exactly one goroutine with the same loop order).
+// rowGrain is the minimum number of output rows per chunk for the
+// row-blocked kernels.
+const rowGrain = 8
+
+// MulParallel returns a*b, splitting the row range of a across par
+// workers for large products and falling back to Mul for small ones.
+// Results are bitwise identical to Mul (each output row is computed by
+// exactly one goroutine with the same loop order).
 //
 // The experiment harness uses it for the m×m Gram matrices of the angle
 // measurements, the largest dense products in the reproduction.
 func MulParallel(a, b *Dense) *Dense {
 	work := a.rows * a.cols * b.cols
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers < 2 || a.rows < 2 {
+	if work < parallelThreshold || par.MaxProcs() < 2 || a.rows < 2 {
 		return Mul(a, b)
 	}
 	if a.cols != b.rows {
 		// Delegate the panic message to the serial kernel for consistency.
 		return Mul(a, b)
 	}
-	if workers > a.rows {
-		workers = a.rows
-	}
 	out := NewDense(a.rows, b.cols)
-	var wg sync.WaitGroup
-	chunk := (a.rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, a.rows)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				arow := a.data[i*a.cols : (i+1)*a.cols]
-				orow := out.data[i*out.cols : (i+1)*out.cols]
-				for k, av := range arow {
-					if av == 0 {
-						continue
-					}
-					brow := b.data[k*b.cols : (k+1)*b.cols]
-					for j, bv := range brow {
-						orow[j] += av * bv
-					}
+	par.For(a.rows, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*a.cols : (i+1)*a.cols]
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.data[k*b.cols : (k+1)*b.cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
 				}
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 	return out
 }
 
-// MulBTParallel returns a*bᵀ with the same worker split as MulParallel.
+// MulBTParallel returns a*bᵀ with the same row-blocked split as
+// MulParallel; results are bitwise identical to MulBT.
 func MulBTParallel(a, b *Dense) *Dense {
 	work := a.rows * a.cols * b.rows
-	workers := runtime.GOMAXPROCS(0)
-	if work < parallelThreshold || workers < 2 || a.rows < 2 {
+	if work < parallelThreshold || par.MaxProcs() < 2 || a.rows < 2 {
 		return MulBT(a, b)
 	}
 	if a.cols != b.cols {
 		return MulBT(a, b) // panic with the serial kernel's message
 	}
-	if workers > a.rows {
-		workers = a.rows
-	}
 	out := NewDense(a.rows, b.rows)
-	var wg sync.WaitGroup
-	chunk := (a.rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, a.rows)
-		if lo >= hi {
-			break
+	par.For(a.rows, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*a.cols : (i+1)*a.cols]
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for j := 0; j < b.rows; j++ {
+				brow := b.data[j*b.cols : (j+1)*b.cols]
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
+			}
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				arow := a.data[i*a.cols : (i+1)*a.cols]
-				orow := out.data[i*out.cols : (i+1)*out.cols]
-				for j := 0; j < b.rows; j++ {
-					brow := b.data[j*b.cols : (j+1)*b.cols]
-					var s float64
-					for k, av := range arow {
-						s += av * brow[k]
-					}
-					orow[j] = s
+	})
+	return out
+}
+
+// MulTParallel returns aᵀ*b like MulT. The shared row range of a and b is
+// chunked, each chunk accumulates into its own aᵀb-shaped buffer, and the
+// buffers are combined in chunk order — bitwise-deterministic for a fixed
+// par.MaxProcs, though the summation grouping (and so the last few ulps)
+// may differ from the serial MulT. The perturbation analysis uses it for
+// its tall-times-block Gram products (rows ≫ cols), where the per-chunk
+// buffers stay small.
+func MulTParallel(a, b *Dense) *Dense {
+	work := a.rows * a.cols * b.cols
+	if work < parallelThreshold || par.MaxProcs() < 2 || a.rows < 2 {
+		return MulT(a, b)
+	}
+	if a.rows != b.rows {
+		return MulT(a, b) // panic with the serial kernel's message
+	}
+	// Bounded chunking: at most ~MaxProcs accumulators (a.cols·b.cols
+	// floats each) live at once.
+	parts := par.MapChunksBounded(a.rows, rowGrain, func(lo, hi int) []float64 {
+		acc := make([]float64, a.cols*b.cols)
+		for k := lo; k < hi; k++ {
+			arow := a.data[k*a.cols : (k+1)*a.cols]
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := acc[i*b.cols : (i+1)*b.cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
 				}
 			}
-		}(lo, hi)
+		}
+		return acc
+	})
+	out := NewDense(a.cols, b.cols)
+	for _, acc := range parts {
+		for j, v := range acc {
+			out.data[j] += v
+		}
 	}
-	wg.Wait()
+	return out
+}
+
+// MulVecParallel returns a*x like MulVec, row-blocked across workers;
+// results are bitwise identical to MulVec. svd.DenseOp routes its matvec
+// through it, which parallelizes the Lanczos inner loop on dense
+// operators.
+func MulVecParallel(a *Dense, x []float64) []float64 {
+	if a.rows*a.cols < parallelThreshold || par.MaxProcs() < 2 || a.rows < 2 {
+		return MulVec(a, x)
+	}
+	if a.cols != len(x) {
+		return MulVec(a, x) // panic with the serial kernel's message
+	}
+	out := make([]float64, a.rows)
+	par.For(a.rows, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*a.cols : (i+1)*a.cols]
+			var s float64
+			for k, av := range arow {
+				s += av * x[k]
+			}
+			out[i] = s
+		}
+	})
 	return out
 }

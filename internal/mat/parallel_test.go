@@ -2,17 +2,18 @@ package mat
 
 import (
 	"math/rand"
-	"runtime"
 	"testing"
+
+	"repro/internal/par"
 )
 
-// forceParallel raises GOMAXPROCS so the parallel kernels take their
-// goroutine path even on single-CPU machines, restoring the old value on
-// cleanup.
+// forceParallel pins the par worker limit above 1 so the parallel kernels
+// take their goroutine path even on single-CPU machines, restoring the old
+// value on cleanup.
 func forceParallel(t *testing.T) {
 	t.Helper()
-	old := runtime.GOMAXPROCS(4)
-	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	old := par.SetMaxProcs(4)
+	t.Cleanup(func() { par.SetMaxProcs(old) })
 }
 
 func TestMulParallelMatchesSerial(t *testing.T) {
@@ -53,6 +54,78 @@ func TestMulBTParallelMatchesSerial(t *testing.T) {
 			t.Fatalf("%v: MulBTParallel differs from MulBT", sh)
 		}
 	}
+}
+
+func TestMulTParallelMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(157))
+	shapes := [][3]int{
+		{3, 4, 5},       // below threshold: serial fallback
+		{2000, 40, 30},  // tall-times-block, the randomized-SVD shape
+		{2001, 41, 29},  // odd sizes: uneven chunks
+		{500, 100, 100}, // squarer
+	}
+	for _, sh := range shapes {
+		a := randDense(sh[0], sh[1], rng)
+		b := randDense(sh[0], sh[2], rng)
+		got := MulTParallel(a, b)
+		want := MulT(a, b)
+		if !EqualApprox(got, want, 1e-10) {
+			t.Fatalf("%v: MulTParallel differs from MulT beyond tolerance", sh)
+		}
+	}
+}
+
+func TestMulTParallelIsDeterministic(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(158))
+	a := randDense(3000, 40, rng)
+	b := randDense(3000, 30, rng)
+	first := MulTParallel(a, b)
+	for trial := 0; trial < 5; trial++ {
+		if !EqualApprox(MulTParallel(a, b), first, 0) {
+			t.Fatalf("trial %d: MulTParallel not bitwise-deterministic for fixed MaxProcs", trial)
+		}
+	}
+}
+
+func TestMulVecParallelMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(159))
+	for _, sh := range [][2]int{{5, 7}, {3000, 800}, {2999, 801}} {
+		a := randDense(sh[0], sh[1], rng)
+		x := make([]float64, sh[1])
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := MulVecParallel(a, x)
+		want := MulVec(a, x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v row %d: parallel %v != serial %v (must be bitwise equal)", sh, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulTParallelDimensionPanic(t *testing.T) {
+	forceParallel(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dimension panic")
+		}
+	}()
+	MulTParallel(NewDense(300, 10), NewDense(301, 10))
+}
+
+func TestMulVecParallelDimensionPanic(t *testing.T) {
+	forceParallel(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dimension panic")
+		}
+	}()
+	MulVecParallel(NewDense(3000, 800), make([]float64, 799))
 }
 
 func TestParallelFewRowsClampsWorkers(t *testing.T) {

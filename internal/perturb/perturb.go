@@ -59,7 +59,7 @@ func PrincipalAngles(u1, u2 *mat.Dense) ([]float64, error) {
 	if u1.Cols() != u2.Cols() {
 		return nil, fmt.Errorf("perturb: subspace dimension mismatch %d vs %d", u1.Cols(), u2.Cols())
 	}
-	m := mat.MulT(u1, u2)
+	m := mat.MulTParallel(u1, u2) // tall-times-block Gram product
 	res, err := svd.Decompose(m)
 	if err != nil {
 		return nil, err
@@ -109,7 +109,7 @@ func Align(u1, u2 *mat.Dense, rng *rand.Rand) (*Alignment, error) {
 		return nil, fmt.Errorf("perturb: Align shape mismatch %dx%d vs %dx%d",
 			u1.Rows(), u1.Cols(), u2.Rows(), u2.Cols())
 	}
-	m := mat.MulT(u1, u2)
+	m := mat.MulTParallel(u1, u2) // tall-times-block Gram product
 	res, err := svd.Decompose(m)
 	if err != nil {
 		return nil, err

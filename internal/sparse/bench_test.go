@@ -3,6 +3,8 @@ package sparse
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/mat"
 )
 
 func benchCSR(b *testing.B, r, c int, density float64) *CSR {
@@ -50,6 +52,112 @@ func BenchmarkTMulDenseGram(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.TMulDense(d)
+	}
+}
+
+// benchCSRByRow builds an r×c matrix with ~nnzPerRow nonzeros per row by
+// direct column sampling, so paper-scale shapes (50k×10k) set up in O(nnz)
+// instead of O(r·c).
+func benchCSRByRow(b *testing.B, r, c, nnzPerRow int) *CSR {
+	b.Helper()
+	rng := rand.New(rand.NewSource(223))
+	coo := NewCOO(r, c)
+	for i := 0; i < r; i++ {
+		for k := 0; k < nnzPerRow; k++ {
+			coo.Add(i, rng.Intn(c), rng.NormFloat64())
+		}
+	}
+	return coo.ToCSR()
+}
+
+// The large-shape serial/parallel pairs below are the Section 5 scale
+// target: a 50k-term × 10k-document corpus at ~20 terms per document.
+// CI's bench-smoke job compiles and runs them once; speedup is read off a
+// multi-core `go test -bench 'MulVec.*50kx10k'` run.
+
+func BenchmarkMulVecSerial50kx10k(b *testing.B) {
+	m := benchCSRByRow(b, 50000, 10000, 20)
+	x := make([]float64, 10000)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(x)
+	}
+}
+
+func BenchmarkMulVecParallel50kx10k(b *testing.B) {
+	m := benchCSRByRow(b, 50000, 10000, 20)
+	x := make([]float64, 10000)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecParallel(x)
+	}
+}
+
+func BenchmarkMulTVecSerial50kx10k(b *testing.B) {
+	m := benchCSRByRow(b, 50000, 10000, 20)
+	x := make([]float64, 50000)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulTVec(x)
+	}
+}
+
+func BenchmarkMulTVecParallel50kx10k(b *testing.B) {
+	m := benchCSRByRow(b, 50000, 10000, 20)
+	x := make([]float64, 50000)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulTVecParallel(x)
+	}
+}
+
+func BenchmarkMulDenseSerialBlock50(b *testing.B) {
+	m := benchCSRByRow(b, 20000, 4000, 20)
+	blk := mat.NewDense(4000, 50)
+	d := blk.RawData()
+	rng := rand.New(rand.NewSource(224))
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulDense(blk)
+	}
+}
+
+func BenchmarkMulDenseParallelBlock50(b *testing.B) {
+	m := benchCSRByRow(b, 20000, 4000, 20)
+	blk := mat.NewDense(4000, 50)
+	d := blk.RawData()
+	rng := rand.New(rand.NewSource(224))
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulDenseParallel(blk)
+	}
+}
+
+func BenchmarkTMulDenseParallelGram(b *testing.B) {
+	// Parallel counterpart of BenchmarkTMulDenseGram.
+	m := benchCSR(b, 2000, 500, 0.04)
+	d := m.ToDense()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TMulDenseParallel(d)
 	}
 }
 

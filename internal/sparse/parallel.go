@@ -1,0 +1,156 @@
+package sparse
+
+import (
+	"repro/internal/mat"
+	"repro/internal/par"
+)
+
+// parMinNNZ is the nonzero count below which the parallel kernels fall
+// back to their serial counterparts: a term-document matrix with fewer
+// nonzeros multiplies faster than the fan-out costs.
+const parMinNNZ = 1 << 14
+
+// rowGrain is the minimum number of rows per chunk for row-blocked
+// kernels, keeping per-chunk work large enough to amortize dispatch even
+// on very sparse rows.
+const rowGrain = 64
+
+// MulVecParallel returns A·x like MulVec, computing disjoint row blocks on
+// separate goroutines. Each output element is produced by exactly one
+// goroutine with the serial kernel's loop order, so the result is bitwise
+// identical to MulVec for any worker count.
+func (m *CSR) MulVecParallel(x []float64) []float64 {
+	if len(m.vals) < parMinNNZ || par.MaxProcs() == 1 {
+		return m.MulVec(x)
+	}
+	if len(x) != m.cols {
+		return m.MulVec(x) // panic with the serial kernel's message
+	}
+	out := make([]float64, m.rows)
+	par.For(m.rows, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+				s += m.vals[p] * x[m.colIdx[p]]
+			}
+			out[i] = s
+		}
+	})
+	return out
+}
+
+// MulTVecParallel returns Aᵀ·x like MulTVec. Row blocks scatter into
+// per-chunk accumulators which are then combined in chunk order, so for a
+// fixed par.MaxProcs the floating-point result is bitwise-deterministic
+// across runs (though the summation grouping — and hence the last few ulps
+// — may differ from the serial MulTVec). Bounded chunking keeps at most
+// ~MaxProcs cols-length accumulators live per call.
+func (m *CSR) MulTVecParallel(x []float64) []float64 {
+	if len(m.vals) < parMinNNZ || par.MaxProcs() == 1 {
+		return m.MulTVec(x)
+	}
+	if len(x) != m.rows {
+		return m.MulTVec(x) // panic with the serial kernel's message
+	}
+	parts := par.MapChunksBounded(m.rows, rowGrain, func(lo, hi int) []float64 {
+		acc := make([]float64, m.cols)
+		for i := lo; i < hi; i++ {
+			xi := x[i]
+			if xi == 0 {
+				continue
+			}
+			for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+				acc[m.colIdx[p]] += xi * m.vals[p]
+			}
+		}
+		return acc
+	})
+	out := make([]float64, m.cols)
+	for _, acc := range parts {
+		for j, v := range acc {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// MulDenseParallel returns A·B like MulDense, row-blocked across
+// goroutines. Output rows are disjoint per chunk, so the result is bitwise
+// identical to MulDense.
+func (m *CSR) MulDenseParallel(b *mat.Dense) *mat.Dense {
+	br, bc := b.Dims()
+	if len(m.vals)*bc < parMinNNZ || par.MaxProcs() == 1 || m.cols != br {
+		return m.MulDense(b) // serial fallback; mismatches panic there
+	}
+	out := mat.NewDense(m.rows, bc)
+	par.For(m.rows, rowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Row(i)
+			for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+				v := m.vals[p]
+				brow := b.Row(m.colIdx[p])
+				for j, bv := range brow {
+					orow[j] += v * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// TMulDenseParallel returns Aᵀ·B like TMulDense. Each chunk of rows
+// scatters into its own cols×bc accumulator and the accumulators are
+// combined in chunk order — bitwise-deterministic for a fixed
+// par.MaxProcs, ulp-level different from the serial TMulDense. The
+// bounded chunking keeps at most ~MaxProcs accumulators (cols·bc floats
+// each) live at once.
+func (m *CSR) TMulDenseParallel(b *mat.Dense) *mat.Dense {
+	br, bc := b.Dims()
+	if len(m.vals)*bc < parMinNNZ || par.MaxProcs() == 1 || m.rows != br {
+		return m.TMulDense(b)
+	}
+	parts := par.MapChunksBounded(m.rows, rowGrain, func(lo, hi int) []float64 {
+		acc := make([]float64, m.cols*bc)
+		for i := lo; i < hi; i++ {
+			brow := b.Row(i)
+			for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+				v := m.vals[p]
+				arow := acc[m.colIdx[p]*bc : (m.colIdx[p]+1)*bc]
+				for j, bv := range brow {
+					arow[j] += v * bv
+				}
+			}
+		}
+		return acc
+	})
+	out := mat.NewDense(m.cols, bc)
+	od := out.RawData()
+	for _, acc := range parts {
+		for j, v := range acc {
+			od[j] += v
+		}
+	}
+	return out
+}
+
+// ParOp wraps a CSR matrix as a linear operator (svd.Op shaped: Dims,
+// MulVec, MulTVec) whose products run on the parallel kernels. Hand it to
+// the Lanczos or randomized SVD engines to parallelize their inner matvec
+// loop; note the MulTVec side is deterministic per fixed par.MaxProcs but
+// not bitwise-equal to the serial operator, so golden-value tests should
+// keep using the CSR directly.
+type ParOp struct {
+	M *CSR
+}
+
+// Par returns the matrix as a parallel linear operator.
+func (m *CSR) Par() ParOp { return ParOp{M: m} }
+
+// Dims returns (rows, cols).
+func (o ParOp) Dims() (int, int) { return o.M.Dims() }
+
+// MulVec returns A·x via the row-blocked parallel kernel.
+func (o ParOp) MulVec(x []float64) []float64 { return o.M.MulVecParallel(x) }
+
+// MulTVec returns Aᵀ·x via the chunked-reduction parallel kernel.
+func (o ParOp) MulTVec(x []float64) []float64 { return o.M.MulTVecParallel(x) }

@@ -1,0 +1,197 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/par"
+)
+
+// withProcs pins the par worker limit so the parallel kernels take their
+// goroutine path even on single-CPU machines.
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	old := par.SetMaxProcs(n)
+	t.Cleanup(func() { par.SetMaxProcs(old) })
+}
+
+// parCSR builds a random matrix big enough to clear the parallel
+// threshold (~40k nonzeros for 2000×500 at 4% density).
+func parCSR(t *testing.T, r, c int, density float64, seed int64) *CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	coo := NewCOO(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				coo.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	m := coo.ToCSR()
+	if m.NNZ() < parMinNNZ {
+		t.Fatalf("test matrix has %d nonzeros, below the parallel threshold %d", m.NNZ(), parMinNNZ)
+	}
+	return m
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var mx float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+func TestMulVecParallelBitwiseMatchesSerial(t *testing.T) {
+	withProcs(t, 4)
+	m := parCSR(t, 2000, 500, 0.04, 31)
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	got := m.MulVecParallel(x)
+	want := m.MulVec(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: parallel %v != serial %v (must be bitwise equal)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulTVecParallelMatchesSerial(t *testing.T) {
+	withProcs(t, 4)
+	m := parCSR(t, 2000, 500, 0.04, 32)
+	x := make([]float64, 2000)
+	for i := range x {
+		x[i] = math.Cos(float64(i))
+	}
+	got := m.MulTVecParallel(x)
+	want := m.MulTVec(x)
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	if d := maxAbsDiff(got, want); d > 1e-10 {
+		t.Fatalf("parallel MulTVec differs from serial by %g", d)
+	}
+}
+
+func TestMulTVecParallelIsDeterministic(t *testing.T) {
+	withProcs(t, 4)
+	m := parCSR(t, 2000, 500, 0.04, 33)
+	x := make([]float64, 2000)
+	for i := range x {
+		x[i] = 1.0 / float64(i+1)
+	}
+	first := m.MulTVecParallel(x)
+	for trial := 0; trial < 10; trial++ {
+		got := m.MulTVecParallel(x)
+		for j := range first {
+			if got[j] != first[j] {
+				t.Fatalf("trial %d col %d: %v != %v — chunked reduction not deterministic", trial, j, got[j], first[j])
+			}
+		}
+	}
+}
+
+func TestMulDenseParallelBitwiseMatchesSerial(t *testing.T) {
+	withProcs(t, 4)
+	m := parCSR(t, 2000, 500, 0.04, 34)
+	rng := rand.New(rand.NewSource(35))
+	b := mat.NewDense(500, 20)
+	d := b.RawData()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	got := m.MulDenseParallel(b)
+	want := m.MulDense(b)
+	if !mat.EqualApprox(got, want, 0) {
+		t.Fatal("MulDenseParallel not bitwise equal to MulDense")
+	}
+}
+
+func TestTMulDenseParallelMatchesSerial(t *testing.T) {
+	withProcs(t, 4)
+	m := parCSR(t, 2000, 500, 0.04, 36)
+	rng := rand.New(rand.NewSource(37))
+	b := mat.NewDense(2000, 20)
+	d := b.RawData()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	got := m.TMulDenseParallel(b)
+	want := m.TMulDense(b)
+	if !mat.EqualApprox(got, want, 1e-10) {
+		t.Fatal("TMulDenseParallel differs from TMulDense beyond tolerance")
+	}
+	first := m.TMulDenseParallel(b)
+	for trial := 0; trial < 5; trial++ {
+		if !mat.EqualApprox(m.TMulDenseParallel(b), first, 0) {
+			t.Fatalf("trial %d: TMulDenseParallel not deterministic", trial)
+		}
+	}
+}
+
+func TestParallelSmallInputFallsBackToSerial(t *testing.T) {
+	withProcs(t, 4)
+	coo := NewCOO(5, 4)
+	coo.Add(0, 1, 2)
+	coo.Add(3, 2, -1)
+	coo.Add(4, 3, 0.5)
+	m := coo.ToCSR()
+	x := []float64{1, 2, 3, 4}
+	if d := maxAbsDiff(m.MulVecParallel(x), m.MulVec(x)); d != 0 {
+		t.Fatalf("small MulVecParallel differs by %g", d)
+	}
+	y := []float64{1, -1, 2, -2, 3}
+	if d := maxAbsDiff(m.MulTVecParallel(y), m.MulTVec(y)); d != 0 {
+		t.Fatalf("small MulTVecParallel differs by %g", d)
+	}
+}
+
+func TestParallelDimensionPanics(t *testing.T) {
+	withProcs(t, 4)
+	m := parCSR(t, 2000, 500, 0.04, 38)
+	for name, fn := range map[string]func(){
+		"MulVecParallel":    func() { m.MulVecParallel(make([]float64, 499)) },
+		"MulTVecParallel":   func() { m.MulTVecParallel(make([]float64, 1999)) },
+		"MulDenseParallel":  func() { m.MulDenseParallel(mat.NewDense(499, 10)) },
+		"TMulDenseParallel": func() { m.TMulDenseParallel(mat.NewDense(1999, 10)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected dimension panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParOpMatchesKernels(t *testing.T) {
+	withProcs(t, 4)
+	m := parCSR(t, 2000, 500, 0.04, 39)
+	op := m.Par()
+	if r, c := op.Dims(); r != 2000 || c != 500 {
+		t.Fatalf("ParOp dims %dx%d", r, c)
+	}
+	x := make([]float64, 500)
+	y := make([]float64, 2000)
+	for i := range x {
+		x[i] = float64(i%5) - 2
+	}
+	for i := range y {
+		y[i] = float64(i%3) - 1
+	}
+	if d := maxAbsDiff(op.MulVec(x), m.MulVecParallel(x)); d != 0 {
+		t.Fatalf("ParOp.MulVec differs by %g", d)
+	}
+	if d := maxAbsDiff(op.MulTVec(y), m.MulTVecParallel(y)); d != 0 {
+		t.Fatalf("ParOp.MulTVec differs by %g", d)
+	}
+}

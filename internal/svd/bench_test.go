@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/mat"
+	"repro/internal/par"
+	"repro/internal/sparse"
 )
 
 func benchMatrix(b *testing.B, r, c int) *mat.Dense {
@@ -68,6 +70,52 @@ func BenchmarkRandomizedTop10Of400x200(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Randomized(op, 10, RandomizedOptions{
 			Rng: rand.New(rand.NewSource(7)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSparseByRow builds a large sparse operator shape (rows×cols,
+// ~nnzPerRow nonzeros per row) for the block-multiply benchmarks.
+func benchSparseByRow(b *testing.B, rows, cols, nnzPerRow int) *sparse.CSR {
+	b.Helper()
+	rng := rand.New(rand.NewSource(212))
+	coo := sparse.NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		for k := 0; k < nnzPerRow; k++ {
+			coo.Add(i, rng.Intn(cols), rng.NormFloat64())
+		}
+	}
+	return coo.ToCSR()
+}
+
+// The serial/parallel pair below times the subspace-iteration block
+// multiply at the paper-scale shape the ISSUE names: k=50 on a large
+// sparse corpus matrix. Randomized's apply/applyT fan one matvec per
+// sketch column across par workers; forcing par.SetMaxProcs(1) recovers
+// the serial path for comparison.
+
+func BenchmarkRandomizedK50Serial(b *testing.B) {
+	m := benchSparseByRow(b, 20000, 4000, 20)
+	old := par.SetMaxProcs(1)
+	defer par.SetMaxProcs(old)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Randomized(m, 50, RandomizedOptions{
+			PowerIters: 2, Rng: rand.New(rand.NewSource(7)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomizedK50Parallel(b *testing.B) {
+	m := benchSparseByRow(b, 20000, 4000, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Randomized(m, 50, RandomizedOptions{
+			PowerIters: 2, Rng: rand.New(rand.NewSource(7)),
 		}); err != nil {
 			b.Fatal(err)
 		}

@@ -13,6 +13,11 @@ import (
 // without densifying them — the property that made SVDPACK practical for
 // LSI and that Section 5's running-time analysis (O(mnc) for sparse A with
 // c nonzeros per column) depends on.
+//
+// MulVec and MulTVec must be safe for concurrent calls with distinct
+// inputs: the randomized engine fans block products out across goroutines,
+// one column per call. Immutable matrices (CSR, Dense) satisfy this
+// trivially.
 type Op interface {
 	Dims() (rows, cols int)
 	MulVec(x []float64) []float64  // A·x,  len(x) == cols
@@ -25,8 +30,9 @@ type DenseOp struct{ M *mat.Dense }
 // Dims returns the dimensions of the wrapped matrix.
 func (d DenseOp) Dims() (int, int) { return d.M.Dims() }
 
-// MulVec returns M·x.
-func (d DenseOp) MulVec(x []float64) []float64 { return mat.MulVec(d.M, x) }
+// MulVec returns M·x, row-blocked across par workers for large matrices
+// (bitwise identical to the serial product).
+func (d DenseOp) MulVec(x []float64) []float64 { return mat.MulVecParallel(d.M, x) }
 
 // MulTVec returns Mᵀ·x.
 func (d DenseOp) MulTVec(x []float64) []float64 { return mat.MulTVec(d.M, x) }

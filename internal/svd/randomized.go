@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/mat"
+	"repro/internal/par"
 )
 
 // RandomizedOptions tunes the randomized subspace-iteration SVD.
@@ -78,30 +79,39 @@ func Randomized(op Op, k int, opts RandomizedOptions) (*Result, error) {
 		return nil, fmt.Errorf("svd: Randomized inner decomposition: %w", err)
 	}
 	kk := min(k, len(small.S))
-	u := mat.Mul(y, small.V.SliceCols(0, kk))
+	u := mat.MulParallel(y, small.V.SliceCols(0, kk))
 	v := small.U.SliceCols(0, kk)
 	s := append([]float64(nil), small.S[:kk]...)
 	return &Result{U: u, S: s, V: v}, nil
 }
 
-// apply computes A·Z column by column for an arbitrary operator.
+// apply computes the block product A·Z column by column for an arbitrary
+// operator, fanning the q independent matvecs across par workers. Each
+// column is produced by one op.MulVec call writing a disjoint column of
+// the output, so the result is bitwise identical to the serial loop.
 func apply(op Op, z *mat.Dense) *mat.Dense {
-	rows, _ := op.Dims()
+	rows, cols := op.Dims()
 	_, q := z.Dims()
 	out := mat.NewDense(rows, q)
-	for j := 0; j < q; j++ {
-		out.SetCol(j, op.MulVec(z.Col(j)))
-	}
+	// Each matvec reads and writes at least rows+cols values; small
+	// operators collapse to a single serial chunk.
+	par.For(q, par.GrainFor(rows+cols), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			out.SetCol(j, op.MulVec(z.Col(j)))
+		}
+	})
 	return out
 }
 
-// applyT computes Aᵀ·Y column by column for an arbitrary operator.
+// applyT computes Aᵀ·Y column by column with the same fan-out as apply.
 func applyT(op Op, y *mat.Dense) *mat.Dense {
-	_, cols := op.Dims()
+	rows, cols := op.Dims()
 	_, q := y.Dims()
 	out := mat.NewDense(cols, q)
-	for j := 0; j < q; j++ {
-		out.SetCol(j, op.MulTVec(y.Col(j)))
-	}
+	par.For(q, par.GrainFor(rows+cols), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			out.SetCol(j, op.MulTVec(y.Col(j)))
+		}
+	})
 	return out
 }

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
 
@@ -113,6 +114,27 @@ func (ix *Index) Search(query []float64, topN int) []Match {
 		matches = matches[:topN]
 	}
 	return matches
+}
+
+// SearchBatch runs Search for a batch of queries, fanning whole queries
+// across par workers. The index is immutable after construction, so
+// concurrent reads are safe; element i of the result is bitwise identical
+// to Search(queries[i], topN).
+func (ix *Index) SearchBatch(queries [][]float64, topN int) [][]Match {
+	for i, q := range queries {
+		if len(q) != ix.numTerms {
+			panic(fmt.Sprintf("vsm: query %d has length %d, want %d", i, len(q), ix.numTerms))
+		}
+	}
+	out := make([][]Match, len(queries))
+	// Per-query cost is roughly one pass over the query terms plus the
+	// matched postings, bounded below by the index dimensions.
+	par.For(len(queries), par.GrainFor(ix.numTerms+ix.numDocs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = ix.Search(queries[i], topN)
+		}
+	})
+	return out
 }
 
 // SearchSparse ranks documents against a query given as parallel term/

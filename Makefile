@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt-check race bench-smoke bench
+.PHONY: all build test lint vet fmt-check race bench-smoke bench serve-smoke
 
 all: build test
 
@@ -24,10 +24,16 @@ fmt-check:
 
 lint: vet fmt-check
 
-# Race-detect the concurrency-bearing packages: the worker pool and the
-# numeric + retrieval layers built on it.
+# Race-detect the concurrency-bearing packages: the worker pool, the
+# numeric + retrieval layers built on it, and the public API + HTTP layer.
 race:
-	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/lsi ./internal/vsm
+	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/lsi ./internal/vsm ./retrieval ./retrieval/httpapi ./cmd/lsiserve
+
+# Build the serving daemon, boot it on a free port, and curl the health
+# and search endpoints — fails on any non-200.
+serve-smoke:
+	$(GO) build -o bin/lsiserve ./cmd/lsiserve
+	sh scripts/serve_smoke.sh bin/lsiserve
 
 # Compile-and-run guard for every benchmark: one iteration each, no tests.
 bench-smoke:

@@ -1,138 +1,122 @@
-// Command lsiquery builds an LSI index over plain-text documents and
-// answers interactive queries, printing the LSI ranking side by side with
-// the conventional vector-space ranking so the synonymy behaviour of the
-// paper is visible on real text.
+// Command lsiquery builds an LSI index over plain-text documents through
+// the public retrieval package and answers queries, printing the LSI
+// ranking side by side with the conventional vector-space ranking so the
+// synonymy behaviour of the paper is visible on real text.
 //
 // Usage:
 //
-//	lsiquery [-k 5] [-top 5] [file1.txt file2.txt ...]
+//	lsiquery [-k 3] [-top 5] [file1.txt file2.txt ...]
+//	lsiquery -q "car engine repair"          # non-interactive, scriptable
+//	lsiquery -save-index demo.idx            # write a self-contained index
 //
 // Each file is one document. With no files, a small built-in demo corpus
-// (cars/space/cooking themes with synonym variation) is indexed. Queries
-// are read line by line from stdin.
+// (cars/space/cooking themes with synonym variation) is indexed. Without
+// -q, queries are read line by line from stdin. Indexes written by
+// -save-index are self-contained (wire format v2: vocabulary, weighting,
+// document IDs) and can be served directly by `lsiserve -index`.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"repro/internal/corpus"
-	"repro/internal/ir"
-	"repro/internal/lsi"
-	"repro/internal/vsm"
+	"repro/retrieval"
 )
 
-// demoCorpus exercises the synonymy scenario of the paper's introduction:
-// some documents say "car", others "automobile"; some say "cosmos", others
-// "galaxy".
-var demoCorpus = []string{
-	"The car dealership sells used cars, and the mechanic inspects every engine.",
-	"An automobile dealership services automobile engines and adjusts the brakes.",
-	"The automobile mechanic repaired the engine and brakes for the driver.",
-	"The car race featured fast cars, skilled drivers and roaring engines.",
-	"Astronomers observed the galaxy through a telescope and charted distant stars.",
-	"The cosmos contains billions of galaxies, stars and planets in expansion.",
-	"A starship in science fiction travels between stars and distant galaxies.",
-	"Telescopes map stars and planets across the galaxy and measure stellar distances.",
-	"The recipe requires fresh basil, olive oil, garlic and ripe tomatoes.",
-	"Cooking pasta al dente takes about nine minutes in salted boiling water.",
-	"A good pasta sauce starts with garlic and olive oil over gentle heat.",
-	"The kitchen smelled of baked bread, garlic and roasted tomatoes.",
-}
-
-func main() {
-	k := flag.Int("k", 3, "LSI rank")
-	topN := flag.Int("top", 5, "results to show per system")
-	saveIndex := flag.String("save-index", "", "write the built LSI index to this path and exit")
-	flag.Parse()
-
-	texts := demoCorpus
-	names := make([]string, len(demoCorpus))
-	for i := range names {
-		names[i] = fmt.Sprintf("demo-%02d", i)
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lsiquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	k := fs.Int("k", 3, "LSI rank (0 = auto)")
+	topN := fs.Int("top", 5, "results to show per system")
+	saveIndex := fs.String("save-index", "", "write the built LSI index to this path and exit")
+	query := fs.String("q", "", "answer this one query and exit instead of reading stdin")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	if flag.NArg() > 0 {
-		texts = nil
-		names = nil
-		for _, path := range flag.Args() {
-			data, err := os.ReadFile(path)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "lsiquery: %v\n", err)
-				os.Exit(1)
-			}
-			texts = append(texts, string(data))
-			names = append(names, path)
+
+	docs := retrieval.DemoCorpus()
+	if fs.NArg() > 0 {
+		var err error
+		if docs, err = retrieval.ReadFiles(fs.Args()); err != nil {
+			return err
 		}
 	}
 
-	pipe := ir.NewPipeline()
-	c := pipe.ProcessAll(texts)
-	if c.NumTerms == 0 {
-		fmt.Fprintln(os.Stderr, "lsiquery: corpus is empty after preprocessing")
-		os.Exit(1)
-	}
-	a := corpus.TermDocMatrix(c, corpus.LogWeighting)
-	ix, err := lsi.Build(a, *k, lsi.Options{})
+	lsiIx, err := retrieval.Build(docs, retrieval.WithRank(*k))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lsiquery: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	if *saveIndex != "" {
 		f, err := os.Create(*saveIndex)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "lsiquery: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		if err := ix.Save(f); err != nil {
-			fmt.Fprintf(os.Stderr, "lsiquery: %v\n", err)
-			os.Exit(1)
+		if err := lsiIx.Save(f); err != nil {
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "lsiquery: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("Saved rank-%d index over %d documents to %s\n", ix.K(), ix.NumDocs(), *saveIndex)
-		return
+		fmt.Fprintf(stdout, "Saved self-contained rank-%d index over %d documents to %s\n",
+			lsiIx.Rank(), lsiIx.NumDocs(), *saveIndex)
+		return nil
 	}
-	vix := vsm.NewFromMatrix(a)
-	fmt.Printf("Indexed %d documents, %d terms, rank-%d LSI. Enter queries (Ctrl-D to quit).\n",
-		len(c.Docs), c.NumTerms, ix.K())
+	vsmIx, err := retrieval.Build(docs, retrieval.WithBackend(retrieval.BackendVSM))
+	if err != nil {
+		return err
+	}
 
-	sc := bufio.NewScanner(os.Stdin)
-	fmt.Print("query> ")
-	for sc.Scan() {
-		query := sc.Text()
-		terms := pipe.Terms(query)
-		q := make([]float64, c.NumTerms)
-		known := 0
-		for _, term := range terms {
-			if id, ok := pipe.Vocab.Lookup(term); ok {
-				q[id]++
-				known++
-			}
+	ctx := context.Background()
+	answer := func(q string) error {
+		res, err := lsiIx.Search(ctx, q, *topN)
+		if errors.Is(err, retrieval.ErrNoQueryTerms) {
+			fmt.Fprintln(stdout, "  (no query terms in the vocabulary)")
+			return nil
 		}
-		if known == 0 {
-			fmt.Println("  (no query terms in the vocabulary)")
-			fmt.Print("query> ")
-			continue
+		if err != nil {
+			return err
 		}
-		fmt.Println("  LSI:")
-		for _, m := range ix.Search(q, *topN) {
-			fmt.Printf("    %-12s score=%.4f  %s\n", names[m.Doc], m.Score, snippet(texts[m.Doc]))
+		fmt.Fprintln(stdout, "  LSI:")
+		for _, m := range res {
+			fmt.Fprintf(stdout, "    %-12s score=%.4f  %s\n", m.ID, m.Score, snippet(docs[m.Doc].Text))
 		}
-		fmt.Println("  VSM:")
-		vres := vix.Search(q, *topN)
+		fmt.Fprintln(stdout, "  VSM:")
+		vres, err := vsmIx.Search(ctx, q, *topN)
+		if err != nil && !errors.Is(err, retrieval.ErrNoQueryTerms) {
+			return err
+		}
 		if len(vres) == 0 {
-			fmt.Println("    (no literal term matches)")
+			fmt.Fprintln(stdout, "    (no literal term matches)")
 		}
 		for _, m := range vres {
-			fmt.Printf("    %-12s score=%.4f  %s\n", names[m.Doc], m.Score, snippet(texts[m.Doc]))
+			fmt.Fprintf(stdout, "    %-12s score=%.4f  %s\n", m.ID, m.Score, snippet(docs[m.Doc].Text))
 		}
-		fmt.Print("query> ")
+		return nil
 	}
-	fmt.Println()
+
+	if *query != "" {
+		fmt.Fprintf(stdout, "query: %s\n", *query)
+		return answer(*query)
+	}
+
+	fmt.Fprintf(stdout, "Indexed %d documents, %d terms, rank-%d LSI. Enter queries (Ctrl-D to quit).\n",
+		lsiIx.NumDocs(), lsiIx.NumTerms(), lsiIx.Rank())
+	sc := bufio.NewScanner(stdin)
+	fmt.Fprint(stdout, "query> ")
+	for sc.Scan() {
+		if err := answer(sc.Text()); err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, "query> ")
+	}
+	fmt.Fprintln(stdout)
+	return sc.Err()
 }
 
 func snippet(text string) string {
@@ -141,4 +125,13 @@ func snippet(text string) string {
 		return text
 	}
 	return text[:max] + "..."
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "lsiquery: %v\n", err)
+		}
+		os.Exit(1)
+	}
 }

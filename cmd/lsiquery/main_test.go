@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNonInteractiveQuery is the CLI smoke test: `lsiquery -q` on the
+// built-in demo corpus must print both rankings, with the LSI side
+// showing the synonymy effect ("car" retrieves the "automobile"
+// documents that literal matching cannot reach).
+func TestNonInteractiveQuery(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-q", "car", "-top", "4"}, strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"query: car", "LSI:", "VSM:", "demo-01", "demo-02"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The VSM section must not contain the synonym-only documents; they
+	// appear only under LSI.
+	vsmPart := got[strings.Index(got, "VSM:"):]
+	if strings.Contains(vsmPart, "demo-01") || strings.Contains(vsmPart, "demo-02") {
+		t.Fatalf("VSM ranking retrieved synonym-only documents:\n%s", got)
+	}
+}
+
+func TestUnknownVocabularyQuery(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-q", "zzzunknownzzz"}, strings.NewReader(""), &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no query terms in the vocabulary") {
+		t.Fatalf("missing vocabulary notice:\n%s", out.String())
+	}
+}
+
+func TestInteractiveLoop(t *testing.T) {
+	var out bytes.Buffer
+	in := strings.NewReader("galaxy\npasta sauce\n")
+	if err := run(nil, in, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Count(got, "LSI:") != 2 || strings.Count(got, "query> ") != 3 {
+		t.Fatalf("interactive loop output wrong:\n%s", got)
+	}
+}
+
+func TestSaveIndexRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "demo.idx")
+	var out bytes.Buffer
+	if err := run([]string{"-save-index", path}, strings.NewReader(""), &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Saved self-contained rank-3 index over 12 documents") {
+		t.Fatalf("save message wrong:\n%s", out.String())
+	}
+	// lsiserve-style load must serve text queries from it (covered in
+	// depth by retrieval's tests; this is the CLI-level smoke).
+	fi, err := filepath.Glob(path)
+	if err != nil || len(fi) != 1 {
+		t.Fatalf("index file missing: %v %v", fi, err)
+	}
+}

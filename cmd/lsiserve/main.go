@@ -1,0 +1,185 @@
+// Command lsiserve is the HTTP/JSON retrieval daemon: it builds (or
+// loads) an index through the public retrieval package and serves it via
+// the retrieval/httpapi endpoints:
+//
+//	POST /v1/search        one query (text or raw vector)
+//	POST /v1/search:batch  many queries in one call
+//	GET  /v1/stats         index description
+//	GET  /healthz          liveness probe
+//
+// Usage:
+//
+//	lsiserve [-addr :8080] [-k 0] [-backend lsi] [-weighting log] [file1.txt ...]
+//	lsiserve -index saved.idx
+//
+// Each file argument is one document; with no files (and no -index) the
+// built-in demo corpus is served, which is what the CI smoke test and
+// the quickstart curl examples use. The daemon shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/retrieval"
+	"repro/retrieval/httpapi"
+)
+
+type serveConfig struct {
+	addr      string
+	indexPath string
+	rank      int
+	backend   string
+	weighting string
+	timeout   time.Duration
+	maxTopN   int
+	files     []string
+}
+
+func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
+	cfg := serveConfig{}
+	fs := flag.NewFlagSet("lsiserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	fs.StringVar(&cfg.indexPath, "index", "", "serve a saved index instead of building one")
+	fs.IntVar(&cfg.rank, "k", 0, "LSI rank (0 = auto)")
+	fs.StringVar(&cfg.backend, "backend", "lsi", "retrieval backend: lsi or vsm")
+	fs.StringVar(&cfg.weighting, "weighting", "log", "term weighting: count, binary, log, or tfidf")
+	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request search timeout")
+	fs.IntVar(&cfg.maxTopN, "top-max", 100, "cap on per-query result count")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	cfg.files = fs.Args()
+	// A saved index fixes its backend, rank, and weighting at build time;
+	// refuse invocations that would silently discard build flags or files.
+	if cfg.indexPath != "" {
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "k", "backend", "weighting":
+				conflicts = append(conflicts, "-"+f.Name)
+			}
+		})
+		if len(cfg.files) > 0 {
+			conflicts = append(conflicts, "file arguments")
+		}
+		if len(conflicts) > 0 {
+			return cfg, fmt.Errorf("-index serves a prebuilt index; %s cannot apply (rebuild and re-save instead)",
+				strings.Join(conflicts, ", "))
+		}
+	}
+	return cfg, nil
+}
+
+// newRetriever builds or loads the index the daemon serves.
+func newRetriever(cfg serveConfig) (*retrieval.Index, error) {
+	if cfg.indexPath != "" {
+		f, err := os.Open(cfg.indexPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return retrieval.Load(f)
+	}
+	backend, err := retrieval.ParseBackend(cfg.backend)
+	if err != nil {
+		return nil, err
+	}
+	weighting, err := retrieval.ParseWeighting(cfg.weighting)
+	if err != nil {
+		return nil, err
+	}
+	docs := retrieval.DemoCorpus()
+	if len(cfg.files) > 0 {
+		var err error
+		if docs, err = retrieval.ReadFiles(cfg.files); err != nil {
+			return nil, err
+		}
+	}
+	return retrieval.Build(docs,
+		retrieval.WithBackend(backend),
+		retrieval.WithRank(cfg.rank),
+		retrieval.WithWeighting(weighting),
+	)
+}
+
+// serve runs the daemon on ln until ctx is canceled, then drains
+// in-flight requests for up to shutdownTimeout. It reports the bound
+// address on out before accepting traffic (the smoke script and the e2e
+// test parse that line).
+func serve(ctx context.Context, ln net.Listener, handler http.Handler, shutdownTimeout time.Duration, out io.Writer) error {
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(out, "lsiserve: listening on http://%s\n", ln.Addr())
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("lsiserve: shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		return err
+	}
+	ret, err := newRetriever(cfg)
+	if err != nil {
+		return err
+	}
+	stats := ret.Stats()
+	fmt.Fprintf(stdout, "lsiserve: %s index, %d documents, %d terms", stats.Backend, stats.NumDocs, stats.NumTerms)
+	if stats.Rank > 0 {
+		fmt.Fprintf(stdout, ", rank %d", stats.Rank)
+	}
+	fmt.Fprintln(stdout)
+	if !stats.TextQueries {
+		// A v1-format file carries no vocabulary: the daemon can answer
+		// vector queries but every text search will 400. Say so at boot
+		// instead of looking healthy and failing per request.
+		fmt.Fprintln(stderr, "lsiserve: WARNING: index has no vocabulary (v1 format?); text queries will fail — re-save it with a current build to upgrade")
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	handler := httpapi.NewHandler(ret, httpapi.Options{
+		Timeout: cfg.timeout,
+		MaxTopN: cfg.maxTopN,
+	})
+	return serve(ctx, ln, handler, 10*time.Second, stdout)
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintf(os.Stderr, "lsiserve: %v\n", err)
+		os.Exit(1)
+	}
+}

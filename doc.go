@@ -4,9 +4,12 @@
 //	"Latent Semantic Indexing: A Probabilistic Analysis."
 //	PODS 1998; JCSS 61(2):217–235, 2000.
 //
-// The implementation lives under internal/ (see DESIGN.md for the system
-// inventory), runnable demos under examples/, and CLI tools under cmd/.
-// The benchmarks in bench_test.go regenerate every table and figure of the
-// paper's evaluation; EXPERIMENTS.md records paper-reported versus measured
+// The public API is the retrieval package — building, querying,
+// persisting, and serving LSI and vector-space indexes over raw text —
+// with the HTTP daemon in cmd/lsiserve. Implementation internals live
+// under internal/ (see DESIGN.md for the system inventory), runnable
+// demos under examples/, and CLI tools under cmd/. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation; EXPERIMENTS.md records paper-reported versus measured
 // values.
 package repro

@@ -1,17 +1,15 @@
-// Quickstart: index a handful of text documents with LSI and query them,
-// demonstrating the synonymy behaviour that motivates the paper — a query
-// for "car" retrieves "automobile" documents under LSI but not under the
-// conventional vector-space model.
+// Quickstart: index a handful of text documents through the public
+// retrieval package and query them, demonstrating the synonymy behaviour
+// that motivates the paper — a query for "car" retrieves "automobile"
+// documents under LSI but not under the conventional vector-space model.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/corpus"
-	"repro/internal/ir"
-	"repro/internal/lsi"
-	"repro/internal/vsm"
+	"repro/retrieval"
 )
 
 func main() {
@@ -31,33 +29,35 @@ func main() {
 		"The pasta recipe calls for garlic, olive oil and a slow-simmered tomato sauce.",       // 8: cooking
 	}
 
-	// 1. Preprocess: tokenize, drop stopwords, stem, build the vocabulary.
-	pipe := ir.NewPipeline()
-	c := pipe.ProcessAll(docs)
-
-	// 2. Build the term-document matrix and a rank-3 LSI index over it.
-	a := corpus.TermDocMatrix(c, corpus.LogWeighting)
-	index, err := lsi.Build(a, 3, lsi.Options{})
+	// One constructor per system: the same corpus behind the same
+	// Retriever interface, differing only in backend. Tokenization,
+	// stopword removal, stemming, and the vocabulary are handled inside.
+	index, err := retrieval.BuildTexts(docs, retrieval.WithRank(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	baseline := vsm.NewFromMatrix(a)
-
-	// 3. Query for "car": documents 1 and 2 never use the word.
-	query := make([]float64, c.NumTerms)
-	for _, term := range pipe.Terms("car") {
-		if id, ok := pipe.Vocab.Lookup(term); ok {
-			query[id]++
-		}
+	baseline, err := retrieval.BuildTexts(docs, retrieval.WithBackend(retrieval.BackendVSM))
+	if err != nil {
+		log.Fatal(err)
 	}
 
+	// Query for "car": documents 1 and 2 never use the word.
+	ctx := context.Background()
 	fmt.Println("Query: \"car\"")
 	fmt.Println("\nLSI ranking (semantic):")
-	for _, m := range index.Search(query, 4) {
+	results, err := index.Search(ctx, "car", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range results {
 		fmt.Printf("  doc %d  score=%.3f  %s\n", m.Doc, m.Score, docs[m.Doc])
 	}
 	fmt.Println("\nVector-space ranking (literal):")
-	for _, m := range baseline.Search(query, 4) {
+	results, err = baseline.Search(ctx, "car", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range results {
 		fmt.Printf("  doc %d  score=%.3f  %s\n", m.Doc, m.Score, docs[m.Doc])
 	}
 	fmt.Println("\nNote how LSI surfaces the \"automobile\" documents that literal")

@@ -108,7 +108,10 @@ func TestTextFoldInNewDocument(t *testing.T) {
 	// The pipeline may have grown the vocabulary; truncate to the indexed
 	// universe (unseen terms cannot contribute to fold-in by definition).
 	vec = vec[:c.NumTerms]
-	id := index.AppendDocument(vec)
+	id, err := index.AppendDocument(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res := index.SearchProjected(index.DocVector(id), 4)
 	labels := ir.SampleLabels()
 	for _, m := range res {

@@ -19,6 +19,26 @@ func NewVocabulary() *Vocabulary {
 	return &Vocabulary{ids: map[string]int{}}
 }
 
+// NewVocabularyFromTerms rebuilds a vocabulary from a term list in ID order
+// (the inverse of Terms). It returns an error on duplicate terms, which
+// would make term→ID lookups ambiguous.
+func NewVocabularyFromTerms(terms []string) (*Vocabulary, error) {
+	v := &Vocabulary{ids: make(map[string]int, len(terms)), terms: append([]string(nil), terms...)}
+	for id, t := range v.terms {
+		if prev, ok := v.ids[t]; ok {
+			return nil, fmt.Errorf("ir: duplicate term %q at IDs %d and %d", t, prev, id)
+		}
+		v.ids[t] = id
+	}
+	return v, nil
+}
+
+// Terms returns the terms in ID order (a copy; the vocabulary is not
+// affected by mutations of the result).
+func (v *Vocabulary) Terms() []string {
+	return append([]string(nil), v.terms...)
+}
+
 // IDOf returns the ID of a term, adding it if unseen.
 func (v *Vocabulary) IDOf(term string) int {
 	if id, ok := v.ids[term]; ok {

@@ -10,19 +10,35 @@ import (
 // AppendDocument folds a new term-space document vector into the index
 // without recomputing the SVD (the standard LSI "folding-in" update: the
 // new document is represented by Uₖᵀ·d, exactly how queries are projected,
-// and appended to the document matrix). It returns the new document's ID.
+// and appended to the document matrix). It returns the new document's ID,
+// or an error if the vector length does not match the vocabulary — the
+// same validated contract as AppendDocuments, and the index is left
+// unchanged on error.
 //
 // Folding-in keeps the original latent space fixed, so it is exact for
 // documents drawn from the same corpus model and degrades as the corpus
 // drifts; rebuild the index periodically when adding many documents.
-func (ix *Index) AppendDocument(d []float64) int {
-	proj := ix.Project(d) // validates the length
+func (ix *Index) AppendDocument(d []float64) (int, error) {
+	if len(d) != ix.numTerms {
+		return 0, fmt.Errorf("lsi: document has %d terms, want %d", len(d), ix.numTerms)
+	}
+	proj := mat.MulTVec(ix.uk, d)
 	m, k := ix.docs.Dims()
 	grown := mat.NewDense(m+1, k)
 	copy(grown.RawData(), ix.docs.RawData())
 	grown.SetRow(m, proj)
 	ix.docs = grown
-	return m
+	return m, nil
+}
+
+// MustAppend is AppendDocument for callers that treat a length mismatch as
+// a programming error: it panics instead of returning the error.
+func (ix *Index) MustAppend(d []float64) int {
+	id, err := ix.AppendDocument(d)
+	if err != nil {
+		panic(err.Error())
+	}
+	return id
 }
 
 // AppendDocuments folds a batch of term-space document vectors into the

@@ -17,7 +17,10 @@ func TestAppendDocumentReproducesIndexedVector(t *testing.T) {
 	}
 	m := ix.NumDocs()
 	// Folding in column 0 again must produce its stored representation.
-	id := ix.AppendDocument(a.Col(0))
+	id, err := ix.AppendDocument(a.Col(0))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if id != m {
 		t.Fatalf("new doc ID %d, want %d", id, m)
 	}
@@ -64,7 +67,10 @@ func TestAppendDocumentFromModel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		id := ix.AppendDocument(vec)
+		id, err := ix.AppendDocument(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
 		// Nearest original neighbour must share the new doc's topic.
 		res := ix.SearchProjected(ix.DocVector(id), 0)
 		for _, m := range res {
@@ -116,8 +122,23 @@ func TestAppendDocumentsValidatesBeforeMutating(t *testing.T) {
 	}
 }
 
-func TestAppendDocumentWrongLengthPanics(t *testing.T) {
+func TestAppendDocumentWrongLengthErrors(t *testing.T) {
 	c := testCorpus(t, 2, 5, 0, 8, 165)
+	ix, err := BuildFromCorpus(c, 2, corpus.CountWeighting, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := ix.NumDocs()
+	if _, err := ix.AppendDocument([]float64{1}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if ix.NumDocs() != docs {
+		t.Fatalf("index mutated on failed append: %d docs", ix.NumDocs())
+	}
+}
+
+func TestMustAppendPanicsOnWrongLength(t *testing.T) {
+	c := testCorpus(t, 2, 5, 0, 8, 166)
 	ix, err := BuildFromCorpus(c, 2, corpus.CountWeighting, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -127,5 +148,5 @@ func TestAppendDocumentWrongLengthPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	ix.AppendDocument([]float64{1})
+	ix.MustAppend([]float64{1})
 }

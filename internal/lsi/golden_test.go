@@ -1,0 +1,173 @@
+package lsi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// testdata/index_v1.gob is a golden wire-format-v1 index written by the
+// pre-v2 Save (rank-3 dense-engine LSI over the 12-document demo corpus
+// with log weighting). It pins backward compatibility: v1 files must keep
+// loading after any future format bump.
+func TestLoadGoldenV1Index(t *testing.T) {
+	f, err := os.Open("testdata/index_v1.gob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ix, meta, err := LoadMeta(f)
+	if err != nil {
+		t.Fatalf("golden v1 index failed to load: %v", err)
+	}
+	if meta != nil {
+		t.Fatalf("v1 stream produced metadata %+v, want nil", meta)
+	}
+	if ix.K() != 3 || ix.NumTerms() != 69 || ix.NumDocs() != 12 {
+		t.Fatalf("golden shape k=%d terms=%d docs=%d, want 3/69/12", ix.K(), ix.NumTerms(), ix.NumDocs())
+	}
+	// Singular values recorded at generation time (dense SVD, deterministic).
+	wantSigma := []float64{4.002197456292711, 3.893417461616264, 3.595891480498016}
+	for i, want := range wantSigma {
+		if math.Abs(ix.SingularValues()[i]-want) > 1e-9 {
+			t.Fatalf("sigma[%d] = %v, want %v", i, ix.SingularValues()[i], want)
+		}
+	}
+	// The loaded index must answer vector queries: querying with any
+	// document's own representation scores that document at cosine ≈ 1.
+	// (Near-synonymous demo documents can tie at 1, so top-1 identity is
+	// not guaranteed — the self-score is.)
+	for j := 0; j < ix.NumDocs(); j++ {
+		self := math.Inf(-1)
+		for _, m := range ix.SearchProjected(ix.DocVector(j), 0) {
+			if m.Doc == j {
+				self = m.Score
+			}
+		}
+		if self < 1-1e-9 {
+			t.Fatalf("doc %d self-similarity %v, want ~1", j, self)
+		}
+	}
+}
+
+func TestSaveMetaRoundTrip(t *testing.T) {
+	c := testCorpus(t, 2, 8, 0.05, 10, 243)
+	a := corpus.TermDocMatrix(c, corpus.LogWeighting)
+	ix, err := Build(a, 2, Options{Engine: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := make([]string, ix.NumTerms())
+	for i := range vocab {
+		vocab[i] = string(rune('a'+i%26)) + string(rune('a'+i/26))
+	}
+	ids := make([]string, ix.NumDocs())
+	for i := range ids {
+		ids[i] = "doc-" + string(rune('0'+i))
+	}
+	meta := &Meta{
+		Vocab:           vocab,
+		WeightingName:   "log",
+		DocIDs:          ids,
+		RemoveStopwords: true,
+		Stemming:        true,
+	}
+	var buf bytes.Buffer
+	if err := ix.SaveMeta(&buf, meta); err != nil {
+		t.Fatal(err)
+	}
+	loaded, got, err := LoadMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("metadata lost through save/load")
+	}
+	if len(got.Vocab) != len(vocab) || got.Vocab[3] != vocab[3] {
+		t.Fatalf("vocabulary mangled: %v", got.Vocab)
+	}
+	if got.WeightingName != "log" || !got.RemoveStopwords || !got.Stemming {
+		t.Fatalf("pipeline config mangled: %+v", got)
+	}
+	if len(got.DocIDs) != ix.NumDocs() || got.DocIDs[0] != "doc-0" {
+		t.Fatalf("doc IDs mangled: %v", got.DocIDs)
+	}
+	if loaded.K() != ix.K() || loaded.NumDocs() != ix.NumDocs() {
+		t.Fatalf("index shape changed: k=%d docs=%d", loaded.K(), loaded.NumDocs())
+	}
+}
+
+// Plain Save carries no metadata, so its payload is exactly v1-shaped;
+// it must stamp version 1 to stay loadable by pre-v2 readers, while
+// metadata-carrying saves claim version 2.
+func TestSaveVersionStamping(t *testing.T) {
+	c := testCorpus(t, 2, 8, 0.05, 10, 245)
+	ix, err := BuildFromCorpus(c, 2, corpus.CountWeighting, Options{Engine: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	version := func(data []byte) int {
+		var probe struct{ Version int }
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&probe); err != nil {
+			t.Fatal(err)
+		}
+		return probe.Version
+	}
+	var plain bytes.Buffer
+	if err := ix.Save(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if v := version(plain.Bytes()); v != 1 {
+		t.Fatalf("metadata-less save stamped version %d, want 1", v)
+	}
+	var withMeta bytes.Buffer
+	vocab := make([]string, ix.NumTerms())
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("t%d", i)
+	}
+	if err := ix.SaveMeta(&withMeta, &Meta{Vocab: vocab, WeightingName: "count"}); err != nil {
+		t.Fatal(err)
+	}
+	if v := version(withMeta.Bytes()); v != 2 {
+		t.Fatalf("metadata save stamped version %d, want 2", v)
+	}
+}
+
+func TestSaveMetaValidatesDimensions(t *testing.T) {
+	c := testCorpus(t, 2, 8, 0.05, 10, 244)
+	ix, err := BuildFromCorpus(c, 2, corpus.CountWeighting, Options{Engine: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.SaveMeta(&buf, &Meta{Vocab: []string{"only", "two"}}); err == nil {
+		t.Fatal("expected vocabulary dimension error")
+	}
+	if err := ix.SaveMeta(&buf, &Meta{DocIDs: []string{"d0"}}); err == nil {
+		t.Fatal("expected doc-ID dimension error")
+	}
+}
+
+func TestLoadRejectsFutureVersion(t *testing.T) {
+	var buf bytes.Buffer
+	future := indexWire{
+		Version: 99, K: 1, NumTerms: 1, Sigma: []float64{1},
+		UkRows: 1, UkData: []float64{1}, DocRows: 1, DocData: []float64{1},
+	}
+	if err := gob.NewEncoder(&buf).Encode(future); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf)
+	if err == nil {
+		t.Fatal("future version should fail to load")
+	}
+	if !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("error %q does not name the offending version", err)
+	}
+}

@@ -141,7 +141,7 @@ func TestAppendDocumentsParallelMatchesSequentialFold(t *testing.T) {
 		t.Fatalf("first appended ID %d, want %d", start, ref.NumDocs())
 	}
 	for i, q := range queries {
-		id := ref.AppendDocument(q)
+		id := ref.MustAppend(q)
 		want := ref.DocVector(id)
 		got := ix.DocVector(start + i)
 		for j := range want {

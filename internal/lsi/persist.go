@@ -10,8 +10,17 @@ import (
 
 // indexWire is the serialized form of an Index. The latent basis and the
 // document representations are stored row-major; everything an Index needs
-// to answer queries is included, so a loaded index serves searches without
-// access to the original matrix.
+// to answer vector queries is included, so a loaded index serves searches
+// without access to the original matrix.
+//
+// Version history (gob matches fields by name, so older streams decode
+// into this struct with the newer fields left zero):
+//
+//	v1: numeric payload only (K, NumTerms, Sigma, UkRows/UkData,
+//	    DocRows/DocData).
+//	v2: adds the optional self-containment metadata of Meta (vocabulary,
+//	    weighting, document IDs, text-pipeline flags) so a saved index can
+//	    answer *text* queries without the corpus that built it.
 type indexWire struct {
 	Version  int
 	K        int
@@ -21,15 +30,62 @@ type indexWire struct {
 	UkData   []float64
 	DocRows  int
 	DocData  []float64
+
+	// v2 metadata; all zero in v1 streams and in v2 streams saved
+	// without metadata.
+	Vocab           []string
+	WeightingName   string
+	DocIDs          []string
+	RemoveStopwords bool
+	Stemming        bool
 }
 
-const wireVersion = 1
+// WireVersion is the wire-format version Save writes and the newest
+// version Load accepts. The public retrieval package's loader keys its
+// own version check off this constant so the two can never skew.
+const WireVersion = 2
+
+const wireVersion = WireVersion
+
+// Meta is the optional self-containment metadata stored alongside an index
+// by SaveMeta: everything the text layer needs to turn a query string into
+// a term-space vector against this index, plus stable external document
+// IDs. The lsi package itself does not interpret it — the public retrieval
+// package does.
+type Meta struct {
+	// Vocab lists the vocabulary terms in term-ID order; its length must
+	// equal the index's NumTerms.
+	Vocab []string
+	// WeightingName names the corpus.Weighting the term-document matrix
+	// was built with (e.g. "log").
+	WeightingName string
+	// DocIDs lists external document identifiers in document order; its
+	// length must equal the index's NumDocs.
+	DocIDs []string
+	// RemoveStopwords and Stemming record the text-pipeline configuration
+	// used at build time, so queries are preprocessed identically.
+	RemoveStopwords bool
+	Stemming        bool
+}
 
 // Save writes the index to w in a self-contained binary format (gob).
 // The original term-document matrix is not needed to use a loaded index.
+// Indexes written by Save carry no text metadata; use SaveMeta to bundle a
+// vocabulary and weighting so text queries work against the loaded index.
 func (ix *Index) Save(w io.Writer) error {
+	return ix.SaveMeta(w, nil)
+}
+
+// SaveMeta writes the index together with optional self-containment
+// metadata (nil meta is allowed and equivalent to Save). It validates that
+// the metadata dimensions match the index before writing anything.
+//
+// Streams without metadata are stamped version 1 — their payload is
+// exactly v1-shaped, so readers built before the v2 bump keep loading
+// them; only metadata-carrying streams claim version 2.
+func (ix *Index) SaveMeta(w io.Writer, meta *Meta) error {
 	wire := indexWire{
-		Version:  wireVersion,
+		Version:  1,
 		K:        ix.k,
 		NumTerms: ix.numTerms,
 		Sigma:    ix.sigma,
@@ -38,37 +94,107 @@ func (ix *Index) Save(w io.Writer) error {
 		DocRows:  ix.docs.Rows(),
 		DocData:  ix.docs.RawData(),
 	}
+	if meta != nil {
+		if len(meta.Vocab) > 0 && len(meta.Vocab) != ix.numTerms {
+			return fmt.Errorf("lsi: save: vocabulary has %d terms, index has %d", len(meta.Vocab), ix.numTerms)
+		}
+		if len(meta.DocIDs) > 0 && len(meta.DocIDs) != ix.NumDocs() {
+			return fmt.Errorf("lsi: save: %d doc IDs for %d documents", len(meta.DocIDs), ix.NumDocs())
+		}
+		wire.Vocab = meta.Vocab
+		wire.WeightingName = meta.WeightingName
+		wire.DocIDs = meta.DocIDs
+		wire.RemoveStopwords = meta.RemoveStopwords
+		wire.Stemming = meta.Stemming
+		if len(meta.Vocab) > 0 || len(meta.DocIDs) > 0 || meta.WeightingName != "" {
+			wire.Version = wireVersion
+		}
+	}
 	if err := gob.NewEncoder(w).Encode(wire); err != nil {
 		return fmt.Errorf("lsi: save: %w", err)
 	}
 	return nil
 }
 
-// Load reads an index previously written by Save.
-func Load(r io.Reader) (*Index, error) {
-	var wire indexWire
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("lsi: load: %w", err)
-	}
-	if wire.Version != wireVersion {
-		return nil, fmt.Errorf("lsi: load: unsupported index version %d", wire.Version)
-	}
-	if wire.K < 0 || wire.NumTerms <= 0 || len(wire.Sigma) != wire.K {
+// IndexParts is the validated raw material of a persisted Index — the
+// wire payload a loader hands to NewIndexFromParts. The public retrieval
+// package decodes its own wire envelope into these parts so the stream is
+// read exactly once.
+type IndexParts struct {
+	K        int
+	NumTerms int
+	Sigma    []float64
+	UkRows   int
+	UkData   []float64 // n×k row-major basis
+	DocRows  int
+	DocData  []float64 // m×k row-major document representations
+}
+
+// NewIndexFromParts reconstructs an Index from serialized parts,
+// validating every dimension (the data slices are adopted, not copied).
+func NewIndexFromParts(p IndexParts) (*Index, error) {
+	if p.K < 0 || p.NumTerms <= 0 || len(p.Sigma) != p.K {
 		return nil, fmt.Errorf("lsi: load: corrupt header (k=%d, terms=%d, sigmas=%d)",
-			wire.K, wire.NumTerms, len(wire.Sigma))
+			p.K, p.NumTerms, len(p.Sigma))
 	}
-	if wire.UkRows != wire.NumTerms || len(wire.UkData) != wire.UkRows*wire.K {
-		return nil, fmt.Errorf("lsi: load: corrupt basis (%d rows, %d values)", wire.UkRows, len(wire.UkData))
+	if p.UkRows != p.NumTerms || len(p.UkData) != p.UkRows*p.K {
+		return nil, fmt.Errorf("lsi: load: corrupt basis (%d rows, %d values)", p.UkRows, len(p.UkData))
 	}
-	if wire.DocRows < 0 || len(wire.DocData) != wire.DocRows*wire.K {
+	if p.DocRows < 0 || len(p.DocData) != p.DocRows*p.K {
 		return nil, fmt.Errorf("lsi: load: corrupt document matrix (%d rows, %d values)",
-			wire.DocRows, len(wire.DocData))
+			p.DocRows, len(p.DocData))
 	}
 	return &Index{
-		k:        wire.K,
-		numTerms: wire.NumTerms,
-		sigma:    wire.Sigma,
-		uk:       mat.NewDenseData(wire.UkRows, wire.K, wire.UkData),
-		docs:     mat.NewDenseData(wire.DocRows, wire.K, wire.DocData),
+		k:        p.K,
+		numTerms: p.NumTerms,
+		sigma:    p.Sigma,
+		uk:       mat.NewDenseData(p.UkRows, p.K, p.UkData),
+		docs:     mat.NewDenseData(p.DocRows, p.K, p.DocData),
+	}, nil
+}
+
+// Load reads an index previously written by Save or SaveMeta (any
+// supported wire version), discarding metadata if present.
+func Load(r io.Reader) (*Index, error) {
+	ix, _, err := LoadMeta(r)
+	return ix, err
+}
+
+// LoadMeta reads an index and its self-containment metadata. The metadata
+// is nil for v1 streams and for indexes saved without it (plain Save);
+// such indexes answer vector queries but the caller must supply a
+// vocabulary from elsewhere to serve text queries.
+func LoadMeta(r io.Reader) (*Index, *Meta, error) {
+	var wire indexWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, nil, fmt.Errorf("lsi: load: %w", err)
+	}
+	if wire.Version < 1 || wire.Version > wireVersion {
+		return nil, nil, fmt.Errorf("lsi: load: index format version %d is not supported by this build (supported: 1..%d); rebuild the index or upgrade",
+			wire.Version, wireVersion)
+	}
+	ix, err := NewIndexFromParts(IndexParts{
+		K: wire.K, NumTerms: wire.NumTerms, Sigma: wire.Sigma,
+		UkRows: wire.UkRows, UkData: wire.UkData,
+		DocRows: wire.DocRows, DocData: wire.DocData,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(wire.Vocab) > 0 && len(wire.Vocab) != wire.NumTerms {
+		return nil, nil, fmt.Errorf("lsi: load: vocabulary has %d terms, index has %d", len(wire.Vocab), wire.NumTerms)
+	}
+	if len(wire.DocIDs) > 0 && len(wire.DocIDs) != wire.DocRows {
+		return nil, nil, fmt.Errorf("lsi: load: %d doc IDs for %d documents", len(wire.DocIDs), wire.DocRows)
+	}
+	if len(wire.Vocab) == 0 && len(wire.DocIDs) == 0 && wire.WeightingName == "" {
+		return ix, nil, nil
+	}
+	return ix, &Meta{
+		Vocab:           wire.Vocab,
+		WeightingName:   wire.WeightingName,
+		DocIDs:          wire.DocIDs,
+		RemoveStopwords: wire.RemoveStopwords,
+		Stemming:        wire.Stemming,
 	}, nil
 }

@@ -43,7 +43,10 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		}
 	}
 	// And accept fold-ins.
-	id := loaded.AppendDocument(a.Col(0))
+	id, err := loaded.AppendDocument(a.Col(0))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if mat.Dist(loaded.DocVector(id), loaded.DocVector(0)) > 1e-10 {
 		t.Fatal("fold-in on a loaded index is wrong")
 	}

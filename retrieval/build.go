@@ -1,0 +1,309 @@
+package retrieval
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/lsi"
+	"repro/internal/par"
+	"repro/internal/sparse"
+	"repro/internal/vsm"
+)
+
+// Index is the concrete Retriever produced by Build and Load. It bundles
+// the backend (LSI latent space or VSM inverted index) with the text
+// layer — vocabulary, weighting, pipeline flags, document IDs — so text
+// queries work end to end, including on indexes loaded from disk.
+type Index struct {
+	backend Backend
+
+	lsiIndex *lsi.Index
+	vsmIndex *vsm.Index
+	matrix   *sparse.CSR // term-document matrix, retained for VSM persistence
+
+	vocab           *ir.Vocabulary // nil only for v1 files loaded without text config
+	weighting       Weighting
+	removeStopwords bool
+	stemming        bool
+	docIDs          []string
+}
+
+var _ Retriever = (*Index)(nil)
+
+// Build indexes a corpus of documents and returns the Retriever for it.
+// The zero-option call builds a log-weighted LSI index at an
+// automatically chosen rank with stopword removal and stemming on; see
+// the With* options for every knob. It returns ErrEmptyCorpus when no
+// documents are given or preprocessing leaves an empty vocabulary.
+func Build(docs []Document, opts ...Option) (*Index, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("%w: no documents", ErrEmptyCorpus)
+	}
+	if cfg.workers > 0 {
+		par.SetMaxProcs(cfg.workers)
+	}
+	cw, err := cfg.weighting.toCorpus()
+	if err != nil {
+		return nil, err
+	}
+
+	texts := make([]string, len(docs))
+	ids := make([]string, len(docs))
+	for i, d := range docs {
+		texts[i] = d.Text
+		ids[i] = d.ID
+		if ids[i] == "" {
+			ids[i] = fmt.Sprintf("doc-%d", i)
+		}
+	}
+	pipe := &ir.Pipeline{
+		RemoveStopwords: cfg.removeStopwords,
+		Stemming:        cfg.stemming,
+		Vocab:           ir.NewVocabulary(),
+	}
+	c := pipe.ProcessAll(texts)
+	if c.NumTerms == 0 {
+		return nil, fmt.Errorf("%w: every token was removed by preprocessing", ErrEmptyCorpus)
+	}
+	a := corpus.TermDocMatrix(c, cw)
+
+	ix := &Index{
+		backend:         cfg.backend,
+		vocab:           pipe.Vocab,
+		weighting:       cfg.weighting,
+		removeStopwords: cfg.removeStopwords,
+		stemming:        cfg.stemming,
+		docIDs:          ids,
+	}
+	switch cfg.backend {
+	case BackendLSI:
+		engine, err := cfg.engine.toLSI()
+		if err != nil {
+			return nil, err
+		}
+		rank := cfg.rank
+		if rank <= 0 {
+			rank = autoRank(c.NumTerms, len(c.Docs))
+		}
+		ix.lsiIndex, err = lsi.Build(a, rank, lsi.Options{Engine: engine, Seed: cfg.seed})
+		if err != nil {
+			return nil, fmt.Errorf("retrieval: building LSI index: %w", err)
+		}
+	case BackendVSM:
+		ix.vsmIndex = vsm.NewFromMatrix(a)
+		ix.matrix = a
+	default:
+		return nil, fmt.Errorf("retrieval: unknown backend %d", int(cfg.backend))
+	}
+	return ix, nil
+}
+
+// BuildTexts is Build for bare strings; document IDs default to "doc-<n>".
+func BuildTexts(texts []string, opts ...Option) (*Index, error) {
+	docs := make([]Document, len(texts))
+	for i, t := range texts {
+		docs[i] = Document{Text: t}
+	}
+	return Build(docs, opts...)
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int {
+	if ix.backend == BackendVSM {
+		return ix.vsmIndex.NumDocs()
+	}
+	return ix.lsiIndex.NumDocs()
+}
+
+// NumTerms returns the vocabulary size the index was built over.
+func (ix *Index) NumTerms() int {
+	if ix.backend == BackendVSM {
+		return ix.vsmIndex.NumTerms()
+	}
+	return ix.lsiIndex.NumTerms()
+}
+
+// Rank returns the retained LSI rank (0 for the VSM backend).
+func (ix *Index) Rank() int {
+	if ix.backend == BackendVSM {
+		return 0
+	}
+	return ix.lsiIndex.K()
+}
+
+// Stats describes the index.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Backend:     ix.backend.String(),
+		NumDocs:     ix.NumDocs(),
+		NumTerms:    ix.NumTerms(),
+		Rank:        ix.Rank(),
+		Weighting:   ix.weighting.String(),
+		TextQueries: ix.vocab != nil,
+	}
+}
+
+// DocID returns the external identifier of document doc (build order).
+func (ix *Index) DocID(doc int) string {
+	if doc >= 0 && doc < len(ix.docIDs) {
+		return ix.docIDs[doc]
+	}
+	return fmt.Sprintf("doc-%d", doc)
+}
+
+// queryVector turns query text into a term-space vector using the
+// index's own pipeline, vocabulary, and weighting. It reports how many
+// query tokens hit the vocabulary.
+func (ix *Index) queryVector(query string) ([]float64, int) {
+	pipe := &ir.Pipeline{RemoveStopwords: ix.removeStopwords, Stemming: ix.stemming}
+	counts := make(map[int]float64)
+	known := 0
+	for _, term := range pipe.Terms(query) {
+		if id, ok := ix.vocab.Lookup(term); ok {
+			counts[id]++
+			known++
+		}
+	}
+	if known == 0 {
+		return nil, 0
+	}
+	q := make([]float64, ix.NumTerms())
+	for id, c := range counts {
+		switch ix.weighting {
+		case WeightingBinary:
+			q[id] = 1
+		case WeightingLog:
+			q[id] = 1 + math.Log(c)
+		default: // count; tf-idf queries use raw counts (df is a corpus statistic)
+			q[id] = c
+		}
+	}
+	return q, known
+}
+
+// toResults converts n backend matches to public Results via at, which
+// returns match i's (doc, score) — the one conversion loop shared by
+// both backends' single and batch paths.
+func (ix *Index) toResults(n int, at func(int) (int, float64)) []Result {
+	out := make([]Result, n)
+	for i := range out {
+		doc, score := at(i)
+		out[i] = Result{Doc: doc, ID: ix.DocID(doc), Score: score}
+	}
+	return out
+}
+
+// searchVec ranks documents against a validated term-space vector.
+func (ix *Index) searchVec(q []float64, topN int) []Result {
+	if ix.backend == BackendVSM {
+		ms := ix.vsmIndex.Search(q, topN)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	}
+	ms := ix.lsiIndex.Search(q, topN)
+	return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+}
+
+// Search implements Retriever: it preprocesses the query with the
+// index's pipeline, folds it into the backend's space, and returns the
+// topN documents by cosine similarity (all documents if topN <= 0).
+//
+// Cancellation is honored at query boundaries: ctx is checked before the
+// search and again after it, so work that outlives its deadline reports
+// the deadline error rather than stale results — but an in-flight
+// backend scan is not interrupted mid-kernel.
+func (ix *Index) Search(ctx context.Context, query string, topN int) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ix.vocab == nil {
+		return nil, ErrNoVocabulary
+	}
+	q, known := ix.queryVector(query)
+	if known == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoQueryTerms, query)
+	}
+	res := ix.searchVec(q, topN)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SearchVector ranks documents against a raw term-space query vector (for
+// callers that build vectors themselves, e.g. from corpus-model
+// documents). The vector length must equal NumTerms; a mismatch returns
+// an error wrapping ErrVectorLength instead of panicking like the
+// internal fast-paths.
+func (ix *Index) SearchVector(ctx context.Context, q []float64, topN int) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(q) != ix.NumTerms() {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVectorLength, len(q), ix.NumTerms())
+	}
+	res := ix.searchVec(q, topN)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// batchChunk bounds how many queries run between context checks in
+// SearchBatch: small enough that cancellation is honored promptly, large
+// enough that the parallel backend batch kernels stay saturated.
+const batchChunk = 64
+
+// SearchBatch implements Retriever: it runs every query through the same
+// path as Search, fanning the per-query work across CPUs via the backend
+// batch kernels and checking ctx between chunks of batchChunk queries.
+// Queries with no in-vocabulary terms yield empty (non-nil) result
+// slices; result order matches query order.
+func (ix *Index) SearchBatch(ctx context.Context, queries []string, topN int) ([][]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ix.vocab == nil {
+		return nil, ErrNoVocabulary
+	}
+	out := make([][]Result, len(queries))
+	vecs := make([][]float64, 0, len(queries))
+	vecPos := make([]int, 0, len(queries)) // query index of each vector
+	for i, query := range queries {
+		if q, known := ix.queryVector(query); known > 0 {
+			vecs = append(vecs, q)
+			vecPos = append(vecPos, i)
+		} else {
+			out[i] = []Result{}
+		}
+	}
+	for lo := 0; lo < len(vecs); lo += batchChunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hi := min(lo+batchChunk, len(vecs))
+		var chunk [][]Result
+		if ix.backend == BackendVSM {
+			for _, ms := range ix.vsmIndex.SearchBatch(vecs[lo:hi], topN) {
+				chunk = append(chunk, ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score }))
+			}
+		} else {
+			for _, ms := range ix.lsiIndex.SearchBatch(vecs[lo:hi], topN) {
+				chunk = append(chunk, ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score }))
+			}
+		}
+		for i, res := range chunk {
+			out[vecPos[lo+i]] = res
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

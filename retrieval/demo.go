@@ -1,0 +1,32 @@
+package retrieval
+
+import "fmt"
+
+// DemoCorpus returns the repo's tiny built-in demo corpus: twelve
+// documents across three themes (vehicles, space, cooking) with the
+// synonym variation of the paper's introduction — some vehicle documents
+// say "car", others "automobile"; some space documents say "cosmos",
+// others "galaxy". It powers cmd/lsiquery and cmd/lsiserve demo modes
+// and the serve smoke tests; the synonymy makes the LSI-vs-VSM gap
+// visible at a glance.
+func DemoCorpus() []Document {
+	texts := []string{
+		"The car dealership sells used cars, and the mechanic inspects every engine.",
+		"An automobile dealership services automobile engines and adjusts the brakes.",
+		"The automobile mechanic repaired the engine and brakes for the driver.",
+		"The car race featured fast cars, skilled drivers and roaring engines.",
+		"Astronomers observed the galaxy through a telescope and charted distant stars.",
+		"The cosmos contains billions of galaxies, stars and planets in expansion.",
+		"A starship in science fiction travels between stars and distant galaxies.",
+		"Telescopes map stars and planets across the galaxy and measure stellar distances.",
+		"The recipe requires fresh basil, olive oil, garlic and ripe tomatoes.",
+		"Cooking pasta al dente takes about nine minutes in salted boiling water.",
+		"A good pasta sauce starts with garlic and olive oil over gentle heat.",
+		"The kitchen smelled of baked bread, garlic and roasted tomatoes.",
+	}
+	docs := make([]Document, len(texts))
+	for i, t := range texts {
+		docs[i] = Document{ID: fmt.Sprintf("demo-%02d", i), Text: t}
+	}
+	return docs
+}

@@ -1,0 +1,20 @@
+package retrieval
+
+import "os"
+
+// ReadFiles turns plain-text files into Build input, one Document per
+// file with the path (as given) as its stable ID — the single ID
+// convention shared by cmd/lsiquery and cmd/lsiserve, so an index built
+// live from files and one loaded from a save of the same files report
+// identical result IDs.
+func ReadFiles(paths []string) ([]Document, error) {
+	docs := make([]Document, 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, Document{ID: path, Text: string(data)})
+	}
+	return docs, nil
+}

@@ -1,0 +1,247 @@
+// Package httpapi exposes a retrieval.Retriever over HTTP/JSON — the
+// handler behind cmd/lsiserve. Endpoints:
+//
+//	POST /v1/search        {"query":"car engine","topN":10} or {"vector":[...],"topN":10}
+//	POST /v1/search:batch  {"queries":["car","galaxy"],"topN":10}
+//	GET  /v1/stats
+//	GET  /healthz
+//
+// Malformed requests get a 400 with {"error": "..."}; a query whose
+// terms all miss the vocabulary is a valid request with zero matches
+// (200, empty results). Every search runs under a per-request timeout,
+// checked at query boundaries (an in-flight backend scan is not
+// interrupted mid-kernel); overruns surface as 504.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/retrieval"
+)
+
+// Options configures the handler; zero values pick the documented
+// defaults.
+type Options struct {
+	// Timeout bounds each request's search work (default 10s).
+	Timeout time.Duration
+	// MaxTopN caps the per-query result count; larger requests are
+	// clamped, not rejected (default 100). Requests with topN <= 0 get
+	// DefaultTopN.
+	MaxTopN int
+	// DefaultTopN is used when a request omits topN (default 10).
+	DefaultTopN int
+	// MaxBatch caps the number of queries in one batch call (default 256).
+	MaxBatch int
+	// MaxBodyBytes caps the request body size (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.MaxTopN <= 0 {
+		o.MaxTopN = 100
+	}
+	if o.DefaultTopN <= 0 {
+		o.DefaultTopN = 10
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	return o
+}
+
+// VectorSearcher is the optional raw-vector query capability; the
+// concrete *retrieval.Index implements it. Handlers reject vector
+// requests with 400 when the retriever does not.
+type VectorSearcher interface {
+	SearchVector(ctx context.Context, q []float64, topN int) ([]retrieval.Result, error)
+}
+
+// SearchRequest is the body of POST /v1/search. Exactly one of Query and
+// Vector must be set.
+type SearchRequest struct {
+	Query  string    `json:"query,omitempty"`
+	Vector []float64 `json:"vector,omitempty"`
+	TopN   int       `json:"topN,omitempty"`
+}
+
+// SearchResponse is the body of a successful POST /v1/search.
+type SearchResponse struct {
+	Results []retrieval.Result `json:"results"`
+}
+
+// BatchSearchRequest is the body of POST /v1/search:batch.
+type BatchSearchRequest struct {
+	Queries []string `json:"queries"`
+	TopN    int      `json:"topN,omitempty"`
+}
+
+// BatchSearchResponse is the body of a successful POST /v1/search:batch;
+// Results[i] answers Queries[i].
+type BatchSearchResponse struct {
+	Results [][]retrieval.Result `json:"results"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+type handler struct {
+	ret  retrieval.Retriever
+	opts Options
+}
+
+// NewHandler wraps a Retriever in the HTTP/JSON API.
+func NewHandler(ret retrieval.Retriever, opts Options) http.Handler {
+	h := &handler{ret: ret, opts: opts.withDefaults()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", h.search)
+	mux.HandleFunc("POST /v1/search:batch", h.searchBatch)
+	mux.HandleFunc("GET /v1/stats", h.stats)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (h *handler) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+// clampTopN validates a requested topN, reporting ok=false after writing
+// the 400.
+func (h *handler) clampTopN(w http.ResponseWriter, topN int) (int, bool) {
+	if topN < 0 {
+		writeError(w, http.StatusBadRequest, "topN must be >= 0, got %d", topN)
+		return 0, false
+	}
+	if topN == 0 {
+		return h.opts.DefaultTopN, true
+	}
+	if topN > h.opts.MaxTopN {
+		return h.opts.MaxTopN, true
+	}
+	return topN, true
+}
+
+// writeSearchError maps retrieval errors to HTTP statuses. Unknown-
+// vocabulary queries are not errors at this layer (handled by callers);
+// everything else is a client error except timeouts.
+func writeSearchError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "search timed out: %v", err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request canceled: %v", err)
+	case errors.Is(err, retrieval.ErrVectorLength),
+		errors.Is(err, retrieval.ErrNoVocabulary):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (h *handler) search(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	hasQuery, hasVector := req.Query != "", len(req.Vector) > 0
+	if hasQuery == hasVector {
+		writeError(w, http.StatusBadRequest, "exactly one of \"query\" and \"vector\" must be set")
+		return
+	}
+	topN, ok := h.clampTopN(w, req.TopN)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), h.opts.Timeout)
+	defer cancel()
+
+	var results []retrieval.Result
+	var err error
+	if hasVector {
+		vs, ok := h.ret.(VectorSearcher)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "this index does not accept vector queries")
+			return
+		}
+		results, err = vs.SearchVector(ctx, req.Vector, topN)
+	} else {
+		results, err = h.ret.Search(ctx, req.Query, topN)
+		if errors.Is(err, retrieval.ErrNoQueryTerms) {
+			// A valid query that matches nothing, not a client error.
+			results, err = []retrieval.Result{}, nil
+		}
+	}
+	if err != nil {
+		writeSearchError(w, err)
+		return
+	}
+	if results == nil {
+		results = []retrieval.Result{}
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Results: results})
+}
+
+func (h *handler) searchBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSearchRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "\"queries\" must contain at least one query")
+		return
+	}
+	if len(req.Queries) > h.opts.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d queries exceeds the limit of %d", len(req.Queries), h.opts.MaxBatch)
+		return
+	}
+	topN, ok := h.clampTopN(w, req.TopN)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), h.opts.Timeout)
+	defer cancel()
+	results, err := h.ret.SearchBatch(ctx, req.Queries, topN)
+	if err != nil {
+		writeSearchError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchSearchResponse{Results: results})
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.ret.Stats())
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"numDocs": h.ret.NumDocs(),
+	})
+}

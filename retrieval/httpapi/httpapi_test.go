@@ -1,0 +1,206 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/retrieval"
+)
+
+func demoHandler(t *testing.T, opts Options) http.Handler {
+	t.Helper()
+	ix, err := retrieval.Build(retrieval.DemoCorpus(),
+		retrieval.WithRank(3), retrieval.WithEngine(retrieval.EngineDense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewHandler(ix, opts)
+}
+
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHandlerTable(t *testing.T) {
+	h := demoHandler(t, Options{MaxTopN: 5, MaxBatch: 3})
+	ix, _ := retrieval.Build(retrieval.DemoCorpus(), retrieval.WithRank(3))
+	wrongLen := make([]float64, ix.NumTerms()+7)
+	wrongLenBody, _ := json.Marshal(SearchRequest{Vector: wrongLen, TopN: 3})
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantInBody string
+	}{
+		{"health", "GET", "/healthz", "", 200, `"status":"ok"`},
+		{"stats", "GET", "/v1/stats", "", 200, `"backend":"lsi"`},
+		{"search ok", "POST", "/v1/search", `{"query":"car engine","topN":3}`, 200, `"results"`},
+		{"search default topN", "POST", "/v1/search", `{"query":"car"}`, 200, `"results"`},
+		{"search bad json", "POST", "/v1/search", `{"query": car}`, 400, "invalid JSON"},
+		{"search truncated json", "POST", "/v1/search", `{"query":"car"`, 400, "invalid JSON"},
+		{"search no query or vector", "POST", "/v1/search", `{"topN":3}`, 400, "exactly one"},
+		{"search both query and vector", "POST", "/v1/search", `{"query":"car","vector":[1,2],"topN":3}`, 400, "exactly one"},
+		{"search negative topN", "POST", "/v1/search", `{"query":"car","topN":-2}`, 400, "topN"},
+		{"search wrong vector length", "POST", "/v1/search", string(wrongLenBody), 400, "vector length"},
+		{"search unknown vocab is empty not error", "POST", "/v1/search", `{"query":"zzzunknownzzz"}`, 200, `"results":[]`},
+		{"search wrong method", "GET", "/v1/search", "", 405, ""},
+		{"batch ok", "POST", "/v1/search:batch", `{"queries":["car","galaxy"],"topN":2}`, 200, `"results"`},
+		{"batch empty", "POST", "/v1/search:batch", `{"queries":[]}`, 400, "at least one"},
+		{"batch too large", "POST", "/v1/search:batch", `{"queries":["a","b","c","d"]}`, 400, "exceeds the limit"},
+		{"batch bad json", "POST", "/v1/search:batch", `[]`, 400, "invalid JSON"},
+		{"batch negative topN", "POST", "/v1/search:batch", `{"queries":["car"],"topN":-1}`, 400, "topN"},
+		{"unknown path", "GET", "/v1/nope", "", 404, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, h, tc.method, tc.path, tc.body)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status %d, want %d; body: %s", rec.Code, tc.wantStatus, rec.Body)
+			}
+			if tc.wantInBody != "" && !strings.Contains(rec.Body.String(), tc.wantInBody) {
+				t.Fatalf("body %q does not contain %q", rec.Body, tc.wantInBody)
+			}
+		})
+	}
+}
+
+func TestSearchResultShape(t *testing.T) {
+	h := demoHandler(t, Options{})
+	rec := do(t, h, "POST", "/v1/search", `{"query":"car","topN":4}`)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(resp.Results))
+	}
+	// The synonymy effect survives the HTTP round trip: the
+	// "automobile" documents rank for a "car" query.
+	seen := map[string]bool{}
+	for _, r := range resp.Results {
+		seen[r.ID] = true
+		if r.Score <= 0 {
+			t.Fatalf("non-positive score in %+v", r)
+		}
+	}
+	if !seen["demo-01"] || !seen["demo-02"] {
+		t.Fatalf("synonym documents missing from %+v", resp.Results)
+	}
+}
+
+func TestTopNClamping(t *testing.T) {
+	h := demoHandler(t, Options{MaxTopN: 2})
+	rec := do(t, h, "POST", "/v1/search", `{"query":"car","topN":50}`)
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("topN not clamped to MaxTopN: %d results", len(resp.Results))
+	}
+}
+
+func TestBatchAlignment(t *testing.T) {
+	h := demoHandler(t, Options{})
+	rec := do(t, h, "POST", "/v1/search:batch",
+		`{"queries":["pasta garlic","zzzunknownzzz","galaxy"],"topN":2}`)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp BatchSearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d result sets, want 3", len(resp.Results))
+	}
+	if len(resp.Results[0]) != 2 || len(resp.Results[2]) != 2 {
+		t.Fatalf("known queries should each have 2 results: %+v", resp.Results)
+	}
+	if len(resp.Results[1]) != 0 {
+		t.Fatalf("unknown-vocabulary query should have empty results: %+v", resp.Results[1])
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// A 1ns budget expires before the search starts; the handler must
+	// answer 504, not hang or 500.
+	h := demoHandler(t, Options{Timeout: time.Nanosecond})
+	rec := do(t, h, "POST", "/v1/search", `{"query":"car","topN":3}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504; body: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestStatsBody(t *testing.T) {
+	h := demoHandler(t, Options{})
+	rec := do(t, h, "GET", "/v1/stats", "")
+	var s retrieval.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Backend != "lsi" || s.NumDocs != 12 || s.Rank != 3 || !s.TextQueries {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestVectorSearch(t *testing.T) {
+	ix, err := retrieval.Build(retrieval.DemoCorpus(),
+		retrieval.WithRank(3), retrieval.WithEngine(retrieval.EngineDense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(ix, Options{})
+	vec := make([]float64, ix.NumTerms())
+	vec[0] = 1 // first vocabulary term ("car")
+	body, _ := json.Marshal(SearchRequest{Vector: vec, TopN: 3})
+	rec := do(t, h, "POST", "/v1/search", string(body))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3: %s", len(resp.Results), rec.Body)
+	}
+}
+
+func BenchmarkSearchHandler(b *testing.B) {
+	ix, err := retrieval.Build(retrieval.DemoCorpus(), retrieval.WithRank(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := NewHandler(ix, Options{})
+	body := `{"query":"car engine","topN":5}`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/search", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

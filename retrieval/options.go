@@ -1,0 +1,216 @@
+package retrieval
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/lsi"
+)
+
+// Backend selects the retrieval system a Build produces.
+type Backend int
+
+const (
+	// BackendLSI indexes documents in the rank-k latent space of the
+	// term-document matrix's truncated SVD (the paper's subject).
+	BackendLSI Backend = iota
+	// BackendVSM is the conventional inverted-index vector-space model —
+	// the literal-term-matching baseline of the paper's comparison.
+	BackendVSM
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendLSI:
+		return "lsi"
+	case BackendVSM:
+		return "vsm"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend is the inverse of Backend.String, for CLI flags and wire
+// metadata.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "lsi":
+		return BackendLSI, nil
+	case "vsm":
+		return BackendVSM, nil
+	default:
+		return 0, fmt.Errorf("retrieval: unknown backend %q (want lsi or vsm)", s)
+	}
+}
+
+// Engine selects the SVD algorithm for the LSI backend; it mirrors the
+// engines of internal/lsi without exposing that package.
+type Engine int
+
+const (
+	// EngineAuto picks an engine from the matrix shape and rank.
+	EngineAuto Engine = iota
+	// EngineDense runs the full dense Golub–Reinsch SVD.
+	EngineDense
+	// EngineLanczos runs Golub–Kahan–Lanczos with reorthogonalization.
+	EngineLanczos
+	// EngineRandomized runs randomized subspace iteration.
+	EngineRandomized
+)
+
+func (e Engine) toLSI() (lsi.Engine, error) {
+	switch e {
+	case EngineAuto:
+		return lsi.EngineAuto, nil
+	case EngineDense:
+		return lsi.EngineDense, nil
+	case EngineLanczos:
+		return lsi.EngineLanczos, nil
+	case EngineRandomized:
+		return lsi.EngineRandomized, nil
+	default:
+		return 0, fmt.Errorf("retrieval: unknown engine %d", int(e))
+	}
+}
+
+// Weighting selects the function of raw term counts stored in the
+// term-document matrix (Section 2 of the paper notes the precise choice
+// does not affect its results; the repo's ablations verify that).
+type Weighting int
+
+const (
+	// WeightingCount stores raw occurrence counts.
+	WeightingCount Weighting = iota
+	// WeightingBinary stores 1 for any occurring term.
+	WeightingBinary
+	// WeightingLog stores 1 + ln(count) — the Build default.
+	WeightingLog
+	// WeightingTFIDF stores count × ln(m / df). Queries against a TF-IDF
+	// index use raw counts (document frequencies are a corpus statistic).
+	WeightingTFIDF
+)
+
+// String names the weighting.
+func (w Weighting) String() string {
+	switch w {
+	case WeightingCount:
+		return "count"
+	case WeightingBinary:
+		return "binary"
+	case WeightingLog:
+		return "log"
+	case WeightingTFIDF:
+		return "tfidf"
+	default:
+		return fmt.Sprintf("Weighting(%d)", int(w))
+	}
+}
+
+// ParseWeighting is the inverse of Weighting.String, for CLI flags and
+// wire metadata.
+func ParseWeighting(s string) (Weighting, error) {
+	switch s {
+	case "count":
+		return WeightingCount, nil
+	case "binary":
+		return WeightingBinary, nil
+	case "log":
+		return WeightingLog, nil
+	case "tfidf":
+		return WeightingTFIDF, nil
+	default:
+		return 0, fmt.Errorf("retrieval: unknown weighting %q (want count, binary, log, or tfidf)", s)
+	}
+}
+
+func (w Weighting) toCorpus() (corpus.Weighting, error) {
+	switch w {
+	case WeightingCount:
+		return corpus.CountWeighting, nil
+	case WeightingBinary:
+		return corpus.BinaryWeighting, nil
+	case WeightingLog:
+		return corpus.LogWeighting, nil
+	case WeightingTFIDF:
+		return corpus.TFIDFWeighting, nil
+	default:
+		return 0, fmt.Errorf("retrieval: unknown weighting %d", int(w))
+	}
+}
+
+// config collects the functional options of Build.
+type config struct {
+	backend         Backend
+	rank            int // 0 = auto
+	engine          Engine
+	weighting       Weighting
+	seed            int64
+	removeStopwords bool
+	stemming        bool
+	workers         int // 0 = leave the process-wide setting alone
+}
+
+func defaultConfig() config {
+	return config{
+		backend:         BackendLSI,
+		rank:            0,
+		engine:          EngineAuto,
+		weighting:       WeightingLog,
+		removeStopwords: true,
+		stemming:        true,
+	}
+}
+
+// Option configures Build.
+type Option func(*config)
+
+// WithBackend selects the retrieval system (default BackendLSI).
+func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
+
+// WithRank sets the LSI rank k. The default (or any k <= 0) picks
+// min(numTerms, numDocs)/4 clamped to [2, 100] — small corpora keep a
+// low-dimensional latent space, large corpora cap at the paper's typical
+// few-hundred scale. k is further clamped to the matrix rank bound. The
+// VSM backend ignores rank.
+func WithRank(k int) Option { return func(c *config) { c.rank = k } }
+
+// WithEngine selects the SVD engine for the LSI backend (default
+// EngineAuto).
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithWeighting selects the term weighting of the term-document matrix
+// (default WeightingLog).
+func WithWeighting(w Weighting) Option { return func(c *config) { c.weighting = w } }
+
+// WithSeed seeds the randomized SVD engines; builds are deterministic for
+// a fixed seed (and fixed parallelism for the Lanczos engine). Zero means
+// a fixed default.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithStopwordRemoval toggles stopword removal in the text pipeline
+// (default true). The setting is bundled into the index so queries are
+// preprocessed identically.
+func WithStopwordRemoval(on bool) Option { return func(c *config) { c.removeStopwords = on } }
+
+// WithStemming toggles Porter stemming in the text pipeline (default
+// true). The setting is bundled into the index so queries are
+// preprocessed identically.
+func WithStemming(on bool) Option { return func(c *config) { c.stemming = on } }
+
+// WithParallelism caps the worker count used by the parallel build and
+// query kernels. The setting is process-wide (it adjusts the shared
+// worker pool that all indexes fan out through), applied when Build runs;
+// n <= 0 leaves the current setting alone.
+func WithParallelism(n int) Option { return func(c *config) { c.workers = n } }
+
+func autoRank(numTerms, numDocs int) int {
+	k := min(numTerms, numDocs) / 4
+	if k < 2 {
+		k = 2
+	}
+	if k > 100 {
+		k = 100
+	}
+	return k
+}

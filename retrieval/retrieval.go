@@ -1,0 +1,110 @@
+// Package retrieval is the public face of the repository: one stable API
+// for building, querying, persisting, and serving the retrieval systems
+// the paper compares — rank-k latent semantic indexing (LSI) and the
+// conventional vector-space model (VSM) baseline.
+//
+// The paper's argument is comparative (LSI rankings versus plain
+// vector-space rankings over the same corpus), so both systems implement
+// the same Retriever interface behind a single constructor:
+//
+//	ret, err := retrieval.BuildTexts(texts, retrieval.WithRank(3))
+//	results, err := ret.Search(ctx, "car engine repair", 10)
+//
+// Indexes are text-in/text-out: Build bundles the tokenize → stopword →
+// stem pipeline, the vocabulary, and the term weighting into the index,
+// so queries are plain strings and results carry stable document IDs.
+// Save writes a self-contained index (wire format v2) that answers text
+// queries after Load without the corpus that built it; v1 files written
+// before the format bump still load (see Load for the migration path).
+//
+// Every query path returns errors — malformed input never panics through
+// the public API, and batch calls honor context cancellation. The
+// internal packages keep their panic fast-paths; this package validates
+// at the boundary.
+//
+// cmd/lsiserve exposes the same API over HTTP/JSON via the
+// retrieval/httpapi handler; cmd/lsiquery drives it from the terminal.
+package retrieval
+
+import (
+	"context"
+	"errors"
+)
+
+// Retriever is the query contract shared by every backend. Search and
+// SearchBatch take raw query text (preprocessed by the same pipeline the
+// index was built with), honor ctx cancellation, and return ranked
+// results best-first with ties broken by document position for
+// determinism.
+type Retriever interface {
+	// Search returns the topN best documents for a text query (all
+	// documents if topN <= 0). It returns ErrNoQueryTerms if no query
+	// token survives preprocessing and vocabulary lookup.
+	Search(ctx context.Context, query string, topN int) ([]Result, error)
+	// SearchBatch runs many queries, fanning work across CPUs. Unlike
+	// Search, a query with no in-vocabulary terms yields an empty result
+	// slice rather than failing the whole batch.
+	SearchBatch(ctx context.Context, queries []string, topN int) ([][]Result, error)
+	// NumDocs returns the number of indexed documents.
+	NumDocs() int
+	// Stats describes the index (backend, dimensions, rank, weighting).
+	Stats() Stats
+}
+
+// Result is one ranked retrieval hit.
+type Result struct {
+	// Doc is the document's position in build order.
+	Doc int `json:"doc"`
+	// ID is the document's external identifier (from Document.ID, or a
+	// generated "doc-<n>" default).
+	ID string `json:"id"`
+	// Score is the cosine similarity between query and document — in the
+	// rank-k latent space for the LSI backend, in raw term space for VSM.
+	Score float64 `json:"score"`
+}
+
+// Document is one input to Build: an external identifier and raw text.
+type Document struct {
+	// ID is the stable identifier returned in Results; empty means a
+	// generated "doc-<n>" default.
+	ID string
+	// Text is the document's raw text, preprocessed by the index's
+	// pipeline (tokenize, optional stopword removal, optional stemming).
+	Text string
+}
+
+// Stats describes an index.
+type Stats struct {
+	// Backend is "lsi" or "vsm".
+	Backend string `json:"backend"`
+	// NumDocs and NumTerms are the index dimensions.
+	NumDocs  int `json:"numDocs"`
+	NumTerms int `json:"numTerms"`
+	// Rank is the retained LSI rank k (0 for the VSM backend, which has
+	// no latent space).
+	Rank int `json:"rank,omitempty"`
+	// Weighting names the term-weighting function of the term-document
+	// matrix.
+	Weighting string `json:"weighting"`
+	// TextQueries reports whether the index carries a vocabulary and can
+	// answer text queries (false only for v1-format files loaded without
+	// WithTextConfig).
+	TextQueries bool `json:"textQueries"`
+}
+
+// Sentinel errors returned by the query and build paths; test with
+// errors.Is — returned errors may wrap them with context.
+var (
+	// ErrEmptyCorpus reports a Build over no documents, or documents
+	// whose every token is removed by preprocessing.
+	ErrEmptyCorpus = errors.New("retrieval: corpus is empty after preprocessing")
+	// ErrNoQueryTerms reports a text query with no token in the index
+	// vocabulary (after the same preprocessing the corpus went through).
+	ErrNoQueryTerms = errors.New("retrieval: no query terms in the index vocabulary")
+	// ErrNoVocabulary reports a text query against an index without a
+	// bundled vocabulary (a v1-format file loaded without WithTextConfig).
+	ErrNoVocabulary = errors.New("retrieval: index has no vocabulary; text queries unavailable (load v1 indexes with WithTextConfig, or re-save as v2)")
+	// ErrVectorLength reports a raw query vector whose length differs
+	// from the index vocabulary size.
+	ErrVectorLength = errors.New("retrieval: query vector length does not match the index vocabulary")
+)

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt-check race bench-smoke bench serve-smoke
+.PHONY: all build test lint vet fmt-check race bench-smoke bench bench-record serve-smoke
 
 all: build test
 
@@ -27,7 +27,7 @@ lint: vet fmt-check
 # Race-detect the concurrency-bearing packages: the worker pool, the
 # numeric + retrieval layers built on it, and the public API + HTTP layer.
 race:
-	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/lsi ./internal/vsm ./retrieval ./retrieval/httpapi ./cmd/lsiserve
+	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./retrieval ./retrieval/httpapi ./cmd/lsiserve
 
 # Build the serving daemon, boot it on a free port, and curl the health
 # and search endpoints — fails on any non-200.
@@ -35,10 +35,17 @@ serve-smoke:
 	$(GO) build -o bin/lsiserve ./cmd/lsiserve
 	sh scripts/serve_smoke.sh bin/lsiserve
 
-# Compile-and-run guard for every benchmark: one iteration each, no tests.
+# Compile-and-run guard for every benchmark: one iteration each with
+# allocation reporting, no tests. The output lands in bench-smoke.txt so
+# CI can archive the per-commit perf trajectory as an artifact.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./... > bench-smoke.txt 2>&1 || { cat bench-smoke.txt; exit 1; }
+	cat bench-smoke.txt
 
 # Full benchmark sweep (slow; for perf-trajectory measurements).
 bench:
-	$(GO) test -bench=. -run='^$$' ./...
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# Append a labeled, machine-readable benchmark run to BENCH_3.json.
+bench-record:
+	sh scripts/bench_record.sh -l "$(LABEL)"

@@ -1,7 +1,7 @@
 package repro
 
 // One benchmark per paper artifact (table, figure, or theorem-shaped
-// claim), as indexed in DESIGN.md §4. Each benchmark runs the scaled-down
+// claim), as indexed in DESIGN.md §6. Each benchmark runs the scaled-down
 // configuration of the corresponding experiment so `go test -bench=.`
 // finishes in minutes; `cmd/lsibench` runs the full paper-scale versions.
 // b.ReportMetric attaches the headline quantity of each experiment so a
@@ -16,7 +16,9 @@ import (
 	"repro/internal/lsi"
 	"repro/internal/par"
 	"repro/internal/randproj"
+	"repro/internal/sparse"
 	"repro/internal/svd"
+	"repro/internal/topk"
 )
 
 // BenchmarkTable1AngleStats regenerates the paper's Section 4 table
@@ -291,7 +293,7 @@ func BenchmarkMixtureExtension(b *testing.B) {
 }
 
 // BenchmarkSVDEngines compares the SVD engines on a fixed corpus matrix —
-// the ablation behind the engine choice in DESIGN.md §5.
+// the ablation behind the engine choice in DESIGN.md §7.
 func BenchmarkSVDEngines(b *testing.B) {
 	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
 		NumTopics: 5, TermsPerTopic: 40, Epsilon: 0.05, MinLen: 40, MaxLen: 80,
@@ -424,6 +426,7 @@ func BenchmarkBatchQueriesSerial(b *testing.B) {
 	ix, queries := benchBatchQueries(b)
 	old := par.SetMaxProcs(1)
 	defer par.SetMaxProcs(old)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.SearchBatch(queries, 10)
@@ -435,15 +438,17 @@ func BenchmarkBatchQueriesSerial(b *testing.B) {
 // path headline for the perf trajectory.
 func BenchmarkBatchQueriesParallel(b *testing.B) {
 	ix, queries := benchBatchQueries(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.SearchBatch(queries, 10)
 	}
 }
 
-// BenchmarkQueryLatency measures single-query latency against a built
-// index (project + rank all documents).
-func BenchmarkQueryLatency(b *testing.B) {
+// benchQueryIndex builds the 500-document index the single-query latency
+// benchmarks run against.
+func benchQueryIndex(b *testing.B) (*lsi.Index, *sparse.CSR) {
+	b.Helper()
 	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
 		NumTopics: 10, TermsPerTopic: 50, Epsilon: 0.05, MinLen: 50, MaxLen: 100,
 	})
@@ -459,9 +464,63 @@ func BenchmarkQueryLatency(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return ix, a
+}
+
+// BenchmarkQueryLatency measures single-query latency against a built
+// index: dense fold-in + fused-dot ranking + bounded top-10 selection.
+func BenchmarkQueryLatency(b *testing.B) {
+	ix, a := benchQueryIndex(b)
 	q := a.Col(0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.Search(q, 10)
 	}
+}
+
+// BenchmarkQueryLatencySparse is the text-query shape of the latency
+// benchmark: a short sparse query (a handful of terms) folded in through
+// the sparse kernel, never materializing a vocabulary-length vector.
+func BenchmarkQueryLatencySparse(b *testing.B) {
+	ix, _ := benchQueryIndex(b)
+	terms := []int{3, 57, 211, 402}
+	weights := []float64{1, 2, 1, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchSparse(terms, weights, 10)
+	}
+}
+
+// BenchmarkTopKSelection isolates the selection stage: bounded min-heap
+// top-10 versus sorting all m scored matches — the m·log m term the heap
+// removes from every query.
+func BenchmarkTopKSelection(b *testing.B) {
+	const m = 100000
+	src := make([]topk.Match, m)
+	rng := rand.New(rand.NewSource(17))
+	for i := range src {
+		src[i] = topk.Match{Doc: i, Score: rng.Float64()}
+	}
+	scratch := make([]topk.Match, m)
+	b.Run("heap-top10", func(b *testing.B) {
+		var h topk.Heap
+		dst := make([]topk.Match, 0, 10)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Reset(10)
+			for _, m := range src {
+				h.Offer(m)
+			}
+			dst = h.AppendSorted(dst[:0])
+		}
+	})
+	b.Run("full-sort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(scratch, src)
+			topk.SortMatches(scratch)
+		}
+	})
 }

@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	lsibench <experiment> [flags]
-//	lsibench all [-small]
+//	lsibench <experiment> [-small] [-json] [flags]
+//	lsibench all [-small] [-json]
 //	lsibench list
+//
+// -json emits machine-readable results (experiment name, wall-clock
+// elapsed seconds, rendered table lines) so perf and output can be
+// diffed across commits without parsing tables.
 //
 // Experiments: table1, thm2, thm3, lemma1, jl, thm5, runtime, synonymy,
 // thm6, retrieval, cf, mixture, ablate-weighting, ablate-projection,
@@ -15,10 +19,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -318,6 +325,43 @@ var registry = map[string]experiment{
 	},
 }
 
+// jsonResult is one experiment's machine-readable outcome — the envelope
+// future PRs diff for perf regressions (-json flag) without parsing the
+// rendered tables.
+type jsonResult struct {
+	Experiment string `json:"experiment"`
+	// ElapsedSeconds is the wall-clock time of the experiment run — the
+	// number perf-trajectory diffs care about.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Small          bool    `json:"small"`
+	// Output is the rendered result table, line by line.
+	Output []string `json:"output"`
+}
+
+// runTimed executes one experiment and wraps its outcome for -json.
+func runTimed(name string, args []string, small bool) (jsonResult, error) {
+	start := time.Now()
+	out, err := registry[name].run(args, small)
+	if err != nil {
+		return jsonResult{}, err
+	}
+	return jsonResult{
+		Experiment:     name,
+		ElapsedSeconds: time.Since(start).Seconds(),
+		Small:          small,
+		Output:         strings.Split(out, "\n"),
+	}, nil
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "lsibench: encoding results: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -330,45 +374,64 @@ func main() {
 		return
 	case "all":
 		small := false
+		asJSON := false
 		fs := flag.NewFlagSet("all", flag.ExitOnError)
 		fs.BoolVar(&small, "small", false, "run scaled-down configurations")
+		fs.BoolVar(&asJSON, "json", false, "emit machine-readable JSON results")
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
+		var results []jsonResult
 		for _, name := range sortedNames() {
-			fmt.Printf("==== %s ====\n", name)
-			out, err := registry[name].run(nil, small)
+			if !asJSON {
+				fmt.Printf("==== %s ====\n", name)
+			}
+			res, err := runTimed(name, nil, small)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "lsibench %s: %v\n", name, err)
 				os.Exit(1)
 			}
-			fmt.Println(out)
+			if asJSON {
+				results = append(results, res)
+			} else {
+				fmt.Println(strings.Join(res.Output, "\n"))
+			}
+		}
+		if asJSON {
+			emitJSON(results)
 		}
 		return
 	}
-	exp, ok := registry[cmd]
-	if !ok {
+	if _, ok := registry[cmd]; !ok {
 		fmt.Fprintf(os.Stderr, "lsibench: unknown experiment %q\n\n", cmd)
 		usage()
 		os.Exit(2)
 	}
 	args := os.Args[2:]
 	small := false
-	// A leading -small flag is accepted for every experiment.
+	asJSON := false
+	// Leading -small / -json flags are accepted for every experiment.
 	filtered := args[:0:0]
 	for _, a := range args {
-		if a == "-small" || a == "--small" {
+		switch a {
+		case "-small", "--small":
 			small = true
-			continue
+		case "-json", "--json":
+			asJSON = true
+		default:
+			filtered = append(filtered, a)
 		}
-		filtered = append(filtered, a)
 	}
-	out, err := exp.run(filtered, small)
+	res, err := runTimed(cmd, filtered, small)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lsibench %s: %v\n", cmd, err)
 		os.Exit(1)
 	}
-	fmt.Println(out)
+	if asJSON {
+		emitJSON(res)
+		return
+	}
+	fmt.Println(strings.Join(res.Output, "\n"))
 }
 
 func sortedNames() []string {
@@ -382,8 +445,8 @@ func sortedNames() []string {
 
 func usage() {
 	fmt.Println("lsibench — reproduce the experiments of \"Latent Semantic Indexing: A Probabilistic Analysis\"")
-	fmt.Println("\nusage: lsibench <experiment> [-small] [flags]")
-	fmt.Println("       lsibench all [-small]")
+	fmt.Println("\nusage: lsibench <experiment> [-small] [-json] [flags]")
+	fmt.Println("       lsibench all [-small] [-json]")
 	fmt.Println("\nexperiments:")
 	for _, n := range sortedNames() {
 		fmt.Printf("  %-18s %s\n", n, registry[n].desc)

@@ -1,0 +1,85 @@
+package lsi
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/par"
+	"repro/internal/race"
+)
+
+// Allocation-regression tests for the steady-state query hot path: with
+// the worker count pinned to 1 (fan-out costs allocations by design),
+// Search allocates exactly the returned slice and the Append variants
+// nothing at all, for both dense and sparse queries and for both the
+// bounded-topN and full-results paths. The exact counts hold only in
+// normal builds — the race-instrumented runtime allocates inside
+// sync.Pool — so the assertions skip under -race.
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("allocation counts are not exact under the race detector")
+	}
+}
+
+func allocIndex(t *testing.T) (*Index, []float64, []int, []float64) {
+	t.Helper()
+	c := testCorpus(t, 4, 12, 0.05, 120, 921)
+	a := corpus.TermDocMatrix(c, corpus.CountWeighting)
+	ix, err := Build(a, 4, Options{Engine: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := a.Col(3)
+	terms, weights := sparsify(q)
+	return ix, q, terms, weights
+}
+
+func TestSearchAllocsOnlyResult(t *testing.T) {
+	skipUnderRace(t)
+	old := par.SetMaxProcs(1)
+	defer par.SetMaxProcs(old)
+	ix, q, terms, weights := allocIndex(t)
+	cases := []struct {
+		name string
+		want float64
+		run  func()
+	}{
+		{"Search/top10", 1, func() { ix.Search(q, 10) }},
+		{"Search/all", 1, func() { ix.Search(q, 0) }},
+		{"SearchSparse/top10", 1, func() { ix.SearchSparse(terms, weights, 10) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := testing.AllocsPerRun(200, tc.run); got != tc.want {
+				t.Fatalf("%v allocs/op, want %v (the result slice only)", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAppendSearchZeroAllocs(t *testing.T) {
+	skipUnderRace(t)
+	old := par.SetMaxProcs(1)
+	defer par.SetMaxProcs(old)
+	ix, q, terms, weights := allocIndex(t)
+	dst := make([]Match, 0, ix.NumDocs())
+	pq := ix.Project(q)
+	cases := []struct {
+		name string
+		run  func()
+	}{
+		{"AppendSearch/top10", func() { dst = ix.AppendSearch(dst[:0], q, 10) }},
+		{"AppendSearch/all", func() { dst = ix.AppendSearch(dst[:0], q, 0) }},
+		{"AppendSearchSparse/top10", func() { dst = ix.AppendSearchSparse(dst[:0], terms, weights, 10) }},
+		{"AppendSearchProjected/top10", func() { dst = ix.AppendSearchProjected(dst[:0], pq, 10) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := testing.AllocsPerRun(200, tc.run); got != 0 {
+				t.Fatalf("%v allocs/op, want 0 with a caller-provided buffer", got)
+			}
+		})
+	}
+}

@@ -18,6 +18,11 @@ import (
 // Folding-in keeps the original latent space fixed, so it is exact for
 // documents drawn from the same corpus model and degrades as the corpus
 // drifts; rebuild the index periodically when adding many documents.
+//
+// Fold-in mutates the index and is not synchronized: callers must not
+// run AppendDocument/AppendDocuments concurrently with each other or
+// with searches. (Searches against an index that is not being mutated
+// are safe to run concurrently.)
 func (ix *Index) AppendDocument(d []float64) (int, error) {
 	if len(d) != ix.numTerms {
 		return 0, fmt.Errorf("lsi: document has %d terms, want %d", len(d), ix.numTerms)
@@ -27,6 +32,14 @@ func (ix *Index) AppendDocument(d []float64) (int, error) {
 	grown := mat.NewDense(m+1, k)
 	copy(grown.RawData(), ix.docs.RawData())
 	grown.SetRow(m, proj)
+	norms := make([]float64, m+1)
+	copy(norms, ix.norms)
+	norms[m] = mat.Norm(proj)
+	// norms is assigned before docs so the docs row count never exceeds
+	// the norms length between the two stores — but these are plain,
+	// unsynchronized writes: only the documented "no concurrent fold-in
+	// and search" contract makes the update safe.
+	ix.norms = norms
 	ix.docs = grown
 	return m, nil
 }
@@ -56,11 +69,17 @@ func (ix *Index) AppendDocuments(ds [][]float64) (int, error) {
 	m, k := ix.docs.Dims()
 	grown := mat.NewDense(m+len(ds), k)
 	copy(grown.RawData(), ix.docs.RawData())
+	norms := make([]float64, m+len(ds))
+	copy(norms, ix.norms)
 	par.For(len(ds), par.GrainFor(ix.numTerms*k), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			grown.SetRow(m+i, mat.MulTVec(ix.uk, ds[i]))
+			row := grown.Row(m + i)
+			mat.MulTVecInto(ix.uk, ds[i], row)
+			norms[m+i] = mat.Norm(row)
 		}
 	})
+	// Same assignment order and concurrency contract as AppendDocument.
+	ix.norms = norms
 	ix.docs = grown
 	return m, nil
 }

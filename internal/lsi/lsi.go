@@ -15,7 +15,6 @@ package lsi
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/corpus"
 	"repro/internal/mat"
@@ -76,6 +75,25 @@ type Index struct {
 	uk       *mat.Dense // n×k: columns span the LSI space
 	sigma    []float64  // k singular values, descending
 	docs     *mat.Dense // m×k: row j is document j's LSI representation
+	norms    []float64  // ‖docs.Row(j)‖, precomputed so scoring never re-derives them
+}
+
+// newIndex assembles an Index and precomputes the per-document norms the
+// scoring kernel divides by. Every constructor (build, SVD wrap, load,
+// fold-in) funnels through this or extends norms itself, so a norm is
+// computed exactly once per document lifetime instead of once per
+// (query, document) pair. Norms use mat.Norm — the same routine the old
+// per-pair Cosine used — so scores are bitwise unchanged.
+func newIndex(k, numTerms int, uk *mat.Dense, sigma []float64, docs *mat.Dense) *Index {
+	ix := &Index{k: k, numTerms: numTerms, uk: uk, sigma: sigma, docs: docs}
+	m := docs.Rows()
+	ix.norms = make([]float64, m)
+	par.For(m, par.GrainFor(2*k+1), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			ix.norms[j] = mat.Norm(docs.Row(j))
+		}
+	})
+	return ix
 }
 
 // Build constructs a rank-k index from a term-document matrix (terms as
@@ -129,13 +147,7 @@ func Build(a *sparse.CSR, k int, opts Options) (*Index, error) {
 		return nil, fmt.Errorf("lsi: SVD failed: %w", err)
 	}
 	res = res.Truncate(k)
-	return &Index{
-		k:        len(res.S),
-		numTerms: n,
-		uk:       res.U,
-		sigma:    res.S,
-		docs:     res.DocSpace(),
-	}, nil
+	return newIndex(len(res.S), n, res.U, res.S, res.DocSpace()), nil
 }
 
 // BuildFromCorpus builds the term-document matrix of c with the given
@@ -152,13 +164,7 @@ func NewIndexFromSVD(res *svd.Result, numTerms int) (*Index, error) {
 	if res.U.Rows() != numTerms {
 		return nil, fmt.Errorf("lsi: SVD row space %d does not match numTerms %d", res.U.Rows(), numTerms)
 	}
-	return &Index{
-		k:        len(res.S),
-		numTerms: numTerms,
-		uk:       res.U,
-		sigma:    append([]float64(nil), res.S...),
-		docs:     res.DocSpace(),
-	}, nil
+	return newIndex(len(res.S), numTerms, res.U, append([]float64(nil), res.S...), res.DocSpace()), nil
 }
 
 // K returns the effective rank of the index (it may be below the requested
@@ -189,98 +195,6 @@ func (ix *Index) DocVectors() *mat.Dense { return ix.docs }
 // Basis returns the n×k orthonormal basis Uₖ of the LSI space (shared
 // storage; callers must not mutate).
 func (ix *Index) Basis() *mat.Dense { return ix.uk }
-
-// Project folds a term-space vector into the LSI space: q ↦ Uₖᵀ·q. This is
-// how queries — and unseen documents — are mapped into the index (note
-// Uₖᵀ·A's columns are exactly the stored document vectors).
-func (ix *Index) Project(q []float64) []float64 {
-	if len(q) != ix.numTerms {
-		panic(fmt.Sprintf("lsi: Project vector length %d, want %d", len(q), ix.numTerms))
-	}
-	return mat.MulTVec(ix.uk, q)
-}
-
-// Match is one retrieval result.
-type Match struct {
-	Doc   int
-	Score float64 // cosine similarity in LSI space
-}
-
-// Search projects the term-space query and returns the topN documents by
-// cosine similarity in LSI space (all documents if topN <= 0 or exceeds the
-// corpus). Ties are broken by document ID for determinism.
-func (ix *Index) Search(query []float64, topN int) []Match {
-	return ix.SearchProjected(ix.Project(query), topN)
-}
-
-// SearchProjected ranks documents against an already-projected query.
-// Scoring fans out across par workers for large corpora (the grain scales
-// with the ~3k flops each cosine costs, so small corpora stay serial);
-// each document's cosine is computed independently, so results are
-// bitwise identical to the serial loop.
-func (ix *Index) SearchProjected(pq []float64, topN int) []Match {
-	if len(pq) != ix.k {
-		panic(fmt.Sprintf("lsi: SearchProjected vector length %d, want %d", len(pq), ix.k))
-	}
-	m := ix.docs.Rows()
-	matches := make([]Match, m)
-	par.For(m, par.GrainFor(3*ix.k), func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			matches[j] = Match{Doc: j, Score: mat.Cosine(pq, ix.docs.Row(j))}
-		}
-	})
-	sort.Slice(matches, func(a, b int) bool {
-		if matches[a].Score != matches[b].Score {
-			return matches[a].Score > matches[b].Score
-		}
-		return matches[a].Doc < matches[b].Doc
-	})
-	if topN > 0 && topN < m {
-		matches = matches[:topN]
-	}
-	return matches
-}
-
-// ProjectBatch folds a batch of term-space vectors into the LSI space,
-// one Uₖᵀ·q per input, fanning the independent projections across par
-// workers. Results are bitwise identical to calling Project in a loop. It
-// panics if any vector has the wrong length.
-func (ix *Index) ProjectBatch(qs [][]float64) [][]float64 {
-	for i, q := range qs {
-		if len(q) != ix.numTerms {
-			panic(fmt.Sprintf("lsi: ProjectBatch vector %d has length %d, want %d", i, len(q), ix.numTerms))
-		}
-	}
-	out := make([][]float64, len(qs))
-	par.For(len(qs), par.GrainFor(ix.numTerms*ix.k), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = mat.MulTVec(ix.uk, qs[i])
-		}
-	})
-	return out
-}
-
-// SearchBatch runs Search for a batch of term-space queries, fanning
-// whole queries across par workers. (Each query's ranking may itself fan
-// out through SearchProjected on large corpora; the nested call is safe
-// and per-document scores are bitwise-stable, so parallelism never
-// changes results.) Element i of the result is bitwise identical to
-// Search(queries[i], topN).
-func (ix *Index) SearchBatch(queries [][]float64, topN int) [][]Match {
-	for i, q := range queries {
-		if len(q) != ix.numTerms {
-			panic(fmt.Sprintf("lsi: SearchBatch query %d has length %d, want %d", i, len(q), ix.numTerms))
-		}
-	}
-	out := make([][]Match, len(queries))
-	perQuery := (ix.numTerms + ix.docs.Rows()) * ix.k // fold + score flops
-	par.For(len(queries), par.GrainFor(perQuery), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = ix.Search(queries[i], topN)
-		}
-	})
-	return out
-}
 
 // ApproxMatrix returns the rank-k approximation Aₖ = Uₖ·Dₖ·Vₖᵀ of the
 // indexed matrix (Theorem 1's optimal rank-k approximation). Intended for

@@ -144,13 +144,16 @@ func NewIndexFromParts(p IndexParts) (*Index, error) {
 		return nil, fmt.Errorf("lsi: load: corrupt document matrix (%d rows, %d values)",
 			p.DocRows, len(p.DocData))
 	}
-	return &Index{
-		k:        p.K,
-		numTerms: p.NumTerms,
-		sigma:    p.Sigma,
-		uk:       mat.NewDenseData(p.UkRows, p.K, p.UkData),
-		docs:     mat.NewDenseData(p.DocRows, p.K, p.DocData),
-	}, nil
+	// Document norms are recomputed here rather than persisted, so the
+	// precomputed-norm hot path needs no wire-format bump: v1 and v2
+	// streams both load into a norm-carrying index.
+	return newIndex(
+		p.K,
+		p.NumTerms,
+		mat.NewDenseData(p.UkRows, p.K, p.UkData),
+		p.Sigma,
+		mat.NewDenseData(p.DocRows, p.K, p.DocData),
+	), nil
 }
 
 // Load reads an index previously written by Save or SaveMeta (any

@@ -1,0 +1,266 @@
+package lsi
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/par"
+	"repro/internal/topk"
+)
+
+// Query hot path. Steady-state cost per query is O(nnz(q)·k) to fold in
+// a sparse query (O(n·k) for a dense one), O(m·k) to score — one fused
+// dot per document against the norms precomputed at build/load time —
+// and O(m·log topN) to select bounded results via a min-heap, instead of
+// the former O(m·5k) re-norming cosines plus an O(m·log m) full sort.
+// All scratch (projection vector, selection heap, chunk partials) comes
+// from a sync.Pool, so Search allocates only the returned slice and the
+// Append variants allocate nothing once the destination has capacity.
+
+// Match is one retrieval result: a document and its cosine similarity to
+// the query in LSI space. It is the shared topk.Match selection type, so
+// bounded top-k machinery applies to it directly.
+type Match = topk.Match
+
+// scratch is the reusable per-query state. One instance serves a whole
+// serial query; the parallel scoring path additionally draws one per
+// chunk for the partial heaps.
+type scratch struct {
+	proj []float64
+	heap topk.Heap
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// projBuf returns the scratch projection buffer resized to k.
+func (s *scratch) projBuf(k int) []float64 {
+	if cap(s.proj) < k {
+		s.proj = make([]float64, k)
+	}
+	return s.proj[:k]
+}
+
+// Project folds a term-space vector into the LSI space: q ↦ Uₖᵀ·q. This is
+// how queries — and unseen documents — are mapped into the index (note
+// Uₖᵀ·A's columns are exactly the stored document vectors).
+func (ix *Index) Project(q []float64) []float64 {
+	if len(q) != ix.numTerms {
+		panic(fmt.Sprintf("lsi: Project vector length %d, want %d", len(q), ix.numTerms))
+	}
+	return mat.MulTVec(ix.uk, q)
+}
+
+// ProjectSparse folds a query given in sparse form — parallel term/weight
+// slices — into the LSI space, touching only the nonzero rows of Uₖ:
+// cost O(nnz(q)·k) instead of Project's O(n·k). With terms strictly
+// ascending (sorted, no duplicates — the form the retrieval layer
+// produces) the result is bitwise identical to Project over the
+// densified query; duplicated terms still accumulate linearly but may
+// differ from the merged dense query in the final ulps. It panics on
+// length mismatch or an out-of-range term.
+func (ix *Index) ProjectSparse(terms []int, weights []float64) []float64 {
+	out := make([]float64, ix.k)
+	mat.MulTVecSparse(ix.uk, terms, weights, out)
+	return out
+}
+
+// resultLen is the number of matches a search with this topN returns.
+func (ix *Index) resultLen(topN int) int {
+	m := ix.docs.Rows()
+	if topN > 0 && topN < m {
+		return topN
+	}
+	return m
+}
+
+// searchProjected scores every document against the projected query pq
+// and appends the topN best (all, if topN <= 0 or beyond the corpus) to
+// dst, best-first with ties broken by document ID. sc provides the
+// selection heap; the caller owns pq.
+func (ix *Index) searchProjected(sc *scratch, dst []Match, pq []float64, topN int) []Match {
+	if len(pq) != ix.k {
+		panic(fmt.Sprintf("lsi: SearchProjected vector length %d, want %d", len(pq), ix.k))
+	}
+	m := ix.docs.Rows()
+	qn := mat.Norm(pq)
+	grain := par.GrainFor(2*ix.k + 1)
+
+	if topN <= 0 || topN >= m {
+		// Full-results path: score every document into place, then sort.
+		// The scored slice is the result, so no selection bound applies.
+		// The serial case stays closure-free so it allocates nothing
+		// beyond the result storage.
+		start := len(dst)
+		dst = slices.Grow(dst, m)[:start+m]
+		out := dst[start:]
+		if par.MaxProcs() == 1 || m <= grain {
+			for j := 0; j < m; j++ {
+				out[j] = Match{Doc: j, Score: mat.DotNorm(pq, ix.docs.Row(j), qn, ix.norms[j])}
+			}
+		} else {
+			par.For(m, grain, func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					out[j] = Match{Doc: j, Score: mat.DotNorm(pq, ix.docs.Row(j), qn, ix.norms[j])}
+				}
+			})
+		}
+		topk.SortMatches(out)
+		return dst
+	}
+
+	if par.MaxProcs() == 1 || m <= grain {
+		// Serial bounded selection: one pooled heap, no allocation.
+		h := &sc.heap
+		h.Reset(topN)
+		for j := 0; j < m; j++ {
+			h.Offer(Match{Doc: j, Score: mat.DotNorm(pq, ix.docs.Row(j), qn, ix.norms[j])})
+		}
+		return h.AppendSorted(dst)
+	}
+
+	// Parallel bounded selection: each chunk keeps its own topN partial
+	// heap (pooled), merged in chunk order afterward. Selection under the
+	// strict (score, doc) total order is offer-order-insensitive, so the
+	// result is identical to the serial scan for any chunking or worker
+	// count.
+	partials := par.MapChunks(m, grain, func(lo, hi int) *scratch {
+		csc := scratchPool.Get().(*scratch)
+		csc.heap.Reset(topN)
+		for j := lo; j < hi; j++ {
+			csc.heap.Offer(Match{Doc: j, Score: mat.DotNorm(pq, ix.docs.Row(j), qn, ix.norms[j])})
+		}
+		return csc
+	})
+	h := &sc.heap
+	h.Reset(topN)
+	for _, csc := range partials {
+		h.Merge(&csc.heap)
+		scratchPool.Put(csc)
+	}
+	return h.AppendSorted(dst)
+}
+
+// SearchProjected ranks documents against an already-projected query and
+// returns the topN best (all documents if topN <= 0 or beyond the
+// corpus), best-first with ties broken by document ID. Results are
+// identical for every par worker count.
+func (ix *Index) SearchProjected(pq []float64, topN int) []Match {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	return ix.searchProjected(sc, make([]Match, 0, ix.resultLen(topN)), pq, topN)
+}
+
+// AppendSearchProjected is SearchProjected appending into dst: with a
+// destination of sufficient capacity the steady-state query path
+// allocates nothing.
+func (ix *Index) AppendSearchProjected(dst []Match, pq []float64, topN int) []Match {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	return ix.searchProjected(sc, dst, pq, topN)
+}
+
+// Search projects the term-space query and returns the topN documents by
+// cosine similarity in LSI space (all documents if topN <= 0 or exceeds
+// the corpus). Ties are broken by document ID for determinism. The only
+// steady-state allocation is the returned slice; use AppendSearch to
+// avoid that one too.
+func (ix *Index) Search(query []float64, topN int) []Match {
+	return ix.AppendSearch(make([]Match, 0, ix.resultLen(topN)), query, topN)
+}
+
+// AppendSearch is Search appending into dst (allocation-free once dst
+// has capacity). It panics if the query length does not match the
+// vocabulary.
+func (ix *Index) AppendSearch(dst []Match, query []float64, topN int) []Match {
+	if len(query) != ix.numTerms {
+		panic(fmt.Sprintf("lsi: Search vector length %d, want %d", len(query), ix.numTerms))
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	pq := sc.projBuf(ix.k)
+	mat.MulTVecInto(ix.uk, query, pq)
+	return ix.searchProjected(sc, dst, pq, topN)
+}
+
+// SearchSparse is Search for a query in sparse term/weight form: the
+// fold-in touches only the nonzero rows of Uₖ, so a short text query
+// costs O(nnz(q)·k + m·k + m·log topN) with no dependence on the
+// vocabulary size. With terms strictly ascending (sorted, no
+// duplicates), scores are bitwise identical to Search over the
+// densified query; duplicated terms accumulate linearly and may move
+// scores by ulps relative to the merged dense form. It panics on length
+// mismatch or an out-of-range term.
+func (ix *Index) SearchSparse(terms []int, weights []float64, topN int) []Match {
+	return ix.AppendSearchSparse(make([]Match, 0, ix.resultLen(topN)), terms, weights, topN)
+}
+
+// AppendSearchSparse is SearchSparse appending into dst (allocation-free
+// once dst has capacity).
+func (ix *Index) AppendSearchSparse(dst []Match, terms []int, weights []float64, topN int) []Match {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	pq := sc.projBuf(ix.k)
+	mat.MulTVecSparse(ix.uk, terms, weights, pq)
+	return ix.searchProjected(sc, dst, pq, topN)
+}
+
+// ProjectBatch folds a batch of term-space vectors into the LSI space,
+// one Uₖᵀ·q per input, fanning the independent projections across par
+// workers. Results are bitwise identical to calling Project in a loop. It
+// panics if any vector has the wrong length.
+func (ix *Index) ProjectBatch(qs [][]float64) [][]float64 {
+	for i, q := range qs {
+		if len(q) != ix.numTerms {
+			panic(fmt.Sprintf("lsi: ProjectBatch vector %d has length %d, want %d", i, len(q), ix.numTerms))
+		}
+	}
+	out := make([][]float64, len(qs))
+	par.For(len(qs), par.GrainFor(ix.numTerms*ix.k), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = mat.MulTVec(ix.uk, qs[i])
+		}
+	})
+	return out
+}
+
+// SearchBatch runs Search for a batch of term-space queries, fanning
+// whole queries across par workers, each drawing its own pooled scratch.
+// (A query's scoring may itself fan out on large corpora; the nested
+// call is safe and selection is chunking-insensitive, so parallelism
+// never changes results.) Element i of the result is identical to
+// Search(queries[i], topN).
+func (ix *Index) SearchBatch(queries [][]float64, topN int) [][]Match {
+	for i, q := range queries {
+		if len(q) != ix.numTerms {
+			panic(fmt.Sprintf("lsi: SearchBatch query %d has length %d, want %d", i, len(q), ix.numTerms))
+		}
+	}
+	out := make([][]Match, len(queries))
+	perQuery := (ix.numTerms + ix.docs.Rows()) * ix.k // fold + score flops
+	par.For(len(queries), par.GrainFor(perQuery), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = ix.Search(queries[i], topN)
+		}
+	})
+	return out
+}
+
+// SearchBatchSparse runs SearchSparse for a batch of sparse queries
+// (terms[i]/weights[i] are query i), fanning whole queries across par
+// workers. Element i of the result is identical to
+// SearchSparse(terms[i], weights[i], topN).
+func (ix *Index) SearchBatchSparse(terms [][]int, weights [][]float64, topN int) [][]Match {
+	if len(terms) != len(weights) {
+		panic(fmt.Sprintf("lsi: SearchBatchSparse %d term slices but %d weight slices", len(terms), len(weights)))
+	}
+	out := make([][]Match, len(terms))
+	perQuery := (1 + ix.docs.Rows()) * ix.k // fold is nnz-bounded; scoring dominates
+	par.For(len(terms), par.GrainFor(perQuery), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = ix.SearchSparse(terms[i], weights[i], topN)
+		}
+	})
+	return out
+}

@@ -1,0 +1,75 @@
+package mat
+
+import "fmt"
+
+// The query hot path's fused kernels. Both exist to cut per-query work
+// that the general-purpose routines above redo on every call: MulTVecSparse
+// folds a sparse query into the latent space touching only the nonzero
+// rows of the basis, and DotNorm scores one document with a single dot
+// product against norms that were computed once at build/load time.
+
+// MulTVecSparse accumulates aᵀ·q into dst for a query given in sparse
+// form as parallel term/weight slices: dst[j] = Σᵢ weights[i]·a(terms[i], j).
+// Only the rows of a named by terms are touched, so the cost is
+// O(nnz(q)·cols) instead of MulTVec's O(rows·cols) scan. dst must have
+// length a.Cols() and is zeroed first.
+//
+// Accumulation follows slice order; callers that need bitwise equality
+// with MulTVec over the densified query (which scans rows in ascending
+// order, skipping zeros) must pass terms strictly ascending — sorted and
+// deduplicated. Duplicated terms are accepted and accumulate per entry,
+// which matches the densified query only up to rounding (w₁·a + w₂·a
+// versus (w₁+w₂)·a). It panics on slice-length mismatch or an
+// out-of-range term.
+func MulTVecSparse(a *Dense, terms []int, weights []float64, dst []float64) {
+	if len(terms) != len(weights) {
+		panic(fmt.Sprintf("mat: MulTVecSparse %d terms but %d weights", len(terms), len(weights)))
+	}
+	if len(dst) != a.cols {
+		panic(fmt.Sprintf("mat: MulTVecSparse dst length %d, want %d", len(dst), a.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, t := range terms {
+		if t < 0 || t >= a.rows {
+			panic(fmt.Sprintf("mat: MulTVecSparse term %d out of range [0,%d)", t, a.rows))
+		}
+		w := weights[i]
+		if w == 0 {
+			continue
+		}
+		row := a.data[t*a.cols : (t+1)*a.cols]
+		for j, av := range row {
+			dst[j] += w * av
+		}
+	}
+}
+
+// DotNorm returns the cosine x·y/(nx·ny) clamped to [-1, 1] given the
+// precomputed Euclidean norms nx and ny, or 0 if either norm is 0 — the
+// fused scoring kernel of the query hot path. Where Cosine makes five
+// passes per pair (two per norm plus the dot), DotNorm makes one: the
+// query norm is computed once per query and every document norm once per
+// index build or load. The division and clamp mirror Cosine exactly, so
+// for norms produced by Norm the result is bitwise identical to
+// Cosine(x, y). It panics on length mismatch.
+func DotNorm(x, y []float64, nx, ny float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: DotNorm length mismatch %d vs %d", len(x), len(y)))
+	}
+	if nx == 0 || ny == 0 {
+		return 0
+	}
+	var dot float64
+	for i, xv := range x {
+		dot += xv * y[i]
+	}
+	c := dot / (nx * ny)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
+}

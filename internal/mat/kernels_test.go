@@ -1,0 +1,137 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMulTVecSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	a := NewDense(40, 7)
+	for i := range a.RawData() {
+		a.RawData()[i] = rng.NormFloat64()
+	}
+	// A sparse query over a handful of rows, terms ascending — the order
+	// contract for bitwise equality with the dense scan.
+	terms := []int{2, 5, 11, 30, 39}
+	weights := []float64{1.5, -2, 0.25, 3, 0.5}
+	q := make([]float64, 40)
+	for i, tm := range terms {
+		q[tm] = weights[i]
+	}
+	want := MulTVec(a, q)
+	dst := make([]float64, 7)
+	MulTVecSparse(a, terms, weights, dst)
+	for j := range want {
+		if dst[j] != want[j] {
+			t.Fatalf("dim %d: sparse %v != dense %v (must be bitwise equal)", j, dst[j], want[j])
+		}
+	}
+	// dst is zeroed before accumulation, so reuse across queries is safe.
+	MulTVecSparse(a, terms, weights, dst)
+	for j := range want {
+		if dst[j] != want[j] {
+			t.Fatalf("dim %d after reuse: %v != %v", j, dst[j], want[j])
+		}
+	}
+}
+
+func TestMulTVecSparseSkipsZeroWeights(t *testing.T) {
+	a := Identity(3)
+	dst := make([]float64, 3)
+	MulTVecSparse(a, []int{0, 1}, []float64{0, 2}, dst)
+	if dst[0] != 0 || dst[1] != 2 || dst[2] != 0 {
+		t.Fatalf("got %v", dst)
+	}
+}
+
+func TestMulTVecSparseEmptyQuery(t *testing.T) {
+	a := Identity(4)
+	dst := []float64{9, 9, 9, 9}
+	MulTVecSparse(a, nil, nil, dst)
+	for j, v := range dst {
+		if v != 0 {
+			t.Fatalf("dim %d not zeroed: %v", j, v)
+		}
+	}
+}
+
+func TestMulTVecSparsePanics(t *testing.T) {
+	a := Identity(3)
+	for name, f := range map[string]func(){
+		"length-mismatch": func() { MulTVecSparse(a, []int{0}, []float64{1, 2}, make([]float64, 3)) },
+		"dst-length":      func() { MulTVecSparse(a, []int{0}, []float64{1}, make([]float64, 2)) },
+		"term-range":      func() { MulTVecSparse(a, []int{3}, []float64{1}, make([]float64, 3)) },
+		"term-negative":   func() { MulTVecSparse(a, []int{-1}, []float64{1}, make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDotNormMatchesCosineBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, 9)
+		y := make([]float64, 9)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		want := Cosine(x, y)
+		got := DotNorm(x, y, Norm(x), Norm(y))
+		if got != want {
+			t.Fatalf("trial %d: DotNorm %v != Cosine %v (must be bitwise equal)", trial, got, want)
+		}
+	}
+}
+
+func TestDotNormZeroNormAndClamp(t *testing.T) {
+	x := []float64{1, 0}
+	if got := DotNorm(x, []float64{0, 0}, Norm(x), 0); got != 0 {
+		t.Fatalf("zero ny: %v", got)
+	}
+	if got := DotNorm([]float64{0, 0}, x, 0, Norm(x)); got != 0 {
+		t.Fatalf("zero nx: %v", got)
+	}
+	// Deliberately understated norms drive the ratio above 1: must clamp.
+	if got := DotNorm(x, x, 0.5, 0.5); got != 1 {
+		t.Fatalf("clamp high: %v", got)
+	}
+	if got := DotNorm(x, []float64{-1, 0}, 0.5, 0.5); got != -1 {
+		t.Fatalf("clamp low: %v", got)
+	}
+}
+
+func TestDotNormPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DotNorm([]float64{1}, []float64{1, 2}, 1, math.Sqrt2)
+}
+
+func TestKernelsAllocationFree(t *testing.T) {
+	a := NewDense(100, 8)
+	for i := range a.RawData() {
+		a.RawData()[i] = float64(i % 13)
+	}
+	terms := []int{1, 17, 42, 99}
+	weights := []float64{1, 2, 3, 4}
+	dst := make([]float64, 8)
+	y := a.Row(5)
+	if allocs := testing.AllocsPerRun(100, func() {
+		MulTVecSparse(a, terms, weights, dst)
+		DotNorm(dst, y, 1, 1)
+	}); allocs != 0 {
+		t.Fatalf("kernels allocated %v/op, want 0", allocs)
+	}
+}

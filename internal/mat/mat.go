@@ -289,10 +289,25 @@ func MulVec(a *Dense, x []float64) []float64 {
 
 // MulTVec returns aᵀ*x as a new vector. It panics if a.Rows() != len(x).
 func MulTVec(a *Dense, x []float64) []float64 {
+	out := make([]float64, a.cols)
+	MulTVecInto(a, x, out)
+	return out
+}
+
+// MulTVecInto computes aᵀ*x into dst (zeroed first), so callers on the
+// query hot path can reuse a scratch buffer instead of allocating per
+// call. The accumulation order is identical to MulTVec's, so results are
+// bitwise equal. It panics if a.Rows() != len(x) or len(dst) != a.Cols().
+func MulTVecInto(a *Dense, x, dst []float64) {
 	if a.rows != len(x) {
 		panic(fmt.Sprintf("mat: MulTVec dimension mismatch %dx%d ᵀ* vec(%d)", a.rows, a.cols, len(x)))
 	}
-	out := make([]float64, a.cols)
+	if len(dst) != a.cols {
+		panic(fmt.Sprintf("mat: MulTVecInto dst length %d, want %d", len(dst), a.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < a.rows; i++ {
 		xi := x[i]
 		if xi == 0 {
@@ -300,10 +315,9 @@ func MulTVec(a *Dense, x []float64) []float64 {
 		}
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		for j, av := range arow {
-			out[j] += xi * av
+			dst[j] += xi * av
 		}
 	}
-	return out
 }
 
 // Outer returns the outer product x*yᵀ.

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in. The
+// allocation-regression tests skip their exact-count assertions under
+// -race: the instrumented runtime (notably sync.Pool) allocates on paths
+// that are allocation-free in normal builds.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -1,0 +1,163 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// selectRef is the reference implementation: sort everything, take k.
+func selectRef(ms []Match, k int) []Match {
+	all := append([]Match(nil), ms...)
+	SortMatches(all)
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+func randMatches(rng *rand.Rand, n int, distinctScores int) []Match {
+	ms := make([]Match, n)
+	for i := range ms {
+		// Coarse score grid forces plenty of exact ties so the doc-ID
+		// tie-break is exercised, not just the score comparison.
+		ms[i] = Match{Doc: i, Score: float64(rng.Intn(distinctScores)) / float64(distinctScores)}
+	}
+	rng.Shuffle(n, func(i, j int) { ms[i], ms[j] = ms[j], ms[i] })
+	return ms
+}
+
+func TestHeapMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var h Heap
+	for _, n := range []int{1, 2, 7, 100, 1000} {
+		for _, k := range []int{1, 2, 5, 10, n, n + 3} {
+			ms := randMatches(rng, n, 17)
+			h.Reset(k)
+			for _, m := range ms {
+				h.Offer(m)
+			}
+			got := h.AppendSorted(nil)
+			want := selectRef(ms, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: %d matches, want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d rank %d: %+v, want %+v", n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestHeapOrderInsensitive(t *testing.T) {
+	// The selected set must not depend on offer order — the property the
+	// parallel per-chunk merge relies on.
+	rng := rand.New(rand.NewSource(43))
+	ms := randMatches(rng, 500, 11)
+	var h Heap
+	h.Reset(10)
+	for _, m := range ms {
+		h.Offer(m)
+	}
+	want := h.AppendSorted(nil)
+	for trial := 0; trial < 5; trial++ {
+		rng.Shuffle(len(ms), func(i, j int) { ms[i], ms[j] = ms[j], ms[i] })
+		h.Reset(10)
+		for _, m := range ms {
+			h.Offer(m)
+		}
+		got := h.AppendSorted(nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMergeEqualsSingleScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	ms := randMatches(rng, 1000, 13)
+	var whole Heap
+	whole.Reset(25)
+	for _, m := range ms {
+		whole.Offer(m)
+	}
+	want := whole.AppendSorted(nil)
+
+	// Split into uneven chunks, select per chunk, merge the partials.
+	var merged Heap
+	merged.Reset(25)
+	var chunk Heap
+	for lo := 0; lo < len(ms); {
+		hi := lo + 1 + rng.Intn(200)
+		if hi > len(ms) {
+			hi = len(ms)
+		}
+		chunk.Reset(25)
+		for _, m := range ms[lo:hi] {
+			chunk.Offer(m)
+		}
+		merged.Merge(&chunk)
+		lo = hi
+	}
+	got := merged.AppendSorted(nil)
+	if len(got) != len(want) {
+		t.Fatalf("merged %d matches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: merged %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestResetReusesStorage(t *testing.T) {
+	var h Heap
+	h.Reset(8)
+	for i := 0; i < 100; i++ {
+		h.Offer(Match{Doc: i, Score: float64(i % 9)})
+	}
+	dst := h.AppendSorted(make([]Match, 0, 8))
+	if len(dst) != 8 {
+		t.Fatalf("drained %d matches, want 8", len(dst))
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not emptied: %d", h.Len())
+	}
+	// Steady state: a Reset/Offer/AppendSorted cycle into a sized buffer
+	// allocates nothing.
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Reset(8)
+		for i := 0; i < 100; i++ {
+			h.Offer(Match{Doc: i, Score: float64(i % 9)})
+		}
+		dst = h.AppendSorted(dst[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state selection allocated %v/op, want 0", allocs)
+	}
+}
+
+func TestResetPanicsBelowOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k < 1")
+		}
+	}()
+	var h Heap
+	h.Reset(0)
+}
+
+func TestBetterTotalOrder(t *testing.T) {
+	a := Match{Doc: 1, Score: 0.5}
+	b := Match{Doc: 2, Score: 0.5}
+	c := Match{Doc: 3, Score: 0.9}
+	if !Better(c, a) || !Better(a, b) || Better(b, a) {
+		t.Fatal("Better ordering wrong")
+	}
+	if Better(a, a) {
+		t.Fatal("Better must be irreflexive")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/corpus"
 	"repro/internal/ir"
@@ -158,13 +159,16 @@ func (ix *Index) DocID(doc int) string {
 	return fmt.Sprintf("doc-%d", doc)
 }
 
-// queryVector turns query text into a term-space vector using the
+// querySparse turns query text into a sparse term-space vector — weights
+// over the distinct in-vocabulary term IDs, sorted ascending — using the
 // index's own pipeline, vocabulary, and weighting. It reports how many
-// query tokens hit the vocabulary.
-func (ix *Index) queryVector(query string) ([]float64, int) {
+// query tokens hit the vocabulary. The sparse form is what both backend
+// hot paths consume: a text query never materializes a vocabulary-length
+// vector, and the sorted order makes the backends' accumulation match
+// the dense reference bitwise.
+func (ix *Index) querySparse(query string) (terms []int, weights []float64, known int) {
 	pipe := &ir.Pipeline{RemoveStopwords: ix.removeStopwords, Stemming: ix.stemming}
 	counts := make(map[int]float64)
-	known := 0
 	for _, term := range pipe.Terms(query) {
 		if id, ok := ix.vocab.Lookup(term); ok {
 			counts[id]++
@@ -172,20 +176,25 @@ func (ix *Index) queryVector(query string) ([]float64, int) {
 		}
 	}
 	if known == 0 {
-		return nil, 0
+		return nil, nil, 0
 	}
-	q := make([]float64, ix.NumTerms())
-	for id, c := range counts {
+	terms = make([]int, 0, len(counts))
+	for id := range counts {
+		terms = append(terms, id)
+	}
+	sort.Ints(terms)
+	weights = make([]float64, len(terms))
+	for i, id := range terms {
 		switch ix.weighting {
 		case WeightingBinary:
-			q[id] = 1
+			weights[i] = 1
 		case WeightingLog:
-			q[id] = 1 + math.Log(c)
+			weights[i] = 1 + math.Log(counts[id])
 		default: // count; tf-idf queries use raw counts (df is a corpus statistic)
-			q[id] = c
+			weights[i] = counts[id]
 		}
 	}
-	return q, known
+	return terms, weights, known
 }
 
 // toResults converts n backend matches to public Results via at, which
@@ -200,13 +209,25 @@ func (ix *Index) toResults(n int, at func(int) (int, float64)) []Result {
 	return out
 }
 
-// searchVec ranks documents against a validated term-space vector.
+// searchVec ranks documents against a validated dense term-space vector
+// (the SearchVector path; text queries go through searchSparse).
 func (ix *Index) searchVec(q []float64, topN int) []Result {
 	if ix.backend == BackendVSM {
 		ms := ix.vsmIndex.Search(q, topN)
 		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
 	}
 	ms := ix.lsiIndex.Search(q, topN)
+	return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+}
+
+// searchSparse ranks documents against a validated sparse query (terms
+// sorted ascending), staying on the backends' sparse hot paths.
+func (ix *Index) searchSparse(terms []int, weights []float64, topN int) []Result {
+	if ix.backend == BackendVSM {
+		ms := ix.vsmIndex.SearchSparse(terms, weights, topN)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	}
+	ms := ix.lsiIndex.SearchSparse(terms, weights, topN)
 	return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
 }
 
@@ -225,11 +246,11 @@ func (ix *Index) Search(ctx context.Context, query string, topN int) ([]Result, 
 	if ix.vocab == nil {
 		return nil, ErrNoVocabulary
 	}
-	q, known := ix.queryVector(query)
+	terms, weights, known := ix.querySparse(query)
 	if known == 0 {
 		return nil, fmt.Errorf("%w: %q", ErrNoQueryTerms, query)
 	}
-	res := ix.searchVec(q, topN)
+	res := ix.searchSparse(terms, weights, topN)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -273,33 +294,35 @@ func (ix *Index) SearchBatch(ctx context.Context, queries []string, topN int) ([
 		return nil, ErrNoVocabulary
 	}
 	out := make([][]Result, len(queries))
-	vecs := make([][]float64, 0, len(queries))
-	vecPos := make([]int, 0, len(queries)) // query index of each vector
+	qterms := make([][]int, 0, len(queries))
+	qweights := make([][]float64, 0, len(queries))
+	qpos := make([]int, 0, len(queries)) // query index of each sparse vector
 	for i, query := range queries {
-		if q, known := ix.queryVector(query); known > 0 {
-			vecs = append(vecs, q)
-			vecPos = append(vecPos, i)
+		if terms, weights, known := ix.querySparse(query); known > 0 {
+			qterms = append(qterms, terms)
+			qweights = append(qweights, weights)
+			qpos = append(qpos, i)
 		} else {
 			out[i] = []Result{}
 		}
 	}
-	for lo := 0; lo < len(vecs); lo += batchChunk {
+	for lo := 0; lo < len(qterms); lo += batchChunk {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		hi := min(lo+batchChunk, len(vecs))
+		hi := min(lo+batchChunk, len(qterms))
 		var chunk [][]Result
 		if ix.backend == BackendVSM {
-			for _, ms := range ix.vsmIndex.SearchBatch(vecs[lo:hi], topN) {
+			for _, ms := range ix.vsmIndex.SearchBatchSparse(qterms[lo:hi], qweights[lo:hi], topN) {
 				chunk = append(chunk, ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score }))
 			}
 		} else {
-			for _, ms := range ix.lsiIndex.SearchBatch(vecs[lo:hi], topN) {
+			for _, ms := range ix.lsiIndex.SearchBatchSparse(qterms[lo:hi], qweights[lo:hi], topN) {
 				chunk = append(chunk, ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score }))
 			}
 		}
 		for i, res := range chunk {
-			out[vecPos[lo+i]] = res
+			out[qpos[lo+i]] = res
 		}
 	}
 	if err := ctx.Err(); err != nil {

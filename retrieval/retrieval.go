@@ -60,6 +60,12 @@ type Result struct {
 	ID string `json:"id"`
 	// Score is the cosine similarity between query and document — in the
 	// rank-k latent space for the LSI backend, in raw term space for VSM.
+	//
+	// Scores are stable across query paths and releases to within 1e-12:
+	// the sparse text hot path, the dense SearchVector path, and batch
+	// calls agree on a document's score to at least that tolerance (hot-
+	// path kernel changes may move the last ulps), and rankings —
+	// including the document-ID tie-break — are identical.
 	Score float64 `json:"score"`
 }
 

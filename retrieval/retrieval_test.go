@@ -98,9 +98,15 @@ func TestSearchVectorMatchesTextSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, known := ix.queryVector("galaxy stars")
+	// Densify the sparse query the text path uses: the dense SearchVector
+	// path must agree with the sparse hot path bitwise.
+	terms, weights, known := ix.querySparse("galaxy stars")
 	if known == 0 {
 		t.Fatal("demo query missed the vocabulary")
+	}
+	q := make([]float64, ix.NumTerms())
+	for i, term := range terms {
+		q[term] = weights[i]
 	}
 	fromVec, err := ix.SearchVector(ctx, q, 3)
 	if err != nil {

@@ -27,7 +27,7 @@ lint: vet fmt-check
 # Race-detect the concurrency-bearing packages: the worker pool, the
 # numeric + retrieval layers built on it, and the public API + HTTP layer.
 race:
-	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./retrieval ./retrieval/httpapi ./cmd/lsiserve
+	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./internal/segment ./retrieval ./retrieval/shard ./retrieval/httpapi ./cmd/lsiserve
 
 # Build the serving daemon, boot it on a free port, and curl the health
 # and search endpoints — fails on any non-200.

@@ -8,6 +8,7 @@
 //	lsiquery [-k 3] [-top 5] [file1.txt file2.txt ...]
 //	lsiquery -q "car engine repair"          # non-interactive, scriptable
 //	lsiquery -save-index demo.idx            # write a self-contained index
+//	lsiquery -stats                          # describe the index and exit
 //
 // Each file is one document. With no files, a small built-in demo corpus
 // (cars/space/cooking themes with synonym variation) is indexed. Without
@@ -35,6 +36,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	topN := fs.Int("top", 5, "results to show per system")
 	saveIndex := fs.String("save-index", "", "write the built LSI index to this path and exit")
 	query := fs.String("q", "", "answer this one query and exit instead of reading stdin")
+	statsOnly := fs.Bool("stats", false, "print index statistics (backend, rank, vocabulary, memory estimate) and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,6 +52,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	lsiIx, err := retrieval.Build(docs, retrieval.WithRank(*k))
 	if err != nil {
 		return err
+	}
+	if *statsOnly {
+		printStats(stdout, lsiIx.Stats())
+		return nil
 	}
 	if *saveIndex != "" {
 		f, err := os.Create(*saveIndex)
@@ -134,4 +140,36 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// printStats renders the full retrieval.Stats for -stats: the backend
+// kind, dimensions, rank, vocabulary size, and the per-backend memory
+// estimate.
+func printStats(w io.Writer, st retrieval.Stats) {
+	fmt.Fprintf(w, "backend:      %s\n", st.Backend)
+	fmt.Fprintf(w, "documents:    %d\n", st.NumDocs)
+	fmt.Fprintf(w, "terms:        %d\n", st.NumTerms)
+	fmt.Fprintf(w, "vocabulary:   %d terms (text queries: %v)\n", st.VocabSize, st.TextQueries)
+	if st.Rank > 0 {
+		fmt.Fprintf(w, "rank:         %d\n", st.Rank)
+	}
+	fmt.Fprintf(w, "weighting:    %s\n", st.Weighting)
+	fmt.Fprintf(w, "memory (est): %s\n", humanBytes(st.MemoryBytes))
+	if st.Sharded {
+		fmt.Fprintf(w, "shards:       %d (%d segments: %d live, %d sealed, %d compacted)\n",
+			st.Shards, st.Segments, st.LiveSegments, st.SealedPending, st.CompactedSegments)
+	}
+}
+
+// humanBytes renders a byte count at a readable scale.
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
 }

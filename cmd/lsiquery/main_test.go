@@ -68,3 +68,15 @@ func TestSaveIndexRoundTrip(t *testing.T) {
 		t.Fatalf("index file missing: %v %v", fi, err)
 	}
 }
+
+func TestStatsFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-k", "3", "-stats"}, strings.NewReader(""), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"backend:      lsi", "rank:         3", "vocabulary:", "memory (est):"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -4,18 +4,25 @@
 //
 //	POST /v1/search        one query (text or raw vector)
 //	POST /v1/search:batch  many queries in one call
-//	GET  /v1/stats         index description
+//	POST /v1/docs          live append (sharded indexes, -shards)
+//	POST /v1/docs:batch    live append, batched
+//	GET  /v1/stats         index description, segment/compaction stats
 //	GET  /healthz          liveness probe
+//	GET  /readyz           readiness probe (503 while compaction is owed)
 //
 // Usage:
 //
-//	lsiserve [-addr :8080] [-k 0] [-backend lsi] [-weighting log] [file1.txt ...]
-//	lsiserve -index saved.idx
+//	lsiserve [-addr :8080] [-k 0] [-backend lsi] [-weighting log] [-shards 0] [file1.txt ...]
+//	lsiserve -index saved.idx       # single-stream index file
+//	lsiserve -index saved-dir/      # sharded index directory
 //
 // Each file argument is one document; with no files (and no -index) the
 // built-in demo corpus is served, which is what the CI smoke test and
-// the quickstart curl examples use. The daemon shuts down gracefully on
-// SIGINT/SIGTERM, draining in-flight requests.
+// the quickstart curl examples use. With -shards N the daemon serves a
+// sharded live index that accepts POST /v1/docs appends; a sharded
+// index saved with SaveDir is served by pointing -index at its
+// directory. The daemon shuts down gracefully on SIGINT/SIGTERM,
+// draining in-flight requests and stopping the background compactor.
 package main
 
 import (
@@ -42,6 +49,7 @@ type serveConfig struct {
 	rank      int
 	backend   string
 	weighting string
+	shards    int
 	timeout   time.Duration
 	maxTopN   int
 	files     []string
@@ -56,6 +64,7 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	fs.IntVar(&cfg.rank, "k", 0, "LSI rank (0 = auto)")
 	fs.StringVar(&cfg.backend, "backend", "lsi", "retrieval backend: lsi or vsm")
 	fs.StringVar(&cfg.weighting, "weighting", "log", "term weighting: count, binary, log, or tfidf")
+	fs.IntVar(&cfg.shards, "shards", 0, "serve a sharded live index over N shards (accepts POST /v1/docs; 0 = single immutable index)")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request search timeout")
 	fs.IntVar(&cfg.maxTopN, "top-max", 100, "cap on per-query result count")
 	if err := fs.Parse(args); err != nil {
@@ -68,7 +77,7 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 		var conflicts []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "k", "backend", "weighting":
+			case "k", "backend", "weighting", "shards":
 				conflicts = append(conflicts, "-"+f.Name)
 			}
 		})
@@ -86,12 +95,9 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 // newRetriever builds or loads the index the daemon serves.
 func newRetriever(cfg serveConfig) (*retrieval.Index, error) {
 	if cfg.indexPath != "" {
-		f, err := os.Open(cfg.indexPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return retrieval.Load(f)
+		// Open handles both forms: a directory is a sharded index, a
+		// file a single-stream one.
+		return retrieval.Open(cfg.indexPath)
 	}
 	backend, err := retrieval.ParseBackend(cfg.backend)
 	if err != nil {
@@ -108,11 +114,15 @@ func newRetriever(cfg serveConfig) (*retrieval.Index, error) {
 			return nil, err
 		}
 	}
-	return retrieval.Build(docs,
+	opts := []retrieval.Option{
 		retrieval.WithBackend(backend),
 		retrieval.WithRank(cfg.rank),
 		retrieval.WithWeighting(weighting),
-	)
+	}
+	if cfg.shards > 0 {
+		opts = append(opts, retrieval.WithShards(cfg.shards))
+	}
+	return retrieval.Build(docs, opts...)
 }
 
 // serve runs the daemon on ln until ctx is canceled, then drains
@@ -152,10 +162,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer ret.Close() // stops the sharded compactor; no-op otherwise
 	stats := ret.Stats()
 	fmt.Fprintf(stdout, "lsiserve: %s index, %d documents, %d terms", stats.Backend, stats.NumDocs, stats.NumTerms)
 	if stats.Rank > 0 {
 		fmt.Fprintf(stdout, ", rank %d", stats.Rank)
+	}
+	if stats.Sharded {
+		fmt.Fprintf(stdout, ", %d shards (live: POST /v1/docs enabled)", stats.Shards)
 	}
 	fmt.Fprintln(stdout)
 	if !stats.TextQueries {

@@ -235,3 +235,116 @@ func TestParseFlagErrors(t *testing.T) {
 		t.Fatalf("-index with serving flags should be fine: %v", err)
 	}
 }
+
+// TestEndToEndServeSharded boots the daemon with -shards, appends a
+// document over HTTP, searches for it, and checks /readyz — the full
+// sharded live-serving path.
+func TestEndToEndServeSharded(t *testing.T) {
+	cfg, err := parseFlags([]string{"-k", "3", "-shards", "2"}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := newRetriever(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ret.Close()
+	if !ret.Sharded() {
+		t.Fatal("-shards did not produce a sharded index")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	served := make(chan error, 1)
+	go func() {
+		served <- serve(ctx, ln, httpapi.NewHandler(ret, httpapi.Options{}), 5*time.Second, &out)
+	}()
+	base := fmt.Sprintf("http://%s", ln.Addr())
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/readyz"); code != 200 {
+		t.Fatalf("/readyz = %d", code)
+	}
+
+	body := strings.NewReader(`{"id":"live-1","text":"a turbocharged car engine"}`)
+	resp, err := http.Post(base+"/v1/docs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var added httpapi.AddDocsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&added); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || added.Count != 1 {
+		t.Fatalf("append: %d %+v", resp.StatusCode, added)
+	}
+
+	resp, err = http.Post(base+"/v1/search", "application/json",
+		strings.NewReader(`{"query":"turbocharged engine","topN":20}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr httpapi.SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, r := range sr.Results {
+		if r.ID == "live-1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("appended doc missing from search results: %+v", sr.Results)
+	}
+
+	cancel()
+	if err := <-served; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeSavedShardedDir saves a sharded index directory and serves it
+// via -index, exercising retrieval.Open's directory path end to end.
+func TestServeSavedShardedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sharded-idx")
+	ix, err := retrieval.Build(retrieval.DemoCorpus(),
+		retrieval.WithRank(3), retrieval.WithShards(2), retrieval.WithAutoCompact(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if err := ix.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := parseFlags([]string{"-index", dir}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := newRetriever(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ret.Close()
+	if !ret.Sharded() || ret.NumDocs() != ix.NumDocs() {
+		t.Fatalf("served index: sharded=%v docs=%d", ret.Sharded(), ret.NumDocs())
+	}
+	res, err := ret.Search(context.Background(), "car", 3)
+	if err != nil || len(res) == 0 {
+		t.Fatalf("search on served dir index: %v, %d results", err, len(res))
+	}
+}

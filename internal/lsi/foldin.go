@@ -54,6 +54,62 @@ func (ix *Index) MustAppend(d []float64) int {
 	return id
 }
 
+// EmptyLike returns a new index sharing this index's latent space (basis
+// and singular values) but holding zero documents. It is the seed of a
+// fresh fold-in segment in the sharded index: documents extended into it
+// are represented exactly as AppendDocument would represent them here.
+func (ix *Index) EmptyLike() *Index {
+	return &Index{
+		k:        ix.k,
+		numTerms: ix.numTerms,
+		uk:       ix.uk,
+		sigma:    ix.sigma,
+		docs:     mat.NewDense(0, ix.k),
+		norms:    nil,
+	}
+}
+
+// ExtendedSparse returns a NEW index with the given sparse term-space
+// documents folded in, leaving the receiver untouched: the basis and
+// singular values are shared, the document matrix and norms are copied
+// and grown. terms[i]/weights[i] is document i in the sorted sparse form
+// the retrieval layer produces; with terms strictly ascending the new
+// rows are bitwise identical to AppendDocuments over the densified
+// vectors. Because the receiver is immutable under this call, readers
+// holding it concurrently are safe — this is the copy-on-write primitive
+// behind the sharded index's live segment.
+//
+// It validates every document before building anything: a length mismatch
+// or out-of-range term returns an error and allocates nothing.
+func (ix *Index) ExtendedSparse(terms [][]int, weights [][]float64) (*Index, error) {
+	if len(terms) != len(weights) {
+		return nil, fmt.Errorf("lsi: %d term slices but %d weight slices", len(terms), len(weights))
+	}
+	for i := range terms {
+		if len(terms[i]) != len(weights[i]) {
+			return nil, fmt.Errorf("lsi: document %d has %d terms but %d weights", i, len(terms[i]), len(weights[i]))
+		}
+		for _, t := range terms[i] {
+			if t < 0 || t >= ix.numTerms {
+				return nil, fmt.Errorf("lsi: document %d term %d out of range [0,%d)", i, t, ix.numTerms)
+			}
+		}
+	}
+	m, k := ix.docs.Dims()
+	grown := mat.NewDense(m+len(terms), k)
+	copy(grown.RawData(), ix.docs.RawData())
+	norms := make([]float64, m+len(terms))
+	copy(norms, ix.norms)
+	par.For(len(terms), par.GrainFor(k), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := grown.Row(m + i)
+			mat.MulTVecSparse(ix.uk, terms[i], weights[i], row)
+			norms[m+i] = mat.Norm(row)
+		}
+	})
+	return &Index{k: ix.k, numTerms: ix.numTerms, uk: ix.uk, sigma: ix.sigma, docs: grown, norms: norms}, nil
+}
+
 // AppendDocuments folds a batch of term-space document vectors into the
 // index, returning the ID of the first appended document. It validates all
 // vectors before mutating the index, so a length error leaves the index

@@ -192,6 +192,12 @@ func (ix *Index) DocVector(j int) []float64 {
 // storage; callers must not mutate).
 func (ix *Index) DocVectors() *mat.Dense { return ix.docs }
 
+// Norms returns the precomputed per-document Euclidean norms ‖docs.Row(j)‖
+// (shared storage; callers must not mutate). External scoring loops — the
+// segment fan-out of the sharded index — use these with mat.DotNorm to
+// reproduce Search's scores exactly.
+func (ix *Index) Norms() []float64 { return ix.norms }
+
 // Basis returns the n×k orthonormal basis Uₖ of the LSI space (shared
 // storage; callers must not mutate).
 func (ix *Index) Basis() *mat.Dense { return ix.uk }

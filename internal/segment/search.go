@@ -1,0 +1,151 @@
+package segment
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/par"
+	"repro/internal/topk"
+)
+
+// Cross-segment search: the segments of every shard are flattened into
+// one scored range [0, Σ len(seg)) and scanned with the same fused
+// kernels as the single-index hot path — one ProjectSparse per segment
+// basis, one DotNorm per document against the segment's precomputed
+// norms — so a one-shard one-segment index returns bitwise-identical
+// scores to lsi.SearchSparse over the same corpus.
+//
+// Selection is bounded top-k under the strict (score desc, global doc
+// asc) total order. The parallel path chunks the flattened range with
+// par's deterministic layout, keeps one bounded heap per chunk, and
+// merges partials in chunk order; selection under a strict total order
+// is offer-order-insensitive, so results are identical for every worker
+// count and every segment layout that holds the same documents in the
+// same latent representations.
+
+// searchScratch pools the per-query selection state.
+type searchScratch struct {
+	heap topk.Heap
+}
+
+var searchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// projected is a query folded into every segment's latent space.
+type projected struct {
+	segs    []*Segment
+	proj    [][]float64 // per-segment Uₖᵀ·q
+	qn      []float64   // per-segment ‖proj‖
+	offsets []int       // flattened start of each segment
+	total   int
+}
+
+// project folds the query into each segment's basis once. Segments are
+// typically few (shards × segments-per-shard), so the per-segment fold —
+// O(nnz(q)·k) sparse, O(n·k) dense — stays negligible next to scoring.
+func project(segs []*Segment, fold func(s *Segment) []float64) *projected {
+	p := &projected{
+		segs:    segs,
+		proj:    make([][]float64, len(segs)),
+		qn:      make([]float64, len(segs)),
+		offsets: make([]int, len(segs)),
+	}
+	for i, s := range segs {
+		p.proj[i] = fold(s)
+		p.qn[i] = mat.Norm(p.proj[i])
+		p.offsets[i] = p.total
+		p.total += s.Len()
+	}
+	return p
+}
+
+// score computes the cosine of the query against flattened document f.
+func (p *projected) score(seg int, f int) topk.Match {
+	s := p.segs[seg]
+	j := f - p.offsets[seg]
+	return topk.Match{
+		Doc:   s.Global[j],
+		Score: mat.DotNorm(p.proj[seg], s.Ix.DocVectors().Row(j), p.qn[seg], s.Ix.Norms()[j]),
+	}
+}
+
+// scoreRange offers every flattened document in [lo, hi) to h, walking
+// segment boundaries as it crosses them.
+func (p *projected) scoreRange(h *topk.Heap, lo, hi int) {
+	seg := sort.Search(len(p.offsets), func(i int) bool { return p.offsets[i] > lo }) - 1
+	for f := lo; f < hi; {
+		end := p.offsets[seg] + p.segs[seg].Len()
+		if end > hi {
+			end = hi
+		}
+		for ; f < end; f++ {
+			h.Offer(p.score(seg, f))
+		}
+		seg++
+	}
+}
+
+// selectTop runs bounded selection over the flattened range and returns
+// the topN best (all documents if topN <= 0), best-first under the
+// (score desc, global doc asc) order.
+func (p *projected) selectTop(topN int) []topk.Match {
+	if p.total == 0 {
+		return []topk.Match{}
+	}
+	keep := topN
+	if keep <= 0 || keep > p.total {
+		keep = p.total
+	}
+	maxK := 1
+	for _, s := range p.segs {
+		if k := s.Ix.K(); k > maxK {
+			maxK = k
+		}
+	}
+	grain := par.GrainFor(2*maxK + 1)
+
+	sc := searchPool.Get().(*searchScratch)
+	defer searchPool.Put(sc)
+	h := &sc.heap
+	h.Reset(keep)
+	if par.MaxProcs() == 1 || p.total <= grain {
+		p.scoreRange(h, 0, p.total)
+		return h.AppendSorted(make([]topk.Match, 0, keep))
+	}
+	partials := par.MapChunks(p.total, grain, func(lo, hi int) *searchScratch {
+		csc := searchPool.Get().(*searchScratch)
+		csc.heap.Reset(keep)
+		p.scoreRange(&csc.heap, lo, hi)
+		return csc
+	})
+	for _, csc := range partials {
+		h.Merge(&csc.heap)
+		searchPool.Put(csc)
+	}
+	return h.AppendSorted(make([]topk.Match, 0, keep))
+}
+
+// SearchSparse ranks every document held by segs against a sparse query
+// (terms strictly ascending) and returns the topN best with Doc fields
+// carrying GLOBAL document numbers. With one segment whose Global mapping
+// is the identity, results are bitwise identical to
+// segs[0].Ix.SearchSparse.
+func SearchSparse(segs []*Segment, terms []int, weights []float64, topN int) []topk.Match {
+	p := project(segs, func(s *Segment) []float64 { return s.Ix.ProjectSparse(terms, weights) })
+	return p.selectTop(topN)
+}
+
+// SearchVec is SearchSparse for a dense term-space query vector.
+func SearchVec(segs []*Segment, q []float64, topN int) []topk.Match {
+	p := project(segs, func(s *Segment) []float64 { return s.Ix.Project(q) })
+	return p.selectTop(topN)
+}
+
+// NumDocs returns the total number of documents across segs.
+func NumDocs(segs []*Segment) int {
+	n := 0
+	for _, s := range segs {
+		n += s.Len()
+	}
+	return n
+}

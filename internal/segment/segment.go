@@ -1,0 +1,131 @@
+// Package segment provides the building block of the sharded live index:
+// an immutable slice of a corpus with its own rank-k latent representation,
+// a stable mapping from segment-local rows to global document numbers, and
+// (until compaction) the raw term-space documents needed to re-derive that
+// representation from scratch.
+//
+// A segment moves through three lifecycle states, all represented by the
+// same immutable type:
+//
+//	mutable   — the newest segment of a shard; absorbing a document
+//	            produces a NEW segment via Extend (copy-on-write), so
+//	            readers holding the old one are never disturbed.
+//	sealed    — frozen by the shard once it is large enough; served
+//	            read-only while it waits for the compactor. Sealed
+//	            fold-in segments still represent documents in the basis
+//	            of the segment they were folded against, and still carry
+//	            their raw term-space documents.
+//	compacted — rebuilt by Compact from the raw documents with a fresh
+//	            (two-step randomized) SVD, so the latent space reflects
+//	            the documents themselves rather than the subspace they
+//	            were folded into. Raw documents are dropped, unless the
+//	            caller keeps them (CompactOptions.KeepRaw) to leave the
+//	            segment eligible for future tiered merges.
+//
+// Search treats a set of segments — across all lifecycle states and all
+// shards — as one corpus: SearchSparse/SearchVec flatten the segments
+// into a single scored range, fan the scan out on internal/par, and
+// select bounded top-k under the strict (score desc, global doc asc)
+// total order, so results are deterministic for any segment layout and
+// any worker count.
+package segment
+
+import (
+	"fmt"
+
+	"repro/internal/lsi"
+)
+
+// Raw retains the term-space documents of a segment in the sorted
+// sparse form the retrieval layer produces (terms strictly ascending
+// per document). Compact consumes it, and keeps it on the result only
+// under CompactOptions.KeepRaw (the shard compactor's tiered-merge
+// policy).
+type Raw struct {
+	Terms   [][]int
+	Weights [][]float64
+}
+
+// Len returns the number of retained documents.
+func (r *Raw) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Terms)
+}
+
+// NNZ returns the total number of stored term weights.
+func (r *Raw) NNZ() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, t := range r.Terms {
+		n += len(t)
+	}
+	return n
+}
+
+// Segment is one immutable slice of a sharded corpus. Fields are never
+// mutated after construction — every state change (absorbing documents,
+// sealing, compacting) produces a new Segment — which is what lets the
+// shard layer publish segments to lock-free readers by pointer swap.
+type Segment struct {
+	// Ix holds the latent representation: basis, singular values, one row
+	// per document, precomputed norms. Fold-in segments share their basis
+	// with the segment they were folded against.
+	Ix *lsi.Index
+	// Global maps segment-local row j to the global document number. The
+	// shard layer keeps rows in ascending global order so local and
+	// global tie-breaks agree; Search nonetheless breaks ties on the
+	// global number, which is what determinism is defined over.
+	Global []int
+	// Raw retains the term-space documents until compaction (nil after).
+	Raw *Raw
+	// Compacted marks a segment whose latent space was derived from its
+	// own documents (initial build or Compact) rather than by fold-in.
+	Compacted bool
+}
+
+// New wraps a latent index and its global document numbers as a segment.
+func New(ix *lsi.Index, global []int, raw *Raw, compacted bool) (*Segment, error) {
+	if ix.NumDocs() != len(global) {
+		return nil, fmt.Errorf("segment: %d documents but %d global IDs", ix.NumDocs(), len(global))
+	}
+	if raw != nil && (len(raw.Terms) != len(raw.Weights) || len(raw.Terms) != len(global)) {
+		return nil, fmt.Errorf("segment: raw holds %d/%d documents, segment has %d",
+			len(raw.Terms), len(raw.Weights), len(global))
+	}
+	return &Segment{Ix: ix, Global: global, Raw: raw, Compacted: compacted}, nil
+}
+
+// Len returns the number of documents in the segment.
+func (s *Segment) Len() int { return len(s.Global) }
+
+// Extend returns a NEW segment with the given sparse documents folded in
+// (represented in this segment's basis) and their global numbers and raw
+// forms appended; the receiver is untouched. The sparse slices are
+// retained by the new segment's Raw — callers must not mutate them after
+// the call.
+func (s *Segment) Extend(terms [][]int, weights [][]float64, global []int) (*Segment, error) {
+	if len(terms) != len(global) {
+		return nil, fmt.Errorf("segment: extending with %d documents but %d global IDs", len(terms), len(global))
+	}
+	ext, err := s.Ix.ExtendedSparse(terms, weights)
+	if err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	// Full-slice expressions force append to copy: successive segment
+	// states must never share growable backing arrays, or an append for
+	// state N+1 would be visible through state N's raw slices.
+	grownGlobal := append(s.Global[:len(s.Global):len(s.Global)], global...)
+	raw := s.Raw
+	if raw == nil {
+		raw = &Raw{}
+	}
+	grownRaw := &Raw{
+		Terms:   append(raw.Terms[:len(raw.Terms):len(raw.Terms)], terms...),
+		Weights: append(raw.Weights[:len(raw.Weights):len(raw.Weights)], weights...),
+	}
+	return &Segment{Ix: ext, Global: grownGlobal, Raw: grownRaw, Compacted: false}, nil
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/sparse"
 	"repro/internal/vsm"
+	"repro/retrieval/shard"
 )
 
 // Index is the concrete Retriever produced by Build and Load. It bundles
@@ -23,7 +24,8 @@ type Index struct {
 
 	lsiIndex *lsi.Index
 	vsmIndex *vsm.Index
-	matrix   *sparse.CSR // term-document matrix, retained for VSM persistence
+	matrix   *sparse.CSR  // term-document matrix, retained for VSM persistence
+	sharded  *shard.Index // non-nil iff built with WithShards
 
 	vocab           *ir.Vocabulary // nil only for v1 files loaded without text config
 	weighting       Weighting
@@ -83,6 +85,9 @@ func Build(docs []Document, opts ...Option) (*Index, error) {
 		stemming:        cfg.stemming,
 		docIDs:          ids,
 	}
+	if cfg.shards > 0 {
+		return buildSharded(ix, a, ids, c.NumTerms, len(c.Docs), cfg)
+	}
 	switch cfg.backend {
 	case BackendLSI:
 		engine, err := cfg.engine.toLSI()
@@ -117,7 +122,10 @@ func BuildTexts(texts []string, opts ...Option) (*Index, error) {
 
 // NumDocs returns the number of indexed documents.
 func (ix *Index) NumDocs() int {
-	if ix.backend == BackendVSM {
+	switch {
+	case ix.sharded != nil:
+		return ix.sharded.NumDocs()
+	case ix.backend == BackendVSM:
 		return ix.vsmIndex.NumDocs()
 	}
 	return ix.lsiIndex.NumDocs()
@@ -125,34 +133,85 @@ func (ix *Index) NumDocs() int {
 
 // NumTerms returns the vocabulary size the index was built over.
 func (ix *Index) NumTerms() int {
-	if ix.backend == BackendVSM {
+	switch {
+	case ix.sharded != nil:
+		return ix.sharded.NumTerms()
+	case ix.backend == BackendVSM:
 		return ix.vsmIndex.NumTerms()
 	}
 	return ix.lsiIndex.NumTerms()
 }
 
-// Rank returns the retained LSI rank (0 for the VSM backend).
+// Rank returns the retained LSI rank (0 for the VSM backend; the
+// per-shard rank for sharded indexes).
 func (ix *Index) Rank() int {
-	if ix.backend == BackendVSM {
+	switch {
+	case ix.sharded != nil:
+		return ix.sharded.Rank()
+	case ix.backend == BackendVSM:
 		return 0
 	}
 	return ix.lsiIndex.K()
 }
 
-// Stats describes the index.
+// Stats describes the index, including a per-backend memory estimate
+// that covers both the numeric payload and the text layer.
 func (ix *Index) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Backend:     ix.backend.String(),
 		NumDocs:     ix.NumDocs(),
 		NumTerms:    ix.NumTerms(),
 		Rank:        ix.Rank(),
 		Weighting:   ix.weighting.String(),
 		TextQueries: ix.vocab != nil,
+		Ready:       true,
 	}
+	if ix.vocab != nil {
+		st.VocabSize = ix.vocab.Size()
+		for _, term := range ix.vocab.Terms() {
+			st.MemoryBytes += int64(len(term)) + 16
+		}
+	}
+	for _, id := range ix.docIDs {
+		st.MemoryBytes += int64(len(id)) + 16
+	}
+	switch {
+	case ix.sharded != nil:
+		ss := ix.sharded.Stats()
+		st.Sharded = true
+		st.Shards = ss.Shards
+		st.Segments = ss.Segments
+		st.LiveSegments = ss.Live
+		st.SealedPending = ss.SealedPending
+		st.CompactedSegments = ss.Compacted
+		st.FoldedDocs = ss.FoldedDocs
+		st.Compactions = ss.Compactions
+		st.MemoryBytes += ss.MemoryBytes
+		st.Ready = ix.sharded.Ready()
+	case ix.backend == BackendVSM:
+		// Postings (doc, weight) pairs mirror the matrix nonzeros; the
+		// matrix itself is retained for persistence.
+		nnz := int64(ix.matrix.NNZ())
+		n, m := ix.matrix.Dims()
+		st.MemoryBytes += nnz*16 + int64(m)*8   // postings + norms
+		st.MemoryBytes += nnz*16 + int64(n+1)*8 // retained CSR
+	default:
+		n := int64(ix.lsiIndex.NumTerms())
+		m := int64(ix.lsiIndex.NumDocs())
+		k := int64(ix.lsiIndex.K())
+		st.MemoryBytes += 8 * (n*k + m*k + k + m) // basis + doc rows + sigma + norms
+	}
+	return st
 }
 
 // DocID returns the external identifier of document doc (build order).
 func (ix *Index) DocID(doc int) string {
+	if ix.sharded != nil {
+		if id := ix.sharded.ExternalID(doc); id != "" {
+			return id
+		}
+		return fmt.Sprintf("doc-%d", doc)
+	}
 	if doc >= 0 && doc < len(ix.docIDs) {
 		return ix.docIDs[doc]
 	}
@@ -212,6 +271,10 @@ func (ix *Index) toResults(n int, at func(int) (int, float64)) []Result {
 // searchVec ranks documents against a validated dense term-space vector
 // (the SearchVector path; text queries go through searchSparse).
 func (ix *Index) searchVec(q []float64, topN int) []Result {
+	if ix.sharded != nil {
+		ms := ix.sharded.SearchVec(q, topN)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	}
 	if ix.backend == BackendVSM {
 		ms := ix.vsmIndex.Search(q, topN)
 		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
@@ -223,6 +286,10 @@ func (ix *Index) searchVec(q []float64, topN int) []Result {
 // searchSparse ranks documents against a validated sparse query (terms
 // sorted ascending), staying on the backends' sparse hot paths.
 func (ix *Index) searchSparse(terms []int, weights []float64, topN int) []Result {
+	if ix.sharded != nil {
+		ms := ix.sharded.SearchSparse(terms, weights, topN)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	}
 	if ix.backend == BackendVSM {
 		ms := ix.vsmIndex.SearchSparse(terms, weights, topN)
 		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
@@ -312,7 +379,12 @@ func (ix *Index) SearchBatch(ctx context.Context, queries []string, topN int) ([
 		}
 		hi := min(lo+batchChunk, len(qterms))
 		var chunk [][]Result
-		if ix.backend == BackendVSM {
+		if ix.sharded != nil {
+			for i := lo; i < hi; i++ {
+				ms := ix.sharded.SearchSparse(qterms[i], qweights[i], topN)
+				chunk = append(chunk, ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score }))
+			}
+		} else if ix.backend == BackendVSM {
 			for _, ms := range ix.vsmIndex.SearchBatchSparse(qterms[lo:hi], qweights[lo:hi], topN) {
 				chunk = append(chunk, ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score }))
 			}

@@ -3,14 +3,21 @@
 //
 //	POST /v1/search        {"query":"car engine","topN":10} or {"vector":[...],"topN":10}
 //	POST /v1/search:batch  {"queries":["car","galaxy"],"topN":10}
-//	GET  /v1/stats
-//	GET  /healthz
+//	POST /v1/docs          {"id":"doc-x","text":"..."} — live append (sharded indexes)
+//	POST /v1/docs:batch    {"docs":[{"id":"...","text":"..."}, ...]}
+//	GET  /v1/stats         index description, segment/compaction counters
+//	GET  /healthz          liveness probe (process is up and serving)
+//	GET  /readyz           readiness probe: 503 while the index owes
+//	                       compaction work (sealed segments pending or a
+//	                       compaction in flight), 200 otherwise
 //
 // Malformed requests get a 400 with {"error": "..."}; a query whose
 // terms all miss the vocabulary is a valid request with zero matches
 // (200, empty results). Every search runs under a per-request timeout,
 // checked at query boundaries (an in-flight backend scan is not
-// interrupted mid-kernel); overruns surface as 504.
+// interrupted mid-kernel); overruns surface as 504. The docs endpoints
+// require a retriever with live-update support (an index built with
+// retrieval.WithShards); immutable indexes answer 501.
 package httpapi
 
 import (
@@ -67,6 +74,19 @@ type VectorSearcher interface {
 	SearchVector(ctx context.Context, q []float64, topN int) ([]retrieval.Result, error)
 }
 
+// DocAdder is the optional live-update capability behind POST /v1/docs:
+// a *retrieval.Index built with WithShards implements it. Handlers
+// answer 501 when the retriever does not.
+type DocAdder interface {
+	Add(ctx context.Context, docs []retrieval.Document) (int, error)
+}
+
+// ReadyReporter is the optional readiness capability behind GET
+// /readyz; retrievers without it are always ready.
+type ReadyReporter interface {
+	Ready() bool
+}
+
 // SearchRequest is the body of POST /v1/search. Exactly one of Query and
 // Vector must be set.
 type SearchRequest struct {
@@ -92,6 +112,25 @@ type BatchSearchResponse struct {
 	Results [][]retrieval.Result `json:"results"`
 }
 
+// AddDocRequest is the body of POST /v1/docs.
+type AddDocRequest struct {
+	ID   string `json:"id,omitempty"`
+	Text string `json:"text"`
+}
+
+// AddDocsRequest is the body of POST /v1/docs:batch.
+type AddDocsRequest struct {
+	Docs []AddDocRequest `json:"docs"`
+}
+
+// AddDocsResponse is the body of a successful docs call: the appended
+// documents occupy positions [First, First+Count) and are immediately
+// searchable.
+type AddDocsResponse struct {
+	First int `json:"first"`
+	Count int `json:"count"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -108,8 +147,11 @@ func NewHandler(ret retrieval.Retriever, opts Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", h.search)
 	mux.HandleFunc("POST /v1/search:batch", h.searchBatch)
+	mux.HandleFunc("POST /v1/docs", h.addDoc)
+	mux.HandleFunc("POST /v1/docs:batch", h.addDocs)
 	mux.HandleFunc("GET /v1/stats", h.stats)
 	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /readyz", h.readyz)
 	return mux
 }
 
@@ -233,6 +275,87 @@ func (h *handler) searchBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, BatchSearchResponse{Results: results})
+}
+
+// addInto runs the shared append path for both docs endpoints.
+func (h *handler) addInto(w http.ResponseWriter, r *http.Request, docs []retrieval.Document) {
+	adder, ok := h.ret.(DocAdder)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "this index is immutable; build with sharding (WithShards / lsiserve -shards) to accept live documents")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), h.opts.Timeout)
+	defer cancel()
+	first, err := adder.Add(ctx, docs)
+	if err != nil {
+		switch {
+		case errors.Is(err, retrieval.ErrImmutableIndex):
+			// Every *retrieval.Index has the Add method; immutability
+			// surfaces as this error rather than a missing interface.
+			writeError(w, http.StatusNotImplemented, "this index is immutable; build with sharding (WithShards / lsiserve -shards) to accept live documents")
+		case errors.Is(err, retrieval.ErrIndexClosed):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, retrieval.ErrNoVocabulary):
+			writeError(w, http.StatusBadRequest, "%v", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "append timed out: %v", err)
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "request canceled: %v", err)
+		default:
+			// Remaining append failures are server-side (fold or
+			// decomposition errors), not malformed requests.
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, AddDocsResponse{First: first, Count: len(docs)})
+}
+
+func (h *handler) addDoc(w http.ResponseWriter, r *http.Request) {
+	var req AddDocRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	if req.Text == "" {
+		writeError(w, http.StatusBadRequest, "\"text\" must be set")
+		return
+	}
+	h.addInto(w, r, []retrieval.Document{{ID: req.ID, Text: req.Text}})
+}
+
+func (h *handler) addDocs(w http.ResponseWriter, r *http.Request) {
+	var req AddDocsRequest
+	if !h.decode(w, r, &req) {
+		return
+	}
+	if len(req.Docs) == 0 {
+		writeError(w, http.StatusBadRequest, "\"docs\" must contain at least one document")
+		return
+	}
+	if len(req.Docs) > h.opts.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d documents exceeds the limit of %d", len(req.Docs), h.opts.MaxBatch)
+		return
+	}
+	docs := make([]retrieval.Document, len(req.Docs))
+	for i, d := range req.Docs {
+		if d.Text == "" {
+			writeError(w, http.StatusBadRequest, "document %d: \"text\" must be set", i)
+			return
+		}
+		docs[i] = retrieval.Document{ID: d.ID, Text: d.Text}
+	}
+	h.addInto(w, r, docs)
+}
+
+func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
+	if rr, ok := h.ret.(ReadyReporter); ok && !rr.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "not-ready",
+			"reason": "index is warming: compaction pending or in flight",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {

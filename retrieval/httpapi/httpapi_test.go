@@ -204,3 +204,139 @@ func BenchmarkSearchHandler(b *testing.B) {
 		}
 	}
 }
+
+func shardedHandler(t *testing.T) (http.Handler, *retrieval.Index) {
+	t.Helper()
+	ix, err := retrieval.Build(retrieval.DemoCorpus(),
+		retrieval.WithRank(3), retrieval.WithShards(2),
+		retrieval.WithAutoCompact(false), retrieval.WithSealEvery(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return NewHandler(ix, Options{MaxBatch: 4}), ix
+}
+
+func TestLiveDocsEndpoints(t *testing.T) {
+	h, ix := shardedHandler(t)
+	before := ix.NumDocs()
+
+	rec := do(t, h, "POST", "/v1/docs", `{"id":"fresh","text":"a fresh car with a diesel engine"}`)
+	if rec.Code != 200 {
+		t.Fatalf("POST /v1/docs = %d: %s", rec.Code, rec.Body)
+	}
+	var resp AddDocsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.First != before || resp.Count != 1 {
+		t.Fatalf("append response %+v, want first=%d count=1", resp, before)
+	}
+
+	rec = do(t, h, "POST", "/v1/docs:batch", `{"docs":[{"text":"galaxy survey"},{"id":"p","text":"pasta recipe"}]}`)
+	if rec.Code != 200 {
+		t.Fatalf("POST /v1/docs:batch = %d: %s", rec.Code, rec.Body)
+	}
+	if ix.NumDocs() != before+3 {
+		t.Fatalf("NumDocs %d, want %d", ix.NumDocs(), before+3)
+	}
+
+	// The appended document is immediately searchable through the API.
+	rec = do(t, h, "POST", "/v1/search", `{"query":"diesel engine","topN":20}`)
+	if rec.Code != 200 {
+		t.Fatalf("search = %d: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), `"fresh"`) {
+		t.Fatalf("appended doc missing from results: %s", rec.Body)
+	}
+
+	// Validation and limits.
+	for _, tc := range []struct {
+		name, path, body string
+		want             int
+		inBody           string
+	}{
+		{"missing text", "/v1/docs", `{"id":"x"}`, 400, "text"},
+		{"empty batch", "/v1/docs:batch", `{"docs":[]}`, 400, "at least one"},
+		{"batch too large", "/v1/docs:batch", `{"docs":[{"text":"a"},{"text":"b"},{"text":"c"},{"text":"d"},{"text":"e"}]}`, 400, "limit"},
+		{"batch missing text", "/v1/docs:batch", `{"docs":[{"id":"x"}]}`, 400, "text"},
+	} {
+		rec := do(t, h, "POST", tc.path, tc.body)
+		if rec.Code != tc.want || !strings.Contains(rec.Body.String(), tc.inBody) {
+			t.Fatalf("%s: %d %s", tc.name, rec.Code, rec.Body)
+		}
+	}
+}
+
+func TestLiveDocsOnImmutableIndex(t *testing.T) {
+	h := demoHandler(t, Options{})
+	rec := do(t, h, "POST", "/v1/docs", `{"text":"a car"}`)
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("immutable append = %d, want 501", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "immutable") {
+		t.Fatalf("body %s", rec.Body)
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	// Immutable index: always ready.
+	h := demoHandler(t, Options{})
+	if rec := do(t, h, "GET", "/readyz", ""); rec.Code != 200 {
+		t.Fatalf("immutable readyz = %d", rec.Code)
+	}
+
+	// Sharded index: ready, then not-ready once a segment seals, then
+	// ready again after compaction.
+	h, ix := shardedHandler(t)
+	if rec := do(t, h, "GET", "/readyz", ""); rec.Code != 200 {
+		t.Fatalf("fresh sharded readyz = %d", rec.Code)
+	}
+	for i := 0; i < 10; i++ {
+		if rec := do(t, h, "POST", "/v1/docs", `{"text":"car engine repair"}`); rec.Code != 200 {
+			t.Fatalf("append %d = %d", i, rec.Code)
+		}
+	}
+	rec := do(t, h, "GET", "/readyz", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("sealed readyz = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "not-ready") {
+		t.Fatalf("body %s", rec.Body)
+	}
+	if _, err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if rec := do(t, h, "GET", "/readyz", ""); rec.Code != 200 {
+		t.Fatalf("compacted readyz = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestShardedStatsBody(t *testing.T) {
+	h, _ := shardedHandler(t)
+	rec := do(t, h, "GET", "/v1/stats", "")
+	if rec.Code != 200 {
+		t.Fatalf("stats = %d", rec.Code)
+	}
+	var st retrieval.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Sharded || st.Shards != 2 || st.Segments == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.VocabSize == 0 || st.MemoryBytes == 0 {
+		t.Fatalf("stats missing size info: %+v", st)
+	}
+}
+
+func TestLiveDocsOnClosedIndex(t *testing.T) {
+	h, ix := shardedHandler(t)
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, h, "POST", "/v1/docs", `{"text":"a car"}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("append on closed index = %d, want 503: %s", rec.Code, rec.Body)
+	}
+}

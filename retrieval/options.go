@@ -149,6 +149,9 @@ type config struct {
 	removeStopwords bool
 	stemming        bool
 	workers         int // 0 = leave the process-wide setting alone
+	shards          int // 0 = unsharded; >= 1 builds the sharded live index
+	sealEvery       int // 0 = shard package default
+	autoCompact     *bool
 }
 
 func defaultConfig() config {
@@ -197,6 +200,29 @@ func WithStopwordRemoval(on bool) Option { return func(c *config) { c.removeStop
 // true). The setting is bundled into the index so queries are
 // preprocessed identically.
 func WithStemming(on bool) Option { return func(c *config) { c.stemming = on } }
+
+// WithShards builds a sharded live index over n shards instead of the
+// single immutable index: documents are partitioned round-robin, each
+// shard gets an independent per-shard decomposition, the index accepts
+// live appends via Add (folded in without a rebuild, re-decomposed by a
+// background compactor), and searches fan out across every shard's
+// segments with deterministic merged results. A 1-shard index returns
+// bitwise-identical rankings to the unsharded build of the same corpus.
+// Sharding requires the LSI backend; n <= 0 keeps the unsharded index.
+// Sharded indexes persist to a directory (SaveDir/OpenDir) rather than
+// a single stream.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithSealEvery sets how many folded-in documents a shard's live segment
+// absorbs before it is sealed and handed to the compactor (default 256;
+// only meaningful with WithShards).
+func WithSealEvery(n int) Option { return func(c *config) { c.sealEvery = n } }
+
+// WithAutoCompact toggles the background compactor of a sharded index
+// (default on; only meaningful with WithShards). With it off, sealed
+// segments keep serving their fold-in representations until Compact is
+// called explicitly — useful for tests that need a fixed segment layout.
+func WithAutoCompact(on bool) Option { return func(c *config) { c.autoCompact = &on } }
 
 // WithParallelism caps the worker count used by the parallel build and
 // query kernels. The setting is process-wide (it adjusts the shared

@@ -47,6 +47,9 @@ const wireVersion = lsi.WireVersion
 // Save writes the index to w as a self-contained stream: Load needs
 // nothing else to serve text queries.
 func (ix *Index) Save(w io.Writer) error {
+	if ix.sharded != nil {
+		return fmt.Errorf("retrieval: save: sharded indexes persist to a directory; use SaveDir")
+	}
 	var vocabTerms []string
 	if ix.vocab != nil {
 		vocabTerms = ix.vocab.Terms()

@@ -83,11 +83,14 @@ type Document struct {
 type Stats struct {
 	// Backend is "lsi" or "vsm".
 	Backend string `json:"backend"`
+	// Sharded reports the sharded live index (WithShards); the Shard*
+	// fields below are only populated when it is set.
+	Sharded bool `json:"sharded,omitempty"`
 	// NumDocs and NumTerms are the index dimensions.
 	NumDocs  int `json:"numDocs"`
 	NumTerms int `json:"numTerms"`
 	// Rank is the retained LSI rank k (0 for the VSM backend, which has
-	// no latent space).
+	// no latent space; the per-shard rank for sharded indexes).
 	Rank int `json:"rank,omitempty"`
 	// Weighting names the term-weighting function of the term-document
 	// matrix.
@@ -96,6 +99,26 @@ type Stats struct {
 	// answer text queries (false only for v1-format files loaded without
 	// WithTextConfig).
 	TextQueries bool `json:"textQueries"`
+	// VocabSize is the number of terms in the bundled vocabulary (0 when
+	// the index has none; otherwise equal to NumTerms).
+	VocabSize int `json:"vocabSize"`
+	// MemoryBytes estimates the index's heap footprint: the backend's
+	// numeric payload (latent matrices for LSI, postings + retained
+	// matrix for VSM, every segment for sharded indexes) plus the text
+	// layer (vocabulary and document ID strings).
+	MemoryBytes int64 `json:"memoryBytes"`
+
+	// Sharded-index topology (zero unless Sharded).
+	Shards            int   `json:"shards,omitempty"`
+	Segments          int   `json:"segments,omitempty"`
+	LiveSegments      int   `json:"liveSegments,omitempty"`
+	SealedPending     int   `json:"sealedPending,omitempty"`
+	CompactedSegments int   `json:"compactedSegments,omitempty"`
+	FoldedDocs        int   `json:"foldedDocs,omitempty"`
+	Compactions       int64 `json:"compactions,omitempty"`
+	// Ready is false while the index owes compaction work (see
+	// Index.Ready); always true for unsharded indexes.
+	Ready bool `json:"ready"`
 }
 
 // Sentinel errors returned by the query and build paths; test with

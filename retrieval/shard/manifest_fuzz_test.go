@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validManifestJSON is a minimal well-formed manifest used as the
+// positive fuzz seed and by the table tests below.
+const validManifestJSON = `{
+  "version": 1,
+  "format": "lsi-sharded",
+  "shards": 2,
+  "rank": 3,
+  "seed": 42,
+  "numTerms": 10,
+  "numDocs": 4,
+  "sealEvery": 256,
+  "idsFile": "ids.json",
+  "segments": [
+    [{"file": "seg-0-0.idx", "docs": 2, "globals": [0, 2], "compacted": true, "base": true}],
+    [{"file": "seg-1-0.idx", "docs": 2, "globals": [1, 3], "compacted": true, "base": true}]
+  ]
+}`
+
+// FuzzParseManifest asserts the manifest loader is total: any byte
+// string — corrupt, truncated, hostile — must yield either a valid
+// manifest or a descriptive error, never a panic and never an
+// input-independent allocation. Seeds live in
+// testdata/fuzz/FuzzParseManifest; run `go test -fuzz=FuzzParseManifest
+// ./retrieval/shard` to explore further.
+func FuzzParseManifest(f *testing.F) {
+	f.Add([]byte(validManifestJSON))
+	f.Add([]byte(validManifestJSON)[:60]) // truncated mid-object
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"version": 99, "format": "lsi-sharded", "shards": 1}`))
+	f.Add([]byte(`{"version": 1, "format": "lsi-sharded", "shards": 1, "rank": 1, "numTerms": 1, "numDocs": 9999999999, "idsFile": "x", "segments": [[]]}`))
+	f.Add([]byte(`{"version": 1, "format": "lsi-sharded", "shards": 1, "rank": 1, "numTerms": 1, "numDocs": 1, "idsFile": "../../etc/passwd", "segments": [[{"file": "s", "docs": 1, "globals": [0]}]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			if m != nil {
+				t.Fatal("error with non-nil manifest")
+			}
+			return
+		}
+		// A manifest that parses must satisfy the invariants the loader
+		// relies on.
+		if m.Shards < 1 || m.Rank < 1 || m.NumTerms < 1 || m.NumDocs < 0 {
+			t.Fatalf("accepted out-of-range manifest: %+v", m)
+		}
+		if len(m.Segments) != m.Shards {
+			t.Fatalf("accepted %d segment lists for %d shards", len(m.Segments), m.Shards)
+		}
+		total := 0
+		for _, segs := range m.Segments {
+			for _, e := range segs {
+				if e.File != filepath.Base(e.File) || strings.ContainsAny(e.File, `/\`) {
+					t.Fatalf("accepted unsafe file name %q", e.File)
+				}
+				if e.Docs != len(e.Globals) {
+					t.Fatalf("accepted docs/globals mismatch")
+				}
+				total += e.Docs
+			}
+		}
+		if total != m.NumDocs {
+			t.Fatalf("accepted numDocs=%d with %d documents", m.NumDocs, total)
+		}
+	})
+}
+
+func TestParseManifestRejectsCorruption(t *testing.T) {
+	base := func() map[string]any {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(validManifestJSON), &m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	mutate := func(fn func(map[string]any)) []byte {
+		m := base()
+		fn(m)
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"valid", []byte(validManifestJSON), ""},
+		{"truncated", []byte(validManifestJSON)[:80], "unexpected end"},
+		{"not json", []byte("ceci n'est pas un manifeste"), "invalid character"},
+		{"wrong format", mutate(func(m map[string]any) { m["format"] = "tarball" }), `format "tarball"`},
+		{"future version", mutate(func(m map[string]any) { m["version"] = 99 }), "version 99"},
+		{"zero shards", mutate(func(m map[string]any) { m["shards"] = 0; m["segments"] = []any{} }), "0 shards"},
+		{"negative rank", mutate(func(m map[string]any) { m["rank"] = -1 }), "rank -1"},
+		{"shard list mismatch", mutate(func(m map[string]any) { m["shards"] = 3 }), "segment lists"},
+		{"traversal ids file", mutate(func(m map[string]any) { m["idsFile"] = "../ids.json" }), "bare name"},
+		{"doc count mismatch", mutate(func(m map[string]any) { m["numDocs"] = 7 }), "numDocs=7"},
+		{"duplicate global", mutate(func(m map[string]any) {
+			segs := m["segments"].([]any)
+			seg := segs[1].([]any)[0].(map[string]any)
+			seg["globals"] = []any{0, 3}
+		}), "more than one segment"},
+		{"global out of range", mutate(func(m map[string]any) {
+			segs := m["segments"].([]any)
+			seg := segs[1].([]any)[0].(map[string]any)
+			seg["globals"] = []any{1, 44}
+		}), "out of [0,4)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := ParseManifest(tc.data)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid manifest rejected: %v", err)
+				}
+				if m.Shards != 2 || m.NumDocs != 4 {
+					t.Fatalf("parsed %+v", m)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("corrupt manifest accepted: %+v", m)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,390 @@
+// Package shard implements the sharded live LSI index: documents are
+// partitioned across N shards, each shard is a lifecycle of segments
+// (see internal/segment), and the whole structure serves searches with
+// no reader locks while absorbing appends and background compactions.
+//
+// Layout and lifecycle:
+//
+//		Index
+//		 ├── shard 0: state ──▶ {stable segments…, live segment}   (atomic pointer)
+//		 ├── shard 1: state ──▶ {…}
+//		 └── shard N-1
+//
+//	  - Build partitions the term-document matrix round-robin (global
+//	    document g lives on shard g mod N) and runs one SVD per shard, so
+//	    per-shard topic subspaces stay independent and builds parallelize.
+//	  - Add / AddBatch fold new documents into the shard's live segment via
+//	    the LSI fold-in path. Every mutation publishes a NEW immutable
+//	    shard state through an atomic pointer with a bumped epoch; readers
+//	    load the pointer once and never block or lock.
+//	  - When a live segment reaches SealEvery documents it is sealed:
+//	    moved read-only into the stable list, where the background
+//	    compactor rebuilds it (two-step randomized SVD over the retained
+//	    raw documents) and atomically swaps the compacted replacement in.
+//	  - Search fans out across every segment of every shard on
+//	    internal/par and merges bounded per-chunk top-k under the strict
+//	    (score desc, global doc asc) order, so results are deterministic
+//	    for any shard count, segment layout, and worker count — and a
+//	    1-shard index is bitwise identical to the unsharded path.
+//
+// Global document numbers are assigned once, at build or ingest, and
+// never change: compaction carries each segment's global mapping through
+// the rebuild, so result IDs are stable across the whole lifecycle.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lsi"
+	"repro/internal/mat"
+	"repro/internal/segment"
+	"repro/internal/sparse"
+	"repro/internal/topk"
+)
+
+// Config configures Build and Open. The zero value of every optional
+// field picks the documented default.
+type Config struct {
+	// Shards is the number of shards (default 1).
+	Shards int
+	// Rank is the per-shard LSI rank k (required >= 1; the retrieval
+	// layer resolves its auto-rank before calling down).
+	Rank int
+	// Engine selects the SVD engine for initial shard builds.
+	Engine lsi.Engine
+	// Seed drives every decomposition; shard s uses Seed+s so a 1-shard
+	// index reproduces the unsharded build bitwise.
+	Seed int64
+	// SealEvery is the live-segment size that triggers sealing
+	// (default 256 documents).
+	SealEvery int
+	// AutoCompact starts the background compactor (disable for tests
+	// that need a fixed segment layout; Compact can still be called
+	// manually).
+	AutoCompact bool
+	// CompactL overrides the two-step projection dimension (0 = auto).
+	CompactL int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.SealEvery <= 0 {
+		c.SealEvery = 256
+	}
+	return c
+}
+
+// ErrClosed reports an operation on a closed index.
+var ErrClosed = errors.New("shard: index is closed")
+
+// shardState is one immutable snapshot of a shard: the sealed/compacted
+// segments plus the live fold-in segment (nil when none is open). Every
+// mutation allocates a new state and publishes it via the shard's atomic
+// pointer with epoch+1 — readers are wait-free and always see a
+// consistent segment set.
+type shardState struct {
+	epoch  uint64
+	stable []*segment.Segment
+	live   *segment.Segment
+}
+
+// segments appends every segment of the state to dst.
+func (st *shardState) segments(dst []*segment.Segment) []*segment.Segment {
+	dst = append(dst, st.stable...)
+	if st.live != nil {
+		dst = append(dst, st.live)
+	}
+	return dst
+}
+
+// shardH is one shard: its published state and the basis new documents
+// fold into. mu serializes state publication (ingest seal/extend and
+// compactor swap); readers never take it.
+type shardH struct {
+	mu    sync.Mutex
+	state atomic.Pointer[shardState]
+	// base is the fold-in basis: the index built over the shard's initial
+	// documents (or its first ingested batch). Guarded by the index-wide
+	// ingest mutex.
+	base *lsi.Index
+}
+
+// idTable is the append-only global directory: ids[g] is the external
+// identifier of global document g. Published by atomic pointer; the
+// writer (under ingestMu) appends and re-publishes, and readers only
+// index below their snapshot's length, so backing-array reuse across
+// snapshots is safe.
+type idTable struct {
+	ids []string
+}
+
+// Index is a sharded live LSI index. Searches are safe from any number
+// of goroutines concurrently with ingest and compaction; ingest calls
+// serialize on an internal mutex.
+type Index struct {
+	cfg      Config
+	numTerms int
+	shards   []*shardH
+
+	ingestMu sync.Mutex
+	ids      atomic.Pointer[idTable]
+
+	compactMu   sync.Mutex // serializes whole-index compaction passes
+	compacting  atomic.Int32
+	compactions atomic.Int64 // total segment rebuilds performed
+
+	wake   chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+	closed atomic.Bool
+}
+
+// Build partitions the n×m term-document matrix a (documents as columns)
+// round-robin across cfg.Shards shards, runs one rank-cfg.Rank SVD per
+// shard, and returns the live index. ids[j] is the external identifier of
+// global document j (= column j); len(ids) must equal m.
+func Build(a *sparse.CSR, ids []string, cfg Config) (*Index, error) {
+	cfg = cfg.withDefaults()
+	n, m := a.Dims()
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("shard: empty term-document matrix %dx%d", n, m)
+	}
+	if cfg.Rank < 1 {
+		return nil, fmt.Errorf("shard: rank %d, want >= 1", cfg.Rank)
+	}
+	if len(ids) != m {
+		return nil, fmt.Errorf("shard: %d ids for %d documents", len(ids), m)
+	}
+	x := newIndex(n, cfg)
+	x.ids.Store(&idTable{ids: append([]string(nil), ids...)})
+
+	// One independent SVD per shard over its column subset. Shard builds
+	// are deterministic (seed+s) and independent, so building serially in
+	// shard order keeps results reproducible; each build parallelizes
+	// internally through the SVD kernels.
+	for s := 0; s < cfg.Shards; s++ {
+		sub, globals := columnSubset(a, s, cfg.Shards)
+		if len(globals) == 0 {
+			x.shards[s].state.Store(&shardState{})
+			continue
+		}
+		ix, err := lsi.Build(sub, cfg.Rank, lsi.Options{Engine: cfg.Engine, Seed: cfg.Seed + int64(s)})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		seg, err := segment.New(ix, globals, nil, true)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		x.shards[s].base = ix
+		x.shards[s].state.Store(&shardState{stable: []*segment.Segment{seg}})
+	}
+	x.startCompactor()
+	return x, nil
+}
+
+func newIndex(numTerms int, cfg Config) *Index {
+	x := &Index{
+		cfg:      cfg,
+		numTerms: numTerms,
+		shards:   make([]*shardH, cfg.Shards),
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for s := range x.shards {
+		x.shards[s] = &shardH{}
+		x.shards[s].state.Store(&shardState{})
+	}
+	x.ids.Store(&idTable{})
+	return x
+}
+
+// columnSubset extracts the columns of a assigned to shard s (j mod
+// shards == s) as their own matrix, returning it with the global column
+// numbers in ascending order. With one shard the original matrix is
+// returned as-is, so a 1-shard build is bit-for-bit the unsharded build.
+func columnSubset(a *sparse.CSR, s, shards int) (*sparse.CSR, []int) {
+	n, m := a.Dims()
+	if shards == 1 {
+		globals := make([]int, m)
+		for j := range globals {
+			globals[j] = j
+		}
+		return a, globals
+	}
+	var globals []int
+	local := make([]int, m) // global column -> shard-local column
+	for j := s; j < m; j += shards {
+		local[j] = len(globals)
+		globals = append(globals, j)
+	}
+	if len(globals) == 0 {
+		return nil, nil
+	}
+	coo := sparse.NewCOO(n, len(globals))
+	for t := 0; t < n; t++ {
+		a.RowIter(t, func(j int, v float64) {
+			if j%shards == s {
+				coo.Add(t, local[j], v)
+			}
+		})
+	}
+	return coo.ToCSR(), globals
+}
+
+// NumTerms returns the vocabulary dimension.
+func (x *Index) NumTerms() int { return x.numTerms }
+
+// NumDocs returns the number of indexed documents (including every
+// folded-in document published so far).
+func (x *Index) NumDocs() int { return len(x.ids.Load().ids) }
+
+// NumShards returns the shard count.
+func (x *Index) NumShards() int { return x.cfg.Shards }
+
+// Rank returns the configured per-shard rank k.
+func (x *Index) Rank() int { return x.cfg.Rank }
+
+// ExternalID returns the external identifier of global document g, or
+// "" if g is out of range.
+func (x *Index) ExternalID(g int) string {
+	ids := x.ids.Load().ids
+	if g < 0 || g >= len(ids) {
+		return ""
+	}
+	return ids[g]
+}
+
+// snapshot collects every segment currently published, shard by shard.
+func (x *Index) snapshot() []*segment.Segment {
+	var segs []*segment.Segment
+	for _, sh := range x.shards {
+		segs = sh.state.Load().segments(segs)
+	}
+	return segs
+}
+
+// SearchSparse ranks every indexed document against a sparse query
+// (terms strictly ascending, the form the retrieval layer produces) and
+// returns the topN best (all if topN <= 0), best-first with ties broken
+// by ascending global document number. It is wait-free with respect to
+// ingest and compaction: the segment set is snapshotted once and every
+// segment in it is immutable.
+func (x *Index) SearchSparse(terms []int, weights []float64, topN int) []topk.Match {
+	return segment.SearchSparse(x.snapshot(), terms, weights, topN)
+}
+
+// SearchVec is SearchSparse for a dense term-space query vector.
+func (x *Index) SearchVec(q []float64, topN int) []topk.Match {
+	return segment.SearchVec(x.snapshot(), q, topN)
+}
+
+// Stats describes the index's segment topology and resource use.
+type Stats struct {
+	// Shards is the shard count; Epoch is the highest shard epoch (total
+	// number of published mutations across the index's lifetime is the
+	// sum, but the max is what monitoring needs: "is it moving?").
+	Shards int    `json:"shards"`
+	Epoch  uint64 `json:"epoch"`
+	// Segments counts every published segment; Live of them are
+	// fold-in segments still absorbing, SealedPending are sealed and
+	// waiting for the compactor, Compacted were rebuilt (or built) by a
+	// full decomposition.
+	Segments      int `json:"segments"`
+	Live          int `json:"liveSegments"`
+	SealedPending int `json:"sealedPending"`
+	Compacted     int `json:"compactedSegments"`
+	// Docs is the total document count; FoldedDocs of them are currently
+	// represented by fold-in rather than a direct decomposition.
+	Docs       int `json:"docs"`
+	FoldedDocs int `json:"foldedDocs"`
+	// Compactions counts segment rebuilds performed since Build/Open.
+	Compactions int64 `json:"compactions"`
+	// Compacting reports whether a compaction pass is in flight.
+	Compacting bool `json:"compacting"`
+	// MemoryBytes estimates the heap held by segment data.
+	MemoryBytes int64 `json:"memoryBytes"`
+}
+
+// Stats snapshots the segment topology.
+func (x *Index) Stats() Stats {
+	st := Stats{Shards: x.cfg.Shards}
+	// Fold-in segments share their basis matrix with the segment they
+	// fold against; count each distinct basis once.
+	seenBasis := make(map[*mat.Dense]bool)
+	for _, sh := range x.shards {
+		s := sh.state.Load()
+		if s.epoch > st.Epoch {
+			st.Epoch = s.epoch
+		}
+		var segs []*segment.Segment
+		segs = s.segments(segs)
+		for _, seg := range segs {
+			st.Segments++
+			st.Docs += seg.Len()
+			switch {
+			case seg == s.live:
+				st.Live++
+				st.FoldedDocs += seg.Len()
+			case compactable(seg):
+				st.SealedPending++
+				st.FoldedDocs += seg.Len()
+			case seg.Compacted:
+				st.Compacted++
+			default:
+				// Frozen fold-in segment (reloaded without its raw docs):
+				// not live, not compactable, not a full decomposition.
+				st.FoldedDocs += seg.Len()
+			}
+			k := int64(seg.Ix.K())
+			m := int64(seg.Ix.NumDocs())
+			st.MemoryBytes += 8*(m*k+k+m) + 16*int64(seg.Raw.NNZ())
+			if b := seg.Ix.Basis(); !seenBasis[b] {
+				seenBasis[b] = true
+				st.MemoryBytes += 8 * int64(seg.Ix.NumTerms()) * k
+			}
+		}
+	}
+	for _, id := range x.ids.Load().ids {
+		st.MemoryBytes += int64(len(id)) + 16
+	}
+	st.Compactions = x.compactions.Load()
+	st.Compacting = x.compacting.Load() > 0
+	return st
+}
+
+// Ready reports whether the index has no compaction debt: no sealed
+// segments waiting and no compaction in flight. Serving while not ready
+// is correct (fold-in segments answer queries); Ready is the signal a
+// load balancer uses to prefer warmed replicas.
+func (x *Index) Ready() bool {
+	if x.compacting.Load() > 0 {
+		return false
+	}
+	for _, sh := range x.shards {
+		for _, seg := range sh.state.Load().stable {
+			if compactable(seg) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Close stops the background compactor and marks the index closed for
+// ingest; searches against the already-published segments keep working.
+// Close is idempotent.
+func (x *Index) Close() error {
+	if x.closed.Swap(true) {
+		return nil
+	}
+	close(x.stop)
+	<-x.done
+	return nil
+}

@@ -1,0 +1,288 @@
+package retrieval
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ir"
+	"repro/internal/sparse"
+	"repro/retrieval/shard"
+)
+
+// Sharded mode: WithShards(n) swaps the single immutable backend for
+// retrieval/shard's sharded live index. The Index keeps owning the text
+// layer — vocabulary, weighting, pipeline flags — while the shard
+// subsystem owns the numeric segments and the global document directory,
+// so the same Retriever methods (and the same query preprocessing) serve
+// both modes.
+//
+// Sharded indexes add three capabilities on top of the Retriever
+// contract: live appends (Add), readiness reporting (Ready), and
+// directory persistence (SaveDir / OpenDir; the manifest format is
+// documented in retrieval/shard).
+
+// Sentinel errors of the sharded mode.
+var (
+	// ErrImmutableIndex reports Add against an unsharded index, which is
+	// immutable after Build.
+	ErrImmutableIndex = errors.New("retrieval: index does not accept live updates (build with WithShards)")
+	// ErrIndexClosed reports Add against a sharded index after Close —
+	// a server-lifecycle condition, not a request error.
+	ErrIndexClosed = errors.New("retrieval: index is closed")
+	// ErrNotSharded reports SaveDir against an unsharded index (use Save)
+	// and vice versa.
+	ErrNotSharded = errors.New("retrieval: not a sharded index")
+)
+
+// buildSharded finishes a Build configured with WithShards: the text
+// layer is already assembled; partition the matrix and build the shard
+// subsystem.
+func buildSharded(ix *Index, a *sparse.CSR, ids []string, numTerms, numDocs int, cfg config) (*Index, error) {
+	if cfg.backend != BackendLSI {
+		return nil, fmt.Errorf("retrieval: WithShards requires the LSI backend (got %s)", cfg.backend)
+	}
+	engine, err := cfg.engine.toLSI()
+	if err != nil {
+		return nil, err
+	}
+	rank := cfg.rank
+	if rank <= 0 {
+		rank = autoRank(numTerms, numDocs)
+	}
+	autoCompact := true
+	if cfg.autoCompact != nil {
+		autoCompact = *cfg.autoCompact
+	}
+	sx, err := shard.Build(a, ids, shard.Config{
+		Shards:      cfg.shards,
+		Rank:        rank,
+		Engine:      engine,
+		Seed:        cfg.seed,
+		SealEvery:   cfg.sealEvery,
+		AutoCompact: autoCompact,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("retrieval: building sharded index: %w", err)
+	}
+	ix.sharded = sx
+	ix.docIDs = nil // the shard directory owns external IDs in sharded mode
+	return ix, nil
+}
+
+// Sharded reports whether the index is a sharded live index.
+func (ix *Index) Sharded() bool { return ix.sharded != nil }
+
+// Ready reports whether the index owes no background work: always true
+// for unsharded indexes; for sharded indexes, false while sealed
+// segments await compaction or a compaction pass is in flight. A
+// not-ready index serves correct (fold-in) results — Ready is the
+// readiness signal for load balancers, surfaced at /readyz.
+func (ix *Index) Ready() bool {
+	if ix.sharded == nil {
+		return true
+	}
+	return ix.sharded.Ready()
+}
+
+// Compact runs one synchronous compaction pass on a sharded index,
+// returning the number of segments rebuilt. Unsharded indexes have
+// nothing to compact and return 0.
+func (ix *Index) Compact() (int, error) {
+	if ix.sharded == nil {
+		return 0, nil
+	}
+	return ix.sharded.Compact()
+}
+
+// Close releases background resources (the sharded compactor). It is a
+// no-op for unsharded indexes and is idempotent; searches against an
+// already-published index keep working after Close, but Add fails.
+func (ix *Index) Close() error {
+	if ix.sharded == nil {
+		return nil
+	}
+	return ix.sharded.Close()
+}
+
+// docSparse converts a document's text to the sorted sparse term-space
+// vector fold-in consumes — the same pipeline, vocabulary, and weighting
+// as querySparse, because fold-in represents documents exactly the way
+// queries are projected. Terms outside the build-time vocabulary are
+// dropped (the standard fold-in limitation: the vocabulary is fixed at
+// build time); a document with no in-vocabulary terms indexes as an
+// empty vector that never scores above 0.
+func (ix *Index) docSparse(text string) (terms []int, weights []float64) {
+	terms, weights, _ = ix.querySparse(text)
+	return terms, weights
+}
+
+// Add appends documents to a sharded live index, folding them into their
+// shards without a rebuild, and returns the position (and DocID index)
+// of the first: the batch occupies [first, first+len(docs)). It is safe
+// to call concurrently with Search and with other Adds. Unsharded
+// indexes return ErrImmutableIndex; a closed index returns
+// ErrIndexClosed.
+//
+// Cancellation is honored on entry only: once the fold begins, the
+// append runs to completion rather than leaving the caller unsure
+// whether the batch landed. Bound very large batches yourself if you
+// need finer-grained deadlines.
+//
+// For a TF-IDF-weighted index, added documents are weighted by raw
+// counts (document frequencies are a build-time corpus statistic) — the
+// same convention queries use.
+func (ix *Index) Add(ctx context.Context, docs []Document) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if ix.sharded == nil {
+		return 0, ErrImmutableIndex
+	}
+	if ix.vocab == nil {
+		return 0, ErrNoVocabulary
+	}
+	if len(docs) == 0 {
+		return 0, fmt.Errorf("retrieval: empty batch")
+	}
+	batch := make([]shard.Doc, len(docs))
+	for i, d := range docs {
+		terms, weights := ix.docSparse(d.Text)
+		batch[i] = shard.Doc{ID: d.ID, Terms: terms, Weights: weights}
+	}
+	first, err := ix.sharded.AddBatch(batch)
+	if err != nil {
+		if errors.Is(err, shard.ErrClosed) {
+			return 0, ErrIndexClosed
+		}
+		return 0, fmt.Errorf("retrieval: add: %w", err)
+	}
+	return first, nil
+}
+
+// textMeta is the sharded index's text layer on disk (text.json next to
+// the shard manifest); external document IDs live in the shard
+// subsystem's ids.json.
+type textMeta struct {
+	Version         int      `json:"version"`
+	Vocab           []string `json:"vocab"`
+	Weighting       string   `json:"weighting"`
+	RemoveStopwords bool     `json:"removeStopwords"`
+	Stemming        bool     `json:"stemming"`
+}
+
+const textMetaName = "text.json"
+
+// SaveDir writes a sharded index to a directory: the shard manifest and
+// segment files (see retrieval/shard) plus the text layer. Unsharded
+// indexes persist to a single stream via Save instead.
+func (ix *Index) SaveDir(dir string) error {
+	if ix.sharded == nil {
+		return fmt.Errorf("%w: use Save for single-stream persistence", ErrNotSharded)
+	}
+	if err := ix.sharded.SaveDir(dir); err != nil {
+		return err
+	}
+	meta := textMeta{
+		Version:         1,
+		Vocab:           ix.vocab.Terms(),
+		Weighting:       ix.weighting.String(),
+		RemoveStopwords: ix.removeStopwords,
+		Stemming:        ix.stemming,
+	}
+	data, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("retrieval: save text layer: %w", err)
+	}
+	// Write via rename so a crashed re-save leaves the previous (equally
+	// valid — the text layer is immutable after Build) file intact.
+	tmp := filepath.Join(dir, textMetaName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("retrieval: save text layer: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, textMetaName)); err != nil {
+		return fmt.Errorf("retrieval: save text layer: %w", err)
+	}
+	return nil
+}
+
+// OpenDir loads a sharded index saved by SaveDir. The loaded index
+// serves identical scores to the saved one and keeps accepting Adds;
+// segments reload as-is (pending compaction state is not carried over —
+// run Compact before saving for a fully compacted index). Options
+// control runtime behavior only: WithSealEvery and WithAutoCompact
+// apply, everything structural comes from the manifest.
+func OpenDir(dir string, opts ...Option) (*Index, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, textMetaName))
+	if err != nil {
+		return nil, fmt.Errorf("retrieval: open %s: %w", dir, err)
+	}
+	var meta textMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("retrieval: open %s: %w", textMetaName, err)
+	}
+	if meta.Version < 1 || meta.Version > 1 {
+		return nil, fmt.Errorf("retrieval: open: text layer version %d is not supported by this build (supported: 1)", meta.Version)
+	}
+	weighting, err := ParseWeighting(meta.Weighting)
+	if err != nil {
+		return nil, fmt.Errorf("retrieval: open: %w", err)
+	}
+	autoCompact := true
+	if cfg.autoCompact != nil {
+		autoCompact = *cfg.autoCompact
+	}
+	sx, err := shard.Open(dir, shard.Config{
+		SealEvery:   cfg.sealEvery,
+		AutoCompact: autoCompact,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("retrieval: open: %w", err)
+	}
+	if len(meta.Vocab) != sx.NumTerms() {
+		sx.Close()
+		return nil, fmt.Errorf("retrieval: open: vocabulary has %d terms, index has %d", len(meta.Vocab), sx.NumTerms())
+	}
+	vocab, err := ir.NewVocabularyFromTerms(meta.Vocab)
+	if err != nil {
+		sx.Close()
+		return nil, fmt.Errorf("retrieval: open: %w", err)
+	}
+	return &Index{
+		backend:         BackendLSI,
+		sharded:         sx,
+		vocab:           vocab,
+		weighting:       weighting,
+		removeStopwords: meta.RemoveStopwords,
+		stemming:        meta.Stemming,
+	}, nil
+}
+
+// Open loads an index from path, whichever form it takes: a directory is
+// opened as a sharded index (OpenDir), a file as a single-stream index
+// (Load). This is what `lsiserve -index` calls. The options are the
+// sharded runtime knobs (WithSealEvery, WithAutoCompact) and apply only
+// to the directory form; single-stream indexes have no runtime
+// configuration, so the file branch ignores them.
+func Open(path string, opts ...Option) (*Index, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("retrieval: open: %w", err)
+	}
+	if info.IsDir() {
+		return OpenDir(path, opts...)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("retrieval: open: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

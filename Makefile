@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet fmt-check race bench-smoke bench bench-record serve-smoke
+# Base ref for the perf-regression gate (CI passes the PR's base branch).
+BASE ?= origin/main
+
+.PHONY: all build test lint vet fmt-check race bench-smoke bench bench-record bench-gate fuzz-short serve-smoke
 
 all: build test
 
@@ -27,7 +30,7 @@ lint: vet fmt-check
 # Race-detect the concurrency-bearing packages: the worker pool, the
 # numeric + retrieval layers built on it, and the public API + HTTP layer.
 race:
-	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./internal/segment ./retrieval ./retrieval/shard ./retrieval/httpapi ./cmd/lsiserve
+	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./internal/segment ./retrieval ./retrieval/cache ./retrieval/shard ./retrieval/httpapi ./cmd/lsiserve
 
 # Build the serving daemon, boot it on a free port, and curl the health
 # and search endpoints — fails on any non-200.
@@ -49,3 +52,17 @@ bench:
 # Append a labeled, machine-readable benchmark run to BENCH_3.json.
 bench-record:
 	sh scripts/bench_record.sh -l "$(LABEL)"
+
+# Perf-regression gate: benchmark the tier-1 query hot-path subset on
+# HEAD and on the merge-base with $(BASE), compare medians, and fail on
+# a >20% ns/op regression or any allocs/op growth. The report lands in
+# bench-gate.txt (archived by CI as an artifact).
+bench-gate:
+	sh scripts/bench_gate.sh -r "$(BASE)" -o bench-gate.txt
+
+# Short local mirror of the nightly fuzz job: 30s per fuzz target (the
+# manifest loader and the query-cache key normalizer).
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzParseManifest -fuzztime=30s ./retrieval/shard
+	$(GO) test -run='^$$' -fuzz=FuzzQueryKeyNormalizer -fuzztime=30s ./retrieval/cache
+	$(GO) test -run='^$$' -fuzz=FuzzNormalizeQuery -fuzztime=30s ./retrieval/cache

@@ -1,0 +1,148 @@
+package repro
+
+// Tier-1 test for the CI perf-regression gate: scripts/bench_gate.sh in
+// compare mode must pass on parity, fail on a seeded ns/op regression
+// past the threshold, fail on any allocs/op growth, and fail when a
+// gated benchmark disappears — demonstrating the acceptance criterion
+// without running real benchmarks (run mode is the same comparator fed
+// by two `go test -bench` invocations).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchLines fabricates a 3-run `go test -bench` output for one
+// benchmark in one package.
+func benchLines(pkg, name string, ns [3]int, allocs int) string {
+	var b strings.Builder
+	b.WriteString("pkg: " + pkg + "\n")
+	for _, n := range ns {
+		b.WriteString(name + "-4 \t 100000\t ")
+		b.WriteString(strings.TrimSpace(strings.Join([]string{itoa(n), "ns/op\t 48 B/op\t", itoa(allocs), "allocs/op"}, " ")))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := ""
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return digits
+}
+
+func runGate(t *testing.T, dir, base, head string) (int, string) {
+	t.Helper()
+	basePath := filepath.Join(dir, "base.txt")
+	headPath := filepath.Join(dir, "head.txt")
+	report := filepath.Join(dir, "report.txt")
+	if err := os.WriteFile(basePath, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(headPath, []byte(head), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("sh", "scripts/bench_gate.sh", "-a", basePath, "-b", headPath, "-o", report)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), string(out)
+	}
+	t.Fatalf("bench_gate.sh did not run: %v\n%s", err, out)
+	return -1, ""
+}
+
+func TestBenchGateVerdicts(t *testing.T) {
+	base := benchLines("repro", "BenchmarkQueryLatency", [3]int{11000, 11200, 10900}, 1) +
+		benchLines("repro/internal/vsm", "BenchmarkSearchShortQuery", [3]int{1500, 1520, 1480}, 1)
+
+	cases := []struct {
+		name     string
+		head     string
+		wantExit int
+		wantIn   string
+	}{
+		{
+			// Within threshold both ways: +4.5% on one, a speedup on the other.
+			name: "parity passes",
+			head: benchLines("repro", "BenchmarkQueryLatency", [3]int{11500, 11400, 11600}, 1) +
+				benchLines("repro/internal/vsm", "BenchmarkSearchShortQuery", [3]int{1400, 1390, 1410}, 1),
+			wantExit: 0,
+			wantIn:   "bench_gate: PASS",
+		},
+		{
+			name: "seeded ns/op regression fails",
+			head: benchLines("repro", "BenchmarkQueryLatency", [3]int{15000, 15200, 14900}, 1) +
+				benchLines("repro/internal/vsm", "BenchmarkSearchShortQuery", [3]int{1500, 1510, 1490}, 1),
+			wantExit: 1,
+			wantIn:   "FAIL (ns/op",
+		},
+		{
+			name: "one noisy outlier run does not fail the median",
+			head: benchLines("repro", "BenchmarkQueryLatency", [3]int{11000, 30000, 10900}, 1) +
+				benchLines("repro/internal/vsm", "BenchmarkSearchShortQuery", [3]int{1500, 1510, 1490}, 1),
+			wantExit: 0,
+			wantIn:   "bench_gate: PASS",
+		},
+		{
+			name: "any allocs/op growth fails",
+			head: benchLines("repro", "BenchmarkQueryLatency", [3]int{11000, 11100, 10900}, 2) +
+				benchLines("repro/internal/vsm", "BenchmarkSearchShortQuery", [3]int{1500, 1510, 1490}, 1),
+			wantExit: 1,
+			wantIn:   "FAIL (allocs/op 1 -> 2)",
+		},
+		{
+			name:     "disappeared benchmark fails",
+			head:     benchLines("repro", "BenchmarkQueryLatency", [3]int{11000, 11100, 10900}, 1),
+			wantExit: 1,
+			wantIn:   "FAIL (benchmark disappeared)",
+		},
+		{
+			name: "new benchmark is not a regression",
+			head: benchLines("repro", "BenchmarkQueryLatency", [3]int{11000, 11100, 10900}, 1) +
+				benchLines("repro/internal/vsm", "BenchmarkSearchShortQuery", [3]int{1500, 1510, 1490}, 1) +
+				benchLines("repro/retrieval", "BenchmarkCachedQueryHit", [3]int{230, 233, 229}, 1),
+			wantExit: 0,
+			wantIn:   "ok (new benchmark)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			exit, out := runGate(t, t.TempDir(), base, tc.head)
+			if exit != tc.wantExit {
+				t.Fatalf("exit = %d, want %d\n%s", exit, tc.wantExit, out)
+			}
+			if !strings.Contains(out, tc.wantIn) {
+				t.Fatalf("report missing %q:\n%s", tc.wantIn, out)
+			}
+		})
+	}
+}
+
+func TestBenchGateInfraErrors(t *testing.T) {
+	// Missing inputs and empty intersections are infrastructure errors
+	// (exit 2), never silent passes.
+	cmd := exec.Command("sh", "scripts/bench_gate.sh", "-a", "/nonexistent", "-b", "/nonexistent")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("missing input files should not pass")
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("exit = %v, want 2", err)
+	}
+
+	dir := t.TempDir()
+	exit, out := runGate(t, dir, "no benchmarks here\n", "nothing here either\n")
+	if exit != 2 {
+		t.Fatalf("empty comparison: exit = %d, want 2\n%s", exit, out)
+	}
+}

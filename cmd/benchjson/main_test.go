@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro/retrieval
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCachedQueryHit              	 5182532	       232.6 ns/op	     320 B/op	       1 allocs/op
+BenchmarkCachedQueryZipfian          	 3941790	       296.5 ns/op	         0.8885 hit-rate	     320 B/op	       1 allocs/op
+pkg: repro/internal/vsm
+BenchmarkSearchShortQuery            	  500000	      1500 ns/op
+PASS
+ok  	repro/retrieval	8.294s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(benches), benches)
+	}
+	hit := benches[0]
+	if hit.Pkg != "repro/retrieval" || hit.Name != "BenchmarkCachedQueryHit" {
+		t.Fatalf("first bench = %+v", hit)
+	}
+	if hit.NsPerOp != 232.6 || hit.Iterations != 5182532 {
+		t.Fatalf("ns/iters = %v/%v", hit.NsPerOp, hit.Iterations)
+	}
+	if hit.BytesPerOp == nil || *hit.BytesPerOp != 320 || hit.AllocsPerOp == nil || *hit.AllocsPerOp != 1 {
+		t.Fatalf("benchmem fields = %+v", hit)
+	}
+	zipf := benches[1]
+	if zipf.Metrics["hit-rate"] != 0.8885 {
+		t.Fatalf("custom metric lost: %+v", zipf)
+	}
+	vsm := benches[2]
+	if vsm.Pkg != "repro/internal/vsm" || vsm.BytesPerOp != nil {
+		t.Fatalf("no-benchmem bench = %+v", vsm)
+	}
+}
+
+func TestParseBenchAveragesRepeatedRuns(t *testing.T) {
+	input := "pkg: p\n" +
+		"BenchmarkX \t 10\t 100 ns/op\t 64 B/op\t 2 allocs/op\t 0.4 hit-rate\n" +
+		"BenchmarkX \t 30\t 300 ns/op\t 32 B/op\t 4 allocs/op\t 0.8 hit-rate\n"
+	benches, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 1 {
+		t.Fatalf("got %d entries, want 1: %+v", len(benches), benches)
+	}
+	b := benches[0]
+	// Every measured column is averaged, not just ns/op; the iteration
+	// count keeps the latest run's value.
+	if b.NsPerOp != 200 || *b.BytesPerOp != 48 || *b.AllocsPerOp != 3 {
+		t.Fatalf("averages = %v ns, %v B, %v allocs; want 200/48/3", b.NsPerOp, *b.BytesPerOp, *b.AllocsPerOp)
+	}
+	if got := b.Metrics["hit-rate"]; got < 0.6-1e-12 || got > 0.6+1e-12 {
+		t.Fatalf("hit-rate = %v, want 0.6 (averaged)", got)
+	}
+	if b.Iterations != 30 {
+		t.Fatalf("iterations = %d, want 30 (latest run)", b.Iterations)
+	}
+}
+
+func record(t *testing.T, path, label, bench string) {
+	t.Helper()
+	tmp := filepath.Join(t.TempDir(), "raw.txt")
+	if err := os.WriteFile(tmp, []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-l", label, "-o", path, "-i", tmp}, nil, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func load(t *testing.T, path string) Record {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	return rec
+}
+
+func TestMergeAppendsAndReplacesIdempotently(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	record(t, path, "run-a", sampleBench)
+	record(t, path, "run-b", sampleBench)
+	rec := load(t, path)
+	if len(rec.Runs) != 2 || rec.Runs[0].Label != "run-a" || rec.Runs[1].Label != "run-b" {
+		t.Fatalf("runs = %+v", rec.Runs)
+	}
+	// Re-recording run-a replaces it in place: same count, same order,
+	// still valid JSON — idempotent where the old sed splice duplicated.
+	faster := strings.ReplaceAll(sampleBench, "232.6", "111.1")
+	record(t, path, "run-a", faster)
+	rec = load(t, path)
+	if len(rec.Runs) != 2 {
+		t.Fatalf("replace grew runs to %d", len(rec.Runs))
+	}
+	if rec.Runs[0].Label != "run-a" || rec.Runs[0].Benchmarks[0].NsPerOp != 111.1 {
+		t.Fatalf("run-a not replaced: %+v", rec.Runs[0].Benchmarks[0])
+	}
+	if rec.Runs[0].Go == "" || rec.Runs[0].Date == "" {
+		t.Fatalf("metadata missing: %+v", rec.Runs[0])
+	}
+}
+
+func TestMergeLoadsAwkEraRecords(t *testing.T) {
+	// A file in the exact shape the old awk recorder produced must load
+	// and accept new runs without losing the old entries.
+	legacy := `{
+  "runs": [
+    {
+      "label": "before-pr3",
+      "date": "2026-07-01T00:00:00Z",
+      "go": "go1.24.0",
+      "benchmarks": [
+        {"name": "BenchmarkQueryLatency", "iterations": 13188, "ns_per_op": 91086, "bytes_per_op": 83282, "allocs_per_op": 8}
+      ]
+    }
+  ]
+}
+`
+	path := filepath.Join(t.TempDir(), "BENCH_3.json")
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	record(t, path, "new-run", sampleBench)
+	rec := load(t, path)
+	if len(rec.Runs) != 2 || rec.Runs[0].Label != "before-pr3" {
+		t.Fatalf("legacy run lost: %+v", rec.Runs)
+	}
+	if rec.Runs[0].Benchmarks[0].NsPerOp != 91086 {
+		t.Fatalf("legacy benchmark mangled: %+v", rec.Runs[0].Benchmarks[0])
+	}
+}
+
+func TestRefusalPaths(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte(`{"runs": [`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw := filepath.Join(dir, "raw.txt")
+	if err := os.WriteFile(raw, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt records are refused, not clobbered.
+	if err := run([]string{"-l", "x", "-o", corrupt, "-i", raw}, nil, os.Stderr); err == nil {
+		t.Fatal("merging into a corrupt record should fail")
+	}
+	if data, _ := os.ReadFile(corrupt); string(data) != `{"runs": [` {
+		t.Fatal("corrupt record was modified")
+	}
+	// Empty input records nothing.
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("no benches\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-l", "x", "-o", filepath.Join(dir, "out.json"), "-i", empty}, nil, os.Stderr); err == nil {
+		t.Fatal("empty bench input should fail")
+	}
+	// Missing label.
+	if err := run([]string{"-o", "out.json", "-i", raw}, nil, io.Discard); err == nil {
+		t.Fatal("missing -l should fail")
+	}
+}

@@ -5,10 +5,10 @@
 //
 // Usage:
 //
-//	lsiquery [-k 3] [-top 5] [file1.txt file2.txt ...]
+//	lsiquery [-k 3] [-top 5] [-cache-mb 0] [file1.txt file2.txt ...]
 //	lsiquery -q "car engine repair"          # non-interactive, scriptable
 //	lsiquery -save-index demo.idx            # write a self-contained index
-//	lsiquery -stats                          # describe the index and exit
+//	lsiquery -stats                          # describe the index (incl. query cache) and exit
 //
 // Each file is one document. With no files, a small built-in demo corpus
 // (cars/space/cooking themes with synonym variation) is indexed. Without
@@ -36,7 +36,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	topN := fs.Int("top", 5, "results to show per system")
 	saveIndex := fs.String("save-index", "", "write the built LSI index to this path and exit")
 	query := fs.String("q", "", "answer this one query and exit instead of reading stdin")
-	statsOnly := fs.Bool("stats", false, "print index statistics (backend, rank, vocabulary, memory estimate) and exit")
+	statsOnly := fs.Bool("stats", false, "print index statistics (backend, rank, vocabulary, memory estimate, query cache) and exit")
+	cacheMB := fs.Int("cache-mb", 0, "attach a query result cache of this many MiB (0 = uncached; repeated interactive queries answer from memory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,7 +50,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 	}
 
-	lsiIx, err := retrieval.Build(docs, retrieval.WithRank(*k))
+	lsiIx, err := retrieval.Build(docs, retrieval.WithRank(*k),
+		retrieval.WithQueryCache(int64(*cacheMB)<<20))
 	if err != nil {
 		return err
 	}
@@ -158,6 +160,14 @@ func printStats(w io.Writer, st retrieval.Stats) {
 	if st.Sharded {
 		fmt.Fprintf(w, "shards:       %d (%d segments: %d live, %d sealed, %d compacted)\n",
 			st.Shards, st.Segments, st.LiveSegments, st.SealedPending, st.CompactedSegments)
+	}
+	if st.Cache != nil {
+		fmt.Fprintf(w, "query cache:  %s cap, %d entries (%s), epoch %d\n",
+			humanBytes(st.Cache.CapBytes), st.Cache.Entries, humanBytes(st.Cache.Bytes), st.Cache.Epoch)
+		fmt.Fprintf(w, "              %d hits / %d misses / %d coalesced / %d evictions\n",
+			st.Cache.Hits, st.Cache.Misses, st.Cache.Coalesced, st.Cache.Evictions)
+	} else {
+		fmt.Fprintf(w, "query cache:  off (enable with -cache-mb)\n")
 	}
 }
 

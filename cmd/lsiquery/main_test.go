@@ -80,3 +80,24 @@ func TestStatsFlag(t *testing.T) {
 		}
 	}
 }
+
+func TestStatsFlagCacheSection(t *testing.T) {
+	// Uncached by default: the stats block says how to turn it on.
+	var out, errb bytes.Buffer
+	if err := run([]string{"-stats"}, strings.NewReader(""), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "query cache:  off") {
+		t.Fatalf("-stats output missing cache-off notice:\n%s", out.String())
+	}
+	// With -cache-mb the capacity and counters are reported.
+	out.Reset()
+	if err := run([]string{"-cache-mb", "8", "-stats"}, strings.NewReader(""), &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"query cache:  8.0 MiB cap", "0 hits / 0 misses"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-stats -cache-mb output missing %q:\n%s", want, out.String())
+		}
+	}
+}

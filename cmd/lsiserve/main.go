@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	lsiserve [-addr :8080] [-k 0] [-backend lsi] [-weighting log] [-shards 0] [file1.txt ...]
+//	lsiserve [-addr :8080] [-k 0] [-backend lsi] [-weighting log] [-shards 0] [-cache-mb 64] [file1.txt ...]
 //	lsiserve -index saved.idx       # single-stream index file
 //	lsiserve -index saved-dir/      # sharded index directory
 //
@@ -21,8 +21,12 @@
 // the quickstart curl examples use. With -shards N the daemon serves a
 // sharded live index that accepts POST /v1/docs appends; a sharded
 // index saved with SaveDir is served by pointing -index at its
-// directory. The daemon shuts down gracefully on SIGINT/SIGTERM,
-// draining in-flight requests and stopping the background compactor.
+// directory. Repeated queries are answered from an epoch-keyed result
+// cache (-cache-mb, default 64 MiB, 0 disables; the Cache-Status
+// response header and /v1/stats expose its behavior) that live appends
+// and compactions invalidate instantly. The daemon shuts down
+// gracefully on SIGINT/SIGTERM, draining in-flight requests and
+// stopping the background compactor.
 package main
 
 import (
@@ -50,6 +54,7 @@ type serveConfig struct {
 	backend   string
 	weighting string
 	shards    int
+	cacheMB   int
 	timeout   time.Duration
 	maxTopN   int
 	files     []string
@@ -65,6 +70,7 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	fs.StringVar(&cfg.backend, "backend", "lsi", "retrieval backend: lsi or vsm")
 	fs.StringVar(&cfg.weighting, "weighting", "log", "term weighting: count, binary, log, or tfidf")
 	fs.IntVar(&cfg.shards, "shards", 0, "serve a sharded live index over N shards (accepts POST /v1/docs; 0 = single immutable index)")
+	fs.IntVar(&cfg.cacheMB, "cache-mb", 64, "query result cache budget in MiB (0 disables; epoch-keyed, so live appends/compactions invalidate instantly)")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request search timeout")
 	fs.IntVar(&cfg.maxTopN, "top-max", 100, "cap on per-query result count")
 	if err := fs.Parse(args); err != nil {
@@ -94,10 +100,12 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 
 // newRetriever builds or loads the index the daemon serves.
 func newRetriever(cfg serveConfig) (*retrieval.Index, error) {
+	cacheOpt := retrieval.WithQueryCache(int64(cfg.cacheMB) << 20)
 	if cfg.indexPath != "" {
 		// Open handles both forms: a directory is a sharded index, a
-		// file a single-stream one.
-		return retrieval.Open(cfg.indexPath)
+		// file a single-stream one. The cache is a runtime knob, so it
+		// applies to prebuilt indexes too.
+		return retrieval.Open(cfg.indexPath, cacheOpt)
 	}
 	backend, err := retrieval.ParseBackend(cfg.backend)
 	if err != nil {
@@ -118,6 +126,7 @@ func newRetriever(cfg serveConfig) (*retrieval.Index, error) {
 		retrieval.WithBackend(backend),
 		retrieval.WithRank(cfg.rank),
 		retrieval.WithWeighting(weighting),
+		cacheOpt,
 	}
 	if cfg.shards > 0 {
 		opts = append(opts, retrieval.WithShards(cfg.shards))
@@ -170,6 +179,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if stats.Sharded {
 		fmt.Fprintf(stdout, ", %d shards (live: POST /v1/docs enabled)", stats.Shards)
+	}
+	if stats.Cache != nil {
+		fmt.Fprintf(stdout, ", query cache %d MiB", stats.Cache.CapBytes>>20)
 	}
 	fmt.Fprintln(stdout)
 	if !stats.TextQueries {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/sparse"
 	"repro/internal/vsm"
+	"repro/retrieval/cache"
 	"repro/retrieval/shard"
 )
 
@@ -32,6 +33,8 @@ type Index struct {
 	removeStopwords bool
 	stemming        bool
 	docIDs          []string
+
+	qc *queryCache // non-nil iff built/opened with WithQueryCache
 }
 
 var _ Retriever = (*Index)(nil)
@@ -86,7 +89,12 @@ func Build(docs []Document, opts ...Option) (*Index, error) {
 		docIDs:          ids,
 	}
 	if cfg.shards > 0 {
-		return buildSharded(ix, a, ids, c.NumTerms, len(c.Docs), cfg)
+		sx, err := buildSharded(ix, a, ids, c.NumTerms, len(c.Docs), cfg)
+		if err != nil {
+			return nil, err
+		}
+		sx.initCache(cfg.cacheBytes)
+		return sx, nil
 	}
 	switch cfg.backend {
 	case BackendLSI:
@@ -108,6 +116,7 @@ func Build(docs []Document, opts ...Option) (*Index, error) {
 	default:
 		return nil, fmt.Errorf("retrieval: unknown backend %d", int(cfg.backend))
 	}
+	ix.initCache(cfg.cacheBytes)
 	return ix, nil
 }
 
@@ -200,6 +209,10 @@ func (ix *Index) Stats() Stats {
 		m := int64(ix.lsiIndex.NumDocs())
 		k := int64(ix.lsiIndex.K())
 		st.MemoryBytes += 8 * (n*k + m*k + k + m) // basis + doc rows + sigma + norms
+	}
+	if cs, ok := ix.CacheStats(); ok {
+		st.Cache = &cs
+		st.MemoryBytes += cs.Bytes
 	}
 	return st
 }
@@ -301,27 +314,17 @@ func (ix *Index) searchSparse(terms []int, weights []float64, topN int) []Result
 // Search implements Retriever: it preprocesses the query with the
 // index's pipeline, folds it into the backend's space, and returns the
 // topN documents by cosine similarity (all documents if topN <= 0).
+// With WithQueryCache, repeated queries are answered from the epoch-
+// keyed result cache (see SearchStatus for the per-lookup disposition);
+// results are identical either way.
 //
 // Cancellation is honored at query boundaries: ctx is checked before the
 // search and again after it, so work that outlives its deadline reports
 // the deadline error rather than stale results — but an in-flight
 // backend scan is not interrupted mid-kernel.
 func (ix *Index) Search(ctx context.Context, query string, topN int) ([]Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if ix.vocab == nil {
-		return nil, ErrNoVocabulary
-	}
-	terms, weights, known := ix.querySparse(query)
-	if known == 0 {
-		return nil, fmt.Errorf("%w: %q", ErrNoQueryTerms, query)
-	}
-	res := ix.searchSparse(terms, weights, topN)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return res, nil
+	res, _, err := ix.SearchStatus(ctx, query, topN)
+	return res, err
 }
 
 // SearchVector ranks documents against a raw term-space query vector (for
@@ -373,6 +376,28 @@ func (ix *Index) SearchBatch(ctx context.Context, queries []string, topN int) ([
 			out[i] = []Result{}
 		}
 	}
+	// With a query cache, answer what we can from it and narrow the
+	// batch to the misses; computed misses are stored after their chunk
+	// if the epoch stayed stable (the same publish-then-bump validity
+	// protocol as the single-query path).
+	var cacheKeys [][]byte
+	var batchEpoch uint64
+	if ix.qc != nil {
+		batchEpoch = ix.qc.epoch()
+		cacheKeys = make([][]byte, 0, len(qterms))
+		kept := 0
+		for i := range qterms {
+			key := cache.AppendQueryKey(nil, batchEpoch, topN, qterms[i], qweights[i])
+			if v, ok := ix.qc.c.Get(key); ok {
+				out[qpos[i]] = copyResults(v)
+				continue
+			}
+			qterms[kept], qweights[kept], qpos[kept] = qterms[i], qweights[i], qpos[i]
+			cacheKeys = append(cacheKeys, key)
+			kept++
+		}
+		qterms, qweights, qpos = qterms[:kept], qweights[:kept], qpos[:kept]
+	}
 	for lo := 0; lo < len(qterms); lo += batchChunk {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -393,8 +418,14 @@ func (ix *Index) SearchBatch(ctx context.Context, queries []string, topN int) ([
 				chunk = append(chunk, ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score }))
 			}
 		}
+		store := ix.qc != nil && ix.qc.epoch() == batchEpoch
 		for i, res := range chunk {
 			out[qpos[lo+i]] = res
+			if store {
+				// The caller owns res; cache a private copy under the
+				// key encoded at probe time.
+				ix.qc.c.Put(cacheKeys[lo+i], copyResults(res))
+			}
 		}
 	}
 	if err := ctx.Err(); err != nil {

@@ -1,0 +1,294 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(s string) []byte { return []byte(s) }
+
+func TestDoHitMissAndCounters(t *testing.T) {
+	c := New[int](Config{MaxBytes: 1 << 20}, nil)
+	calls := 0
+	compute := func(v int) func() (int, bool) {
+		return func() (int, bool) { calls++; return v, true }
+	}
+
+	v, st := c.Do(key("a"), compute(1))
+	if v != 1 || st != StatusMiss {
+		t.Fatalf("first lookup: got (%d, %v), want (1, miss)", v, st)
+	}
+	v, st = c.Do(key("a"), compute(99))
+	if v != 1 || st != StatusHit {
+		t.Fatalf("second lookup: got (%d, %v), want cached (1, hit)", v, st)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	v, st = c.Do(key("b"), compute(2))
+	if v != 2 || st != StatusMiss {
+		t.Fatalf("distinct key: got (%d, %v), want (2, miss)", v, st)
+	}
+	st2 := c.Stats()
+	if st2.Hits != 1 || st2.Misses != 2 || st2.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses / 2 entries", st2)
+	}
+}
+
+func TestUncacheableValueIsDeliveredButNotStored(t *testing.T) {
+	c := New[int](Config{MaxBytes: 1 << 20}, nil)
+	v, st := c.Do(key("k"), func() (int, bool) { return 7, false })
+	if v != 7 || st != StatusMiss {
+		t.Fatalf("got (%d, %v), want (7, miss)", v, st)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("uncacheable value was stored (%d entries)", c.Len())
+	}
+	if got := c.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	// The next lookup recomputes.
+	v, st = c.Do(key("k"), func() (int, bool) { return 8, true })
+	if v != 8 || st != StatusMiss {
+		t.Fatalf("recompute: got (%d, %v), want (8, miss)", v, st)
+	}
+}
+
+func TestNilCacheBypasses(t *testing.T) {
+	var c *Cache[int]
+	v, st := c.Do(key("k"), func() (int, bool) { return 5, true })
+	if v != 5 || st != StatusBypass {
+		t.Fatalf("nil Do: got (%d, %v), want (5, bypass)", v, st)
+	}
+	if _, ok := c.Get(key("k")); ok {
+		t.Fatal("nil Get reported a hit")
+	}
+	c.Put(key("k"), 1)
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache accumulated state")
+	}
+	if New[int](Config{MaxBytes: 0}, nil) != nil {
+		t.Fatal("MaxBytes <= 0 should construct the nil (disabled) cache")
+	}
+}
+
+func TestLRUEvictionBound(t *testing.T) {
+	// One shard so the LRU order is observable; budget fits ~4 entries.
+	costPer := int64(entryOverhead + 3) // 3-byte keys, zero-cost values
+	c := New[int](Config{MaxBytes: 4 * costPer, Shards: 1}, nil)
+	for i := 0; i < 8; i++ {
+		c.Put(key(fmt.Sprintf("k%02d", i)), i)
+	}
+	st := c.Stats()
+	if st.Entries != 4 {
+		t.Fatalf("entries = %d, want 4 (bounded)", st.Entries)
+	}
+	if st.Evictions != 4 {
+		t.Fatalf("evictions = %d, want 4", st.Evictions)
+	}
+	if st.Bytes > st.CapBytes {
+		t.Fatalf("bytes %d exceed cap %d", st.Bytes, st.CapBytes)
+	}
+	// Oldest entries are gone, newest survive.
+	if _, ok := c.Get(key("k00")); ok {
+		t.Fatal("k00 should have been evicted")
+	}
+	if v, ok := c.Get(key("k07")); !ok || v != 7 {
+		t.Fatalf("k07: got (%d, %v), want (7, true)", v, ok)
+	}
+	// Touch k04 (now LRU-warm), insert one more: k05 is the coldest and
+	// must be the one evicted.
+	if _, ok := c.Get(key("k04")); !ok {
+		t.Fatal("k04 missing before touch test")
+	}
+	c.Put(key("new"), 100)
+	if _, ok := c.Get(key("k04")); !ok {
+		t.Fatal("recently touched k04 was evicted before colder entries")
+	}
+	if _, ok := c.Get(key("k05")); ok {
+		t.Fatal("coldest entry k05 survived past the bound")
+	}
+}
+
+func TestPutReplacesAndGetProbes(t *testing.T) {
+	c := New[int](Config{MaxBytes: 1 << 20}, nil)
+	c.Put(key("k"), 1)
+	c.Put(key("k"), 2)
+	if c.Len() != 1 {
+		t.Fatalf("replace grew the cache to %d entries", c.Len())
+	}
+	if v, ok := c.Get(key("k")); !ok || v != 2 {
+		t.Fatalf("got (%d, %v), want (2, true)", v, ok)
+	}
+	if _, ok := c.Get(key("absent")); ok {
+		t.Fatal("probe of absent key hit")
+	}
+}
+
+func TestValueCostDrivesEviction(t *testing.T) {
+	c := New[[]byte](Config{MaxBytes: 4096, Shards: 1}, func(v []byte) int64 { return int64(len(v)) })
+	big := make([]byte, 3000)
+	c.Put(key("big1"), big)
+	c.Put(key("big2"), big) // cannot coexist with big1 under 4096
+	if got := c.Len(); got != 1 {
+		t.Fatalf("entries = %d, want 1 (value cost must count)", got)
+	}
+}
+
+func TestCoalescingSharesOneCompute(t *testing.T) {
+	c := New[int](Config{MaxBytes: 1 << 20}, nil)
+	const waiters = 16
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	statuses := make([]Status, waiters)
+	// Leader occupies the flight until gate opens.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], statuses[0] = c.Do(key("k"), func() (int, bool) {
+			calls.Add(1)
+			close(started)
+			<-gate
+			return 42, true
+		})
+	}()
+	<-started
+	for i := 1; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], statuses[i] = c.Do(key("k"), func() (int, bool) {
+				calls.Add(1)
+				return 42, true
+			})
+		}(i)
+	}
+	// The flight was registered before started closed, so every waiter
+	// joins it rather than computing.
+	close(gate)
+	wg.Wait()
+
+	if got := calls.Load(); got < 1 {
+		t.Fatalf("compute ran %d times", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d, want 42", i, v)
+		}
+	}
+	if statuses[0] != StatusMiss {
+		t.Fatalf("leader status %v, want miss", statuses[0])
+	}
+	st := c.Stats()
+	if st.Coalesced+st.Hits != waiters-1 {
+		t.Fatalf("%d coalesced + %d hits, want %d waiters accounted", st.Coalesced, st.Hits, waiters-1)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1 (coalesced)", calls.Load())
+	}
+}
+
+func TestShardRoundingAndDistribution(t *testing.T) {
+	c := New[int](Config{MaxBytes: 1 << 20, Shards: 5}, nil)
+	if got := len(c.shards); got != 8 {
+		t.Fatalf("5 shards rounded to %d, want 8", got)
+	}
+	for i := 0; i < 1000; i++ {
+		c.Put(key(fmt.Sprintf("key-%d", i)), i)
+	}
+	if got := c.Len(); got != 1000 {
+		t.Fatalf("entries = %d, want 1000", got)
+	}
+	// No shard should hold everything (FNV should spread keys).
+	for i := range c.shards {
+		if n := len(c.shards[i].entries); n == 1000 {
+			t.Fatalf("all entries landed in shard %d", i)
+		}
+	}
+}
+
+// TestPanickingComputeReleasesTheFlight pins the flight-cleanup defer:
+// a compute that panics must unregister its flight and release waiters,
+// or one poisoned query would deadlock every future identical lookup.
+func TestPanickingComputeReleasesTheFlight(t *testing.T) {
+	c := New[int](Config{MaxBytes: 1 << 20}, nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate out of Do")
+			}
+		}()
+		c.Do(key("k"), func() (int, bool) { panic("poisoned query") })
+	}()
+	// The key must be fully usable again: no dead flight to block on,
+	// nothing stored, no rejected/miss accounting for the aborted call.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if v, st := c.Do(key("k"), func() (int, bool) { return 9, true }); v != 9 || st != StatusMiss {
+			t.Errorf("post-panic lookup: got (%d, %v), want (9, miss)", v, st)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-panic lookup blocked on a leaked flight")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Rejected != 0 {
+		t.Fatalf("counters after panic+retry = %+v, want 1 miss, 0 rejected", st)
+	}
+}
+
+// TestPutDuringInFlightComputeKeepsOneEntry pins the store-vs-insert
+// collision: a Put landing while a Do for the same key is mid-compute
+// must leave exactly one live, reachable entry with consistent
+// accounting (a blind insert would orphan the Put's entry in the LRU
+// list and later evict the live entry out of the map).
+func TestPutDuringInFlightComputeKeepsOneEntry(t *testing.T) {
+	c := New[int](Config{MaxBytes: 1 << 20, Shards: 1}, nil)
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Do(key("k"), func() (int, bool) {
+			close(started)
+			<-gate
+			return 1, true
+		})
+	}()
+	<-started
+	c.Put(key("k"), 2) // racing store for the same key
+	close(gate)
+	<-done
+
+	if got := c.Len(); got != 1 {
+		t.Fatalf("entries = %d, want 1", got)
+	}
+	// Do's store ran last, replacing Put's value in place.
+	if v, ok := c.Get(key("k")); !ok || v != 1 {
+		t.Fatalf("got (%d, %v), want (1, true)", v, ok)
+	}
+	// Map, LRU list, and byte accounting must agree exactly.
+	s := &c.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var walk int64
+	listLen := 0
+	for e := s.mru; e != nil; e = e.next {
+		walk += e.cost
+		listLen++
+	}
+	if listLen != len(s.entries) || walk != s.bytes {
+		t.Fatalf("list has %d entries / %d bytes, map has %d entries / %d accounted bytes (orphaned entry)",
+			listLen, walk, len(s.entries), s.bytes)
+	}
+}

@@ -1,0 +1,169 @@
+package cache
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestQueryKeyDeterministicAndDistinct(t *testing.T) {
+	terms := []int{3, 57, 211}
+	weights := []float64{1, 2, 1}
+	k1 := AppendQueryKey(nil, 5, 10, terms, weights)
+	k2 := AppendQueryKey(nil, 5, 10, terms, weights)
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("same query encoded to different keys")
+	}
+	distinct := [][]byte{
+		k1,
+		AppendQueryKey(nil, 6, 10, terms, weights),                // epoch differs
+		AppendQueryKey(nil, 5, 11, terms, weights),                // topN differs
+		AppendQueryKey(nil, 5, 10, []int{3, 57, 212}, weights),    // term differs
+		AppendQueryKey(nil, 5, 10, terms, []float64{1, 2, 1.5}),   // weight differs
+		AppendQueryKey(nil, 5, 10, []int{3, 57}, []float64{1, 2}), // shorter
+		AppendQueryKey(nil, 5, 10, []int{0}, []float64{1}),        // term 0 alone
+		AppendQueryKey(nil, 5, 10, []int{0, 1}, []float64{1, 1}),  // adjacent terms
+		AppendQueryKey(nil, 5, 0, terms, weights),                 // all-docs topN
+		AppendQueryKey(nil, 5, 10, []int{}, []float64{}),          // empty query
+	}
+	for i := range distinct {
+		for j := i + 1; j < len(distinct); j++ {
+			if bytes.Equal(distinct[i], distinct[j]) {
+				t.Fatalf("keys %d and %d collide: %x", i, j, distinct[i])
+			}
+		}
+	}
+}
+
+func TestQueryKeyNormalizesTopN(t *testing.T) {
+	terms, weights := []int{1}, []float64{1}
+	if !bytes.Equal(AppendQueryKey(nil, 0, 0, terms, weights), AppendQueryKey(nil, 0, -3, terms, weights)) {
+		t.Fatal("topN 0 and negative topN should share a key (both mean all documents)")
+	}
+}
+
+func TestQueryKeyRoundTrip(t *testing.T) {
+	terms := []int{0, 7, 300000}
+	weights := []float64{0.5, -1, math.Inf(1)}
+	k := AppendQueryKey(nil, 42, 17, terms, weights)
+	epoch, topN, gotT, gotW, err := DecodeQueryKey(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 42 || topN != 17 {
+		t.Fatalf("decoded (epoch=%d, topN=%d), want (42, 17)", epoch, topN)
+	}
+	for i := range terms {
+		if gotT[i] != terms[i] || gotW[i] != weights[i] {
+			t.Fatalf("pair %d: got (%d, %v), want (%d, %v)", i, gotT[i], gotW[i], terms[i], weights[i])
+		}
+	}
+}
+
+func TestNormalizeQuery(t *testing.T) {
+	// Canonical input comes back as-is, no copies.
+	terms, weights := []int{1, 5, 9}, []float64{1, 2, 3}
+	nt, nw := NormalizeQuery(terms, weights)
+	if &nt[0] != &terms[0] || &nw[0] != &weights[0] {
+		t.Fatal("canonical input should pass through without copying")
+	}
+	// Unsorted input sorts; duplicates merge by summing; negatives drop;
+	// mismatched lengths truncate to the shorter side.
+	nt, nw = NormalizeQuery([]int{9, 1, 9, -4, 5}, []float64{1, 2, 3, 4, 5, 99})
+	wantT := []int{1, 5, 9}
+	wantW := []float64{2, 5, 4}
+	if len(nt) != len(wantT) {
+		t.Fatalf("normalized to %v / %v", nt, nw)
+	}
+	for i := range wantT {
+		if nt[i] != wantT[i] || nw[i] != wantW[i] {
+			t.Fatalf("pair %d: got (%d, %v), want (%d, %v)", i, nt[i], nw[i], wantT[i], wantW[i])
+		}
+	}
+	// The key of arbitrary input equals the key of its normal form.
+	k1 := AppendQueryKey(nil, 1, 5, []int{9, 1, 9, -4, 5}, []float64{1, 2, 3, 4, 5, 99})
+	k2 := AppendQueryKey(nil, 1, 5, wantT, wantW)
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("key of raw input differs from key of its normal form")
+	}
+}
+
+func TestDecodeQueryKeyRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":             {},
+		"bad version":       {99, 1, 1, 0},
+		"truncated epoch":   {keyVersion},
+		"truncated weights": AppendQueryKey(nil, 1, 1, []int{1, 2}, []float64{1, 2})[:12],
+		"huge count":        append([]byte{keyVersion, 0, 0}, 0xff, 0xff, 0xff, 0xff, 0x0f),
+		"trailing bytes":    append(AppendQueryKey(nil, 1, 1, []int{1}, []float64{1}), 0),
+	}
+	for name, key := range cases {
+		if _, _, _, _, err := DecodeQueryKey(key); err == nil {
+			t.Errorf("%s: decode accepted %x", name, key)
+		}
+	}
+}
+
+// FuzzQueryKeyNormalizer is the nightly fuzz target for the cache key
+// normalizer: DecodeQueryKey must never panic or over-allocate on
+// arbitrary bytes, and every key it accepts must be a fixed point of
+// AppendQueryKey (i.e. the canonical encoding of what it decoded —
+// otherwise two encodings of one query could cache independently, or
+// worse, one encoding could alias two queries).
+func FuzzQueryKeyNormalizer(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendQueryKey(nil, 0, 0, nil, nil))
+	f.Add(AppendQueryKey(nil, 5, 10, []int{3, 57, 211, 402}, []float64{1, 2, 1, 1}))
+	f.Add(AppendQueryKey(nil, math.MaxUint64, 1, []int{0}, []float64{math.NaN()}))
+	f.Add([]byte{keyVersion, 0, 0, 3, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, key []byte) {
+		epoch, topN, terms, weights, err := DecodeQueryKey(key)
+		if err != nil {
+			return
+		}
+		if !canonicalQuery(terms, weights) {
+			t.Fatalf("decode accepted non-canonical query %v", terms)
+		}
+		re := AppendQueryKey(nil, epoch, topN, terms, weights)
+		if !bytes.Equal(re, key) {
+			t.Fatalf("accepted key is not canonical: %x re-encodes to %x", key, re)
+		}
+	})
+}
+
+// FuzzNormalizeQuery fuzzes the arbitrary-input half of the normalizer:
+// for any terms/weights soup, NormalizeQuery must return a canonical
+// query, be idempotent, and agree with AppendQueryKey's implicit
+// normalization.
+func FuzzNormalizeQuery(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{8, 8, 8})
+	f.Add([]byte{255, 0, 255}, []byte{1})
+	f.Fuzz(func(t *testing.T, rawTerms, rawWeights []byte) {
+		terms := make([]int, len(rawTerms))
+		for i, b := range rawTerms {
+			terms[i] = int(b) - 5 // include negatives and duplicates
+		}
+		weights := make([]float64, len(rawWeights))
+		for i, b := range rawWeights {
+			weights[i] = float64(b) / 3
+		}
+		nt, nw := NormalizeQuery(terms, weights)
+		if !canonicalQuery(nt, nw) {
+			t.Fatalf("normalize returned non-canonical %v / %v", nt, nw)
+		}
+		nt2, nw2 := NormalizeQuery(nt, nw)
+		if len(nt2) != len(nt) || len(nw2) != len(nw) {
+			t.Fatal("normalize is not idempotent")
+		}
+		for i := range nt2 {
+			if nt2[i] != nt[i] || nw2[i] != nw[i] {
+				t.Fatal("normalize is not idempotent")
+			}
+		}
+		k1 := AppendQueryKey(nil, 7, 3, terms, weights)
+		k2 := AppendQueryKey(nil, 7, 3, nt, nw)
+		if !bytes.Equal(k1, k2) {
+			t.Fatalf("raw and normalized input disagree on the key")
+		}
+	})
+}

@@ -5,11 +5,17 @@
 //	POST /v1/search:batch  {"queries":["car","galaxy"],"topN":10}
 //	POST /v1/docs          {"id":"doc-x","text":"..."} — live append (sharded indexes)
 //	POST /v1/docs:batch    {"docs":[{"id":"...","text":"..."}, ...]}
-//	GET  /v1/stats         index description, segment/compaction counters
+//	GET  /v1/stats         index description, segment/compaction counters,
+//	                       query-cache counters (hits/misses/coalesced/
+//	                       evictions) when the index caches
+//	                       (retrieval.WithQueryCache / lsiserve -cache-mb)
 //	GET  /healthz          liveness probe (process is up and serving)
 //	GET  /readyz           readiness probe: 503 while the index owes
 //	                       compaction work (sealed segments pending or a
 //	                       compaction in flight), 200 otherwise
+//
+// Text searches against a caching index carry a Cache-Status response
+// header ("hit", "miss", or "coalesced"); uncached indexes omit it.
 //
 // Malformed requests get a 400 with {"error": "..."}; a query whose
 // terms all miss the vocabulary is a valid request with zero matches
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"repro/retrieval"
+	"repro/retrieval/cache"
 )
 
 // Options configures the handler; zero values pick the documented
@@ -72,6 +79,18 @@ func (o Options) withDefaults() Options {
 // requests with 400 when the retriever does not.
 type VectorSearcher interface {
 	SearchVector(ctx context.Context, q []float64, topN int) ([]retrieval.Result, error)
+}
+
+// StatusSearcher is the optional cache-aware query capability: the
+// concrete *retrieval.Index implements it, reporting each text query's
+// cache disposition alongside the results. When the retriever
+// implements it and the lookup touched a cache (status != bypass), the
+// search handler surfaces the disposition as the Cache-Status response
+// header: "hit", "miss", or "coalesced". Results are identical either
+// way — the cache is epoch-keyed, so hits can never predate a live
+// index's last append or compaction.
+type StatusSearcher interface {
+	SearchStatus(ctx context.Context, query string, topN int) ([]retrieval.Result, cache.Status, error)
 }
 
 // DocAdder is the optional live-update capability behind POST /v1/docs:
@@ -234,7 +253,15 @@ func (h *handler) search(w http.ResponseWriter, r *http.Request) {
 		}
 		results, err = vs.SearchVector(ctx, req.Vector, topN)
 	} else {
-		results, err = h.ret.Search(ctx, req.Query, topN)
+		if ss, ok := h.ret.(StatusSearcher); ok {
+			var st cache.Status
+			results, st, err = ss.SearchStatus(ctx, req.Query, topN)
+			if st != cache.StatusBypass {
+				w.Header().Set("Cache-Status", st.String())
+			}
+		} else {
+			results, err = h.ret.Search(ctx, req.Query, topN)
+		}
 		if errors.Is(err, retrieval.ErrNoQueryTerms) {
 			// A valid query that matches nothing, not a client error.
 			results, err = []retrieval.Result{}, nil

@@ -340,3 +340,141 @@ func TestLiveDocsOnClosedIndex(t *testing.T) {
 		t.Fatalf("append on closed index = %d, want 503: %s", rec.Code, rec.Body)
 	}
 }
+
+// cachedShardedHandler builds a live (sharded) index with a query cache
+// so both invalidation paths are exercisable over HTTP.
+func cachedShardedHandler(t *testing.T) (http.Handler, *retrieval.Index) {
+	t.Helper()
+	ix, err := retrieval.Build(retrieval.DemoCorpus(),
+		retrieval.WithRank(3), retrieval.WithShards(2),
+		retrieval.WithAutoCompact(false), retrieval.WithSealEvery(4),
+		retrieval.WithQueryCache(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return NewHandler(ix, Options{MaxBatch: 4}), ix
+}
+
+// cacheCounters pulls the query-cache counter block out of /v1/stats.
+func cacheCounters(t *testing.T, h http.Handler) map[string]float64 {
+	t.Helper()
+	rec := do(t, h, "GET", "/v1/stats", "")
+	if rec.Code != 200 {
+		t.Fatalf("stats = %d: %s", rec.Code, rec.Body)
+	}
+	var body struct {
+		Cache map[string]float64 `json:"cache"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Cache == nil {
+		t.Fatalf("stats body has no cache block: %s", rec.Body)
+	}
+	return body.Cache
+}
+
+func TestCacheStatusHeaderTable(t *testing.T) {
+	h, _ := cachedShardedHandler(t)
+	uncached := demoHandler(t, Options{})
+	const q = `{"query":"car engine","topN":3}`
+
+	cases := []struct {
+		name       string
+		handler    http.Handler
+		body       string
+		wantHeader string
+	}{
+		{"first lookup misses", h, q, "miss"},
+		{"repeat hits", h, q, "hit"},
+		{"different topN misses", h, `{"query":"car engine","topN":4}`, "miss"},
+		{"normalized query shares the entry", h, `{"query":"engine car","topN":3}`, "hit"},
+		{"unknown vocabulary bypasses", h, `{"query":"zzzunknownzzz","topN":3}`, ""},
+		{"uncached index omits the header", uncached, q, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, tc.handler, "POST", "/v1/search", tc.body)
+			if rec.Code != 200 {
+				t.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+			if got := rec.Header().Get("Cache-Status"); got != tc.wantHeader {
+				t.Fatalf("Cache-Status = %q, want %q", got, tc.wantHeader)
+			}
+		})
+	}
+}
+
+func TestCacheInvalidatedByLiveAppend(t *testing.T) {
+	h, _ := cachedShardedHandler(t)
+	const q = `{"query":"diesel engine","topN":20}`
+
+	// Prime and verify the entry is hot.
+	if rec := do(t, h, "POST", "/v1/search", q); rec.Header().Get("Cache-Status") != "miss" {
+		t.Fatalf("prime: Cache-Status %q, body %s", rec.Header().Get("Cache-Status"), rec.Body)
+	}
+	rec := do(t, h, "POST", "/v1/search", q)
+	if rec.Header().Get("Cache-Status") != "hit" {
+		t.Fatalf("warm lookup: Cache-Status %q", rec.Header().Get("Cache-Status"))
+	}
+	if strings.Contains(rec.Body.String(), `"fresh"`) {
+		t.Fatalf("doc visible before append: %s", rec.Body)
+	}
+
+	// Append over HTTP, then repeat the exact query: the epoch bump must
+	// force a recompute that includes the new document.
+	if rec := do(t, h, "POST", "/v1/docs", `{"id":"fresh","text":"a fresh car with a diesel engine"}`); rec.Code != 200 {
+		t.Fatalf("append = %d: %s", rec.Code, rec.Body)
+	}
+	rec = do(t, h, "POST", "/v1/search", q)
+	if rec.Code != 200 {
+		t.Fatalf("post-append search = %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("Cache-Status"); got != "miss" {
+		t.Fatalf("post-append Cache-Status = %q, want miss (stale epoch served)", got)
+	}
+	if !strings.Contains(rec.Body.String(), `"fresh"`) {
+		t.Fatalf("appended doc missing from post-append results: %s", rec.Body)
+	}
+	// And the recomputed result is cached at the new epoch.
+	if rec := do(t, h, "POST", "/v1/search", q); rec.Header().Get("Cache-Status") != "hit" {
+		t.Fatalf("re-warm: Cache-Status %q", rec.Header().Get("Cache-Status"))
+	}
+}
+
+func TestCacheCountersMonotonicInStats(t *testing.T) {
+	h, _ := cachedShardedHandler(t)
+	const q = `{"query":"car engine","topN":3}`
+
+	prev := cacheCounters(t, h)
+	if prev["hits"] != 0 || prev["misses"] != 0 {
+		t.Fatalf("fresh handler has nonzero counters: %+v", prev)
+	}
+	for i := 0; i < 5; i++ {
+		if rec := do(t, h, "POST", "/v1/search", q); rec.Code != 200 {
+			t.Fatalf("search %d = %d", i, rec.Code)
+		}
+		cur := cacheCounters(t, h)
+		for _, k := range []string{"hits", "misses", "coalesced", "evictions"} {
+			if cur[k] < prev[k] {
+				t.Fatalf("counter %q went backwards: %v -> %v", k, prev[k], cur[k])
+			}
+		}
+		if total := cur["hits"] + cur["misses"]; total != float64(i+1) {
+			t.Fatalf("after %d searches: hits+misses = %v", i+1, total)
+		}
+		prev = cur
+	}
+	if prev["hits"] != 4 || prev["misses"] != 1 {
+		t.Fatalf("final counters %v hits / %v misses, want 4 / 1", prev["hits"], prev["misses"])
+	}
+	if prev["capBytes"] <= 0 || prev["entries"] != 1 {
+		t.Fatalf("cache working set not reported: %+v", prev)
+	}
+	// The uncached handler reports no cache block at all.
+	rec := do(t, demoHandler(t, Options{}), "GET", "/v1/stats", "")
+	if strings.Contains(rec.Body.String(), `"cache"`) {
+		t.Fatalf("uncached stats body carries a cache block: %s", rec.Body)
+	}
+}

@@ -148,9 +148,10 @@ type config struct {
 	seed            int64
 	removeStopwords bool
 	stemming        bool
-	workers         int // 0 = leave the process-wide setting alone
-	shards          int // 0 = unsharded; >= 1 builds the sharded live index
-	sealEvery       int // 0 = shard package default
+	workers         int   // 0 = leave the process-wide setting alone
+	shards          int   // 0 = unsharded; >= 1 builds the sharded live index
+	sealEvery       int   // 0 = shard package default
+	cacheBytes      int64 // <= 0 = no query result cache
 	autoCompact     *bool
 }
 
@@ -223,6 +224,19 @@ func WithSealEvery(n int) Option { return func(c *config) { c.sealEvery = n } }
 // segments keep serving their fold-in representations until Compact is
 // called explicitly — useful for tests that need a fixed segment layout.
 func WithAutoCompact(on bool) Option { return func(c *config) { c.autoCompact = &on } }
+
+// WithQueryCache attaches a query result cache bounded at maxBytes
+// (estimated footprint; <= 0, the default, disables caching). The cache
+// is keyed by (normalized sparse query, topN, index epoch): repeated or
+// concurrent identical queries are answered from memory — concurrent
+// ones coalesce onto a single backend search — while the epoch key
+// keeps live indexes exact: every Add batch and every compaction
+// advances the epoch, instantly retiring all previously cached results,
+// so a hit can never serve pre-Add or pre-Compact rankings. Immutable
+// indexes cache forever. Applies to Build, Open, and OpenDir; cache
+// counters surface in Stats and, via the HTTP API, in /v1/stats and
+// the Cache-Status response header.
+func WithQueryCache(maxBytes int64) Option { return func(c *config) { c.cacheBytes = maxBytes } }
 
 // WithParallelism caps the worker count used by the parallel build and
 // query kernels. The setting is process-wide (it adjusts the shared

@@ -29,6 +29,8 @@ package retrieval
 import (
 	"context"
 	"errors"
+
+	"repro/retrieval/cache"
 )
 
 // Retriever is the query contract shared by every backend. Search and
@@ -119,6 +121,20 @@ type Stats struct {
 	// Ready is false while the index owes compaction work (see
 	// Index.Ready); always true for unsharded indexes.
 	Ready bool `json:"ready"`
+
+	// Cache reports the query result cache (WithQueryCache); nil when
+	// the index is uncached.
+	Cache *QueryCacheStats `json:"cache,omitempty"`
+}
+
+// QueryCacheStats describes the query result cache of an index built
+// with WithQueryCache: the hit/miss/coalesce/evict counters and working
+// set of the underlying cache, plus the index epoch its keys currently
+// embed (0 forever on immutable indexes; advancing with every Add batch
+// and compaction on sharded live indexes).
+type QueryCacheStats struct {
+	cache.Stats
+	Epoch uint64 `json:"epoch"`
 }
 
 // Sentinel errors returned by the query and build paths; test with

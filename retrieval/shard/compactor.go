@@ -164,6 +164,11 @@ func (x *Index) Compact() (int, error) {
 		}
 		sh.state.Store(next)
 		sh.mu.Unlock()
+		// Publish-then-bump, same protocol as ingest: the compacted
+		// segment's (re-decomposed, numerically different) scores are
+		// visible before the epoch moves, so epoch-keyed cache entries
+		// can never mix pre- and post-compaction rankings.
+		x.globalEpoch.Add(1)
 		rebuilt += len(pending)
 		x.compactions.Add(1)
 	}

@@ -168,6 +168,11 @@ func (x *Index) AddBatch(docs []Doc) (int, error) {
 		p.sh.state.Store(next)
 		p.sh.mu.Unlock()
 	}
+	// Bump the global epoch only after every shard state is published:
+	// a reader that observes the new epoch is then guaranteed to see the
+	// whole batch, which is what lets the query cache key results by
+	// epoch without ever serving pre-Add state (see Index.Epoch).
+	x.globalEpoch.Add(1)
 	if sealed {
 		x.wakeCompactor()
 	}

@@ -138,6 +138,17 @@ type Index struct {
 	compacting  atomic.Int32
 	compactions atomic.Int64 // total segment rebuilds performed
 
+	// globalEpoch counts published mutations index-wide. It is bumped
+	// AFTER the mutation's state pointers are stored (ingest publishes
+	// ids + every shard state first; compaction swaps its segment
+	// first), so an observer that reads epoch E and then snapshots is
+	// guaranteed to see every mutation numbered <= E. That ordering is
+	// what the query cache's epoch-keyed invalidation relies on: a
+	// result computed entirely within one observed epoch can be served
+	// to any later reader of that same epoch without ever resurrecting
+	// pre-Add or pre-Compact state. Readers pay one atomic load.
+	globalEpoch atomic.Uint64
+
 	wake   chan struct{}
 	stop   chan struct{}
 	done   chan struct{}
@@ -250,6 +261,15 @@ func (x *Index) NumShards() int { return x.cfg.Shards }
 
 // Rank returns the configured per-shard rank k.
 func (x *Index) Rank() int { return x.cfg.Rank }
+
+// Epoch returns the index-wide mutation epoch: it increases after every
+// published mutation (ingest batch or compaction swap) and is stable
+// between them. Reading the epoch, searching, and observing the same
+// epoch afterwards proves the search saw no concurrent mutation — the
+// validity protocol of retrieval's query cache. Immutable (unsharded)
+// indexes have no counterpart; the retrieval layer uses a constant 0
+// for them.
+func (x *Index) Epoch() uint64 { return x.globalEpoch.Load() }
 
 // ExternalID returns the external identifier of global document g, or
 // "" if g is out of range.

@@ -514,3 +514,44 @@ func TestResaveIsCrashSafe(t *testing.T) {
 	}
 	sameMatches(t, z.SearchSparse(terms, weights, 10), x.SearchSparse(terms, weights, 10), "re-saved")
 }
+
+func TestEpochBumpsAfterAddAndCompact(t *testing.T) {
+	a := testMatrix(t, 3, 12, 30, 311)
+	x, err := Build(a, defaultIDs(30), Config{Shards: 2, Rank: 3, SealEvery: 4, AutoCompact: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+
+	if got := x.Epoch(); got != 0 {
+		t.Fatalf("epoch after Build = %d, want 0", got)
+	}
+	terms, weights := sparseCol(a, 0)
+	for i := 1; i <= 8; i++ {
+		if _, err := x.Add(Doc{ID: "new", Terms: terms, Weights: weights}); err != nil {
+			t.Fatal(err)
+		}
+		if got := x.Epoch(); got != uint64(i) {
+			t.Fatalf("epoch after add %d = %d, want %d (one bump per published batch)", i, got, i)
+		}
+	}
+	before := x.Epoch()
+	n, err := x.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("expected sealed segments to compact (SealEvery=4, 8 adds across 2 shards)")
+	}
+	if got := x.Epoch(); got <= before {
+		t.Fatalf("epoch after compaction = %d, want > %d", got, before)
+	}
+	// A no-op compaction publishes nothing and must not move the epoch.
+	before = x.Epoch()
+	if _, err := x.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Epoch(); got != before {
+		t.Fatalf("no-op compaction moved the epoch %d -> %d", before, got)
+	}
+}

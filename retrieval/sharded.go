@@ -255,22 +255,25 @@ func OpenDir(dir string, opts ...Option) (*Index, error) {
 		sx.Close()
 		return nil, fmt.Errorf("retrieval: open: %w", err)
 	}
-	return &Index{
+	ix := &Index{
 		backend:         BackendLSI,
 		sharded:         sx,
 		vocab:           vocab,
 		weighting:       weighting,
 		removeStopwords: meta.RemoveStopwords,
 		stemming:        meta.Stemming,
-	}, nil
+	}
+	ix.initCache(cfg.cacheBytes)
+	return ix, nil
 }
 
 // Open loads an index from path, whichever form it takes: a directory is
 // opened as a sharded index (OpenDir), a file as a single-stream index
 // (Load). This is what `lsiserve -index` calls. The options are the
-// sharded runtime knobs (WithSealEvery, WithAutoCompact) and apply only
-// to the directory form; single-stream indexes have no runtime
-// configuration, so the file branch ignores them.
+// runtime knobs: WithQueryCache applies to both forms, WithSealEvery
+// and WithAutoCompact only to the directory form; everything structural
+// comes from the saved index, and single-stream indexes have no other
+// runtime configuration.
 func Open(path string, opts ...Option) (*Index, error) {
 	info, err := os.Stat(path)
 	if err != nil {
@@ -279,10 +282,19 @@ func Open(path string, opts ...Option) (*Index, error) {
 	if info.IsDir() {
 		return OpenDir(path, opts...)
 	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("retrieval: open: %w", err)
 	}
 	defer f.Close()
-	return Load(f)
+	ix, err := Load(f)
+	if err != nil {
+		return nil, err
+	}
+	ix.initCache(cfg.cacheBytes)
+	return ix, nil
 }

@@ -1,22 +1,30 @@
 #!/bin/sh
 # bench_record.sh — run the query-hot-path benchmarks with -benchmem and
-# append the parsed results as a labeled run to a JSON record, so perf
-# can be diffed across PRs without re-parsing Go bench text.
+# record the parsed results as a labeled run in a JSON perf record, so
+# perf can be diffed across PRs without re-parsing Go bench text.
 #
 # usage: scripts/bench_record.sh -l <label> [-o out.json] [-b bench-regex]
 #                                [-t benchtime] [-r raw-bench-output] [pkg...]
 #
 #   -l  run label, e.g. "before-pr3" / "after-pr3" (required)
 #   -o  output JSON file (default BENCH_3.json); created if missing,
-#       appended to (inside the "runs" array) if present
+#       merged into if present
 #   -b  -bench regex (default: the query hot-path set)
 #   -t  -benchtime (default 2s)
 #   -r  parse an existing `go test -bench` output file instead of running
 #       (for recording a run captured at another commit)
 #
+# The JSON is produced by cmd/benchjson (encoding/json end to end), so
+# the record stays valid no matter how many times it is rewritten, and
+# recording is idempotent: re-running with a label that already exists
+# REPLACES that run instead of appending a duplicate. (The previous
+# version of this script spliced JSON with sed, which corrupted the file
+# whenever its closing lines were not exactly where it expected.)
+#
 # The record is {"runs": [{label, date, go, benchmarks: [...]}, ...]};
-# each benchmark entry carries name, iterations, ns_per_op, bytes_per_op,
-# allocs_per_op (the latter two null unless -benchmem was in effect).
+# each benchmark entry carries pkg, name, iterations, ns_per_op,
+# bytes_per_op, allocs_per_op (the latter two null unless -benchmem was
+# in effect) and custom b.ReportMetric columns under "metrics".
 set -eu
 
 usage() {
@@ -43,7 +51,7 @@ shift $((OPTIND - 1))
 [ -n "$LABEL" ] || usage
 
 RAW=$(mktemp)
-trap 'rm -f "$RAW" "$OUT.tmp"' EXIT
+trap 'rm -f "$RAW"' EXIT
 if [ -n "$RAWIN" ]; then
 	cp "$RAWIN" "$RAW"
 else
@@ -59,33 +67,5 @@ else
 	cat "$RAW"
 fi
 
-RUN=$(awk -v label="$LABEL" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
-BEGIN {
-	printf "    {\n      \"label\": \"%s\",\n      \"date\": \"%s\",\n      \"go\": \"%s\",\n      \"benchmarks\": [\n", label, date, gover
-	n = 0
-}
-$1 ~ /^Benchmark/ && $NF != "FAIL" && NF >= 4 {
-	name = $1; iters = $2; ns = "null"; bytes = "null"; allocs = "null"
-	for (i = 3; i <= NF; i++) {
-		if ($i == "ns/op") ns = $(i - 1)
-		if ($i == "B/op") bytes = $(i - 1)
-		if ($i == "allocs/op") allocs = $(i - 1)
-	}
-	if (ns == "null") next
-	if (n++) printf ",\n"
-	printf "        {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, iters, ns, bytes, allocs
-}
-END { printf "\n      ]\n    }" }
-' "$RAW")
-
-if [ -f "$OUT" ]; then
-	# Append inside the existing "runs" array: the file always ends with
-	# the two lines "  ]" and "}", so drop them and re-close. (sed '$d'
-	# twice rather than `head -n -2`, which is GNU-only.)
-	sed '$d' "$OUT" | sed '$d' >"$OUT.tmp"
-	printf ',\n%s\n  ]\n}\n' "$RUN" >>"$OUT.tmp"
-	mv "$OUT.tmp" "$OUT"
-else
-	printf '{\n  "runs": [\n%s\n  ]\n}\n' "$RUN" >"$OUT"
-fi
+go run ./cmd/benchjson -l "$LABEL" -o "$OUT" -i "$RAW"
 echo "recorded run \"$LABEL\" -> $OUT"

@@ -6,7 +6,7 @@ GO ?= go
 # Base ref for the perf-regression gate (CI passes the PR's base branch).
 BASE ?= origin/main
 
-.PHONY: all build test lint vet fmt-check race bench-smoke bench bench-record bench-gate fuzz-short serve-smoke
+.PHONY: all build test lint vet fmt-check docs-check race bench-smoke bench bench-record bench-gate fuzz-short serve-smoke load-smoke
 
 all: build test
 
@@ -25,18 +25,35 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-lint: vet fmt-check
+lint: vet fmt-check docs-check
+
+# Godoc-coverage gate: go vet plus a doc-comment check over every
+# exported identifier of the operator-facing packages (retrieval, its
+# cache/shard subsystems, the HTTP layer, internal/metrics).
+docs-check:
+	sh scripts/docs_check.sh
 
 # Race-detect the concurrency-bearing packages: the worker pool, the
-# numeric + retrieval layers built on it, and the public API + HTTP layer.
+# numeric + retrieval layers built on it, the public API + HTTP layer
+# (including the admission-gate degradation tests), the metrics
+# registry, and the load generator.
 race:
-	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./internal/segment ./retrieval ./retrieval/cache ./retrieval/shard ./retrieval/httpapi ./cmd/lsiserve
+	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./internal/segment ./internal/metrics ./retrieval ./retrieval/cache ./retrieval/shard ./retrieval/httpapi ./cmd/lsiserve ./cmd/lsiload
 
 # Build the serving daemon, boot it on a free port, and curl the health
 # and search endpoints — fails on any non-200.
 serve-smoke:
 	$(GO) build -o bin/lsiserve ./cmd/lsiserve
 	sh scripts/serve_smoke.sh bin/lsiserve
+
+# Boot lsiserve as a sharded live index and drive a short closed-loop
+# lsiload Zipf trace against it; fails on any failed (non-2xx/429)
+# request or a dead /metrics endpoint. The latency summary lands in
+# load-smoke.json so CI can archive the under-load quantiles per commit.
+load-smoke:
+	$(GO) build -o bin/lsiserve ./cmd/lsiserve
+	$(GO) build -o bin/lsiload ./cmd/lsiload
+	sh scripts/load_smoke.sh bin/lsiserve bin/lsiload
 
 # Compile-and-run guard for every benchmark: one iteration each with
 # allocation reporting, no tests. The output lands in bench-smoke.txt so

@@ -7,7 +7,12 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/benchfmt"
 )
+
+// Parser-level coverage lives in internal/benchfmt; these tests pin the
+// CLI behavior on top of it.
 
 const sampleBench = `goos: linux
 goarch: amd64
@@ -21,59 +26,6 @@ PASS
 ok  	repro/retrieval	8.294s
 `
 
-func TestParseBench(t *testing.T) {
-	benches, err := parseBench(strings.NewReader(sampleBench))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(benches) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(benches), benches)
-	}
-	hit := benches[0]
-	if hit.Pkg != "repro/retrieval" || hit.Name != "BenchmarkCachedQueryHit" {
-		t.Fatalf("first bench = %+v", hit)
-	}
-	if hit.NsPerOp != 232.6 || hit.Iterations != 5182532 {
-		t.Fatalf("ns/iters = %v/%v", hit.NsPerOp, hit.Iterations)
-	}
-	if hit.BytesPerOp == nil || *hit.BytesPerOp != 320 || hit.AllocsPerOp == nil || *hit.AllocsPerOp != 1 {
-		t.Fatalf("benchmem fields = %+v", hit)
-	}
-	zipf := benches[1]
-	if zipf.Metrics["hit-rate"] != 0.8885 {
-		t.Fatalf("custom metric lost: %+v", zipf)
-	}
-	vsm := benches[2]
-	if vsm.Pkg != "repro/internal/vsm" || vsm.BytesPerOp != nil {
-		t.Fatalf("no-benchmem bench = %+v", vsm)
-	}
-}
-
-func TestParseBenchAveragesRepeatedRuns(t *testing.T) {
-	input := "pkg: p\n" +
-		"BenchmarkX \t 10\t 100 ns/op\t 64 B/op\t 2 allocs/op\t 0.4 hit-rate\n" +
-		"BenchmarkX \t 30\t 300 ns/op\t 32 B/op\t 4 allocs/op\t 0.8 hit-rate\n"
-	benches, err := parseBench(strings.NewReader(input))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(benches) != 1 {
-		t.Fatalf("got %d entries, want 1: %+v", len(benches), benches)
-	}
-	b := benches[0]
-	// Every measured column is averaged, not just ns/op; the iteration
-	// count keeps the latest run's value.
-	if b.NsPerOp != 200 || *b.BytesPerOp != 48 || *b.AllocsPerOp != 3 {
-		t.Fatalf("averages = %v ns, %v B, %v allocs; want 200/48/3", b.NsPerOp, *b.BytesPerOp, *b.AllocsPerOp)
-	}
-	if got := b.Metrics["hit-rate"]; got < 0.6-1e-12 || got > 0.6+1e-12 {
-		t.Fatalf("hit-rate = %v, want 0.6 (averaged)", got)
-	}
-	if b.Iterations != 30 {
-		t.Fatalf("iterations = %d, want 30 (latest run)", b.Iterations)
-	}
-}
-
 func record(t *testing.T, path, label, bench string) {
 	t.Helper()
 	tmp := filepath.Join(t.TempDir(), "raw.txt")
@@ -85,13 +37,13 @@ func record(t *testing.T, path, label, bench string) {
 	}
 }
 
-func load(t *testing.T, path string) Record {
+func load(t *testing.T, path string) benchfmt.Record {
 	t.Helper()
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rec Record
+	var rec benchfmt.Record
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
 	}

@@ -1,0 +1,384 @@
+// Command lsiload is a closed-loop load generator for a running
+// lsiserve: N workers each keep exactly one request in flight against
+// the server for a fixed duration, and the tool reports client-observed
+// latency quantiles (p50/p99/p999), throughput, and error/shed rates as
+// JSON. Closed-loop means offered load adapts to the server — when the
+// admission gate sheds or latency grows, workers slow down instead of
+// stacking an unbounded backlog, which keeps the quantiles honest.
+//
+// Usage:
+//
+//	lsiload -addr localhost:8080 [-duration 10s] [-concurrency 8] [-trace zipf]
+//	lsiload -addr localhost:8080 -trace ingest -o BENCH_6.json -l load-ingest
+//
+// Traces:
+//
+//	zipf    searches drawn from the query set with a Zipfian rank-
+//	        frequency law (-zipf-s), the cache-friendly steady state
+//	burst   the zipf trace gated by a square wave: 200ms full load,
+//	        300ms idle — exercises queue fill/drain and shed recovery
+//	ingest  alternates POST /v1/docs appends with searches — exercises
+//	        epoch invalidation and the compaction-debt backpressure
+//
+// The query set defaults to terms drawn from the built-in demo corpus
+// (what `lsiserve` with no arguments serves); -queries points at a file
+// with one query per line for real corpora. With -o the run is merged
+// into a BENCH*.json perf record (internal/benchfmt schema, the same
+// file format cmd/benchjson writes), with the quantiles in the
+// benchmark's metrics map: p50_ns, p99_ns, p999_ns, qps, error_rate,
+// shed_rate.
+//
+// Exit status is 0 even when requests failed — the error rate is data,
+// not a tool failure; CI gates assert on the JSON instead. Only flag
+// errors, an unreachable -o path, or an empty query set fail the run.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/metrics"
+	"repro/retrieval"
+)
+
+type loadConfig struct {
+	addr        string
+	duration    time.Duration
+	concurrency int
+	trace       string
+	topN        int
+	zipfS       float64
+	queriesFile string
+	out         string
+	label       string
+	seed        int64
+}
+
+func parseFlags(args []string, stderr io.Writer) (loadConfig, error) {
+	cfg := loadConfig{}
+	fs := flag.NewFlagSet("lsiload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&cfg.addr, "addr", "localhost:8080", "lsiserve address (host:port, or a full http:// base URL)")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to run the trace")
+	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop workers (each keeps one request in flight)")
+	fs.StringVar(&cfg.trace, "trace", "zipf", "workload trace: zipf, burst, or ingest")
+	fs.IntVar(&cfg.topN, "topn", 10, "results requested per search")
+	fs.Float64Var(&cfg.zipfS, "zipf-s", 1.1, "Zipf exponent for query popularity (>1; larger = more skewed, more cache hits)")
+	fs.StringVar(&cfg.queriesFile, "queries", "", "file with one query per line (default: terms from the built-in demo corpus)")
+	fs.StringVar(&cfg.out, "o", "", "merge the run into this BENCH*.json perf record (cmd/benchjson schema)")
+	fs.StringVar(&cfg.label, "l", "", "run label for -o (default: load-<trace>)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "PRNG seed (per-worker streams derive from it)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if fs.NArg() > 0 {
+		return cfg, fmt.Errorf("lsiload: unexpected arguments: %v", fs.Args())
+	}
+	switch cfg.trace {
+	case "zipf", "burst", "ingest":
+	default:
+		return cfg, fmt.Errorf("lsiload: unknown trace %q (want zipf, burst, or ingest)", cfg.trace)
+	}
+	if cfg.zipfS <= 1 {
+		return cfg, fmt.Errorf("lsiload: -zipf-s must be > 1, got %v", cfg.zipfS)
+	}
+	if cfg.concurrency <= 0 {
+		cfg.concurrency = 1
+	}
+	if cfg.label == "" {
+		cfg.label = "load-" + cfg.trace
+	}
+	if !strings.Contains(cfg.addr, "://") {
+		cfg.addr = "http://" + cfg.addr
+	}
+	cfg.addr = strings.TrimRight(cfg.addr, "/")
+	return cfg, nil
+}
+
+// defaultQueries derives a deterministic query set from the demo corpus:
+// every word of length >= 4, lowercased and deduplicated. Zipf ranks
+// follow this order, so runs are reproducible.
+func defaultQueries() []string {
+	seen := map[string]bool{}
+	var qs []string
+	for _, d := range retrieval.DemoCorpus() {
+		for _, w := range strings.Fields(strings.ToLower(d.Text)) {
+			w = strings.Trim(w, ".,;:!?\"'")
+			if len(w) >= 4 && !seen[w] {
+				seen[w] = true
+				qs = append(qs, w)
+			}
+		}
+	}
+	sort.Strings(qs)
+	return qs
+}
+
+func readQueries(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var qs []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			qs = append(qs, line)
+		}
+	}
+	return qs, nil
+}
+
+// collector aggregates client-observed outcomes across workers. The
+// latency histogram only records completed requests (any status);
+// transport errors have no meaningful latency.
+type collector struct {
+	latency *metrics.Histogram // seconds
+	ok      atomic.Int64       // 2xx
+	shed    atomic.Int64       // 429 (the gate working as designed)
+	failed  atomic.Int64       // other statuses and transport errors
+}
+
+func (c *collector) observe(elapsed time.Duration, status int, err error) {
+	if err != nil {
+		c.failed.Add(1)
+		return
+	}
+	c.latency.Observe(elapsed.Seconds())
+	switch {
+	case status >= 200 && status < 300:
+		c.ok.Add(1)
+	case status == http.StatusTooManyRequests:
+		c.shed.Add(1)
+	default:
+		c.failed.Add(1)
+	}
+}
+
+// burst timing: full load for onPhase, idle for offPhase, repeating.
+const (
+	onPhase  = 200 * time.Millisecond
+	offPhase = 300 * time.Millisecond
+)
+
+type worker struct {
+	cfg     loadConfig
+	client  *http.Client
+	queries []string
+	col     *collector
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	begin   time.Time
+	seq     int
+}
+
+func (w *worker) run(ctx context.Context) {
+	for ctx.Err() == nil {
+		if w.cfg.trace == "burst" {
+			phase := time.Since(w.begin) % (onPhase + offPhase)
+			if phase >= onPhase {
+				idle := onPhase + offPhase - phase
+				select {
+				case <-time.After(idle):
+				case <-ctx.Done():
+					return
+				}
+				continue
+			}
+		}
+		w.seq++
+		if w.cfg.trace == "ingest" && w.seq%2 == 0 {
+			w.do(ctx, "/v1/docs", w.ingestBody())
+		} else {
+			w.do(ctx, "/v1/search", w.searchBody())
+		}
+	}
+}
+
+func (w *worker) searchBody() []byte {
+	q := w.queries[int(w.zipf.Uint64())]
+	body, _ := json.Marshal(map[string]any{"query": q, "topN": w.cfg.topN})
+	return body
+}
+
+func (w *worker) ingestBody() []byte {
+	// A few random query terms make a plausible document that overlaps
+	// the search vocabulary, so ingested documents influence results.
+	words := make([]string, 6)
+	for i := range words {
+		words[i] = w.queries[w.rng.Intn(len(w.queries))]
+	}
+	body, _ := json.Marshal(map[string]any{"text": strings.Join(words, " ")})
+	return body
+}
+
+func (w *worker) do(ctx context.Context, path string, body []byte) {
+	req, err := http.NewRequestWithContext(ctx, "POST", w.cfg.addr+path, bytes.NewReader(body))
+	if err != nil {
+		w.col.failed.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := w.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // shutdown, not a server failure
+		}
+		w.col.observe(0, 0, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	w.col.observe(time.Since(start), resp.StatusCode, nil)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// Back off briefly; a closed loop that instantly retries turns
+		// shedding into a busy-wait against the gate.
+		select {
+		case <-time.After(5 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	}
+}
+
+// Summary is the JSON report printed on stdout.
+type Summary struct {
+	Trace       string  `json:"trace"`
+	DurationS   float64 `json:"duration_s"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int64   `json:"requests"`
+	QPS         float64 `json:"qps"`
+	OK          int64   `json:"ok"`
+	Shed        int64   `json:"shed"`
+	Failed      int64   `json:"failed"`
+	ErrorRate   float64 `json:"error_rate"`
+	ShedRate    float64 `json:"shed_rate"`
+	MeanNs      float64 `json:"mean_ns"`
+	P50Ns       float64 `json:"p50_ns"`
+	P99Ns       float64 `json:"p99_ns"`
+	P999Ns      float64 `json:"p999_ns"`
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		return err
+	}
+	queries := defaultQueries()
+	if cfg.queriesFile != "" {
+		if queries, err = readQueries(cfg.queriesFile); err != nil {
+			return err
+		}
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("lsiload: empty query set")
+	}
+
+	col := &collector{latency: metrics.NewHistogram(metrics.DefLatencyBuckets)}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.concurrency,
+		MaxIdleConnsPerHost: cfg.concurrency,
+	}}
+	runCtx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.concurrency; i++ {
+		rng := rand.New(rand.NewSource(cfg.seed + int64(i)))
+		w := &worker{
+			cfg: cfg, client: client, queries: queries, col: col,
+			rng:   rng,
+			zipf:  rand.NewZipf(rng, cfg.zipfS, 1, uint64(len(queries)-1)),
+			begin: begin,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(runCtx)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	ok, shed, failed := col.ok.Load(), col.shed.Load(), col.failed.Load()
+	total := ok + shed + failed
+	s := Summary{
+		Trace:       cfg.trace,
+		DurationS:   elapsed.Seconds(),
+		Concurrency: cfg.concurrency,
+		Requests:    total,
+		OK:          ok,
+		Shed:        shed,
+		Failed:      failed,
+		MeanNs:      mean(col) * 1e9,
+		P50Ns:       col.latency.Quantile(0.50) * 1e9,
+		P99Ns:       col.latency.Quantile(0.99) * 1e9,
+		P999Ns:      col.latency.Quantile(0.999) * 1e9,
+	}
+	if total > 0 {
+		s.QPS = float64(total) / elapsed.Seconds()
+		s.ErrorRate = float64(failed) / float64(total)
+		s.ShedRate = float64(shed) / float64(total)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return err
+	}
+
+	if cfg.out != "" {
+		name := "Load" + strings.ToUpper(cfg.trace[:1]) + cfg.trace[1:]
+		return benchfmt.Merge(cfg.out, benchfmt.Run{
+			Label: cfg.label,
+			Date:  time.Now().UTC().Format(time.RFC3339),
+			Go:    runtime.Version(),
+			Benchmarks: []benchfmt.Benchmark{{
+				Name:       name,
+				Iterations: total,
+				NsPerOp:    s.MeanNs,
+				Metrics: map[string]float64{
+					"p50_ns":     s.P50Ns,
+					"p99_ns":     s.P99Ns,
+					"p999_ns":    s.P999Ns,
+					"qps":        s.QPS,
+					"error_rate": s.ErrorRate,
+					"shed_rate":  s.ShedRate,
+				},
+			}},
+		})
+	}
+	return nil
+}
+
+func mean(c *collector) float64 {
+	n := c.latency.Count()
+	if n == 0 {
+		return 0
+	}
+	return c.latency.Sum() / float64(n)
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintf(os.Stderr, "lsiload: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/retrieval"
+	"repro/retrieval/httpapi"
+)
+
+func startServer(t *testing.T, opts []retrieval.Option, hopts httpapi.Options) *httptest.Server {
+	t.Helper()
+	ix, err := retrieval.Build(retrieval.DemoCorpus(), append([]retrieval.Option{retrieval.WithRank(3)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	srv := httptest.NewServer(httpapi.NewHandler(ix, hopts))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func runLoad(t *testing.T, args []string) Summary {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if err := run(context.Background(), args, &out, &errb); err != nil {
+		t.Fatalf("lsiload: %v\nstderr: %s", err, errb.String())
+	}
+	var s Summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, out.String())
+	}
+	return s
+}
+
+func TestZipfTraceAgainstLiveServer(t *testing.T) {
+	srv := startServer(t, []retrieval.Option{retrieval.WithQueryCache(1 << 20)}, httpapi.Options{})
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	s := runLoad(t, []string{"-addr", srv.URL, "-duration", "300ms", "-concurrency", "4",
+		"-trace", "zipf", "-o", out, "-l", "test-zipf", "-seed", "7"})
+
+	if s.Requests == 0 || s.OK == 0 {
+		t.Fatalf("no traffic delivered: %+v", s)
+	}
+	if s.Failed != 0 {
+		t.Errorf("unexpected failures: %+v", s)
+	}
+	if !(s.P50Ns > 0 && s.P50Ns <= s.P99Ns && s.P99Ns <= s.P999Ns) {
+		t.Errorf("quantiles not ordered: p50=%v p99=%v p999=%v", s.P50Ns, s.P99Ns, s.P999Ns)
+	}
+
+	// The -o record is benchjson-compatible with the quantiles as metrics.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchfmt.Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record not valid JSON: %v", err)
+	}
+	if len(rec.Runs) != 1 || rec.Runs[0].Label != "test-zipf" {
+		t.Fatalf("record runs: %+v", rec.Runs)
+	}
+	b := rec.Runs[0].Benchmarks[0]
+	if b.Name != "LoadZipf" || b.Iterations != s.Requests || b.Metrics["p99_ns"] != s.P99Ns {
+		t.Fatalf("benchmark entry: %+v (summary %+v)", b, s)
+	}
+	for _, k := range []string{"p50_ns", "p99_ns", "p999_ns", "qps", "error_rate", "shed_rate"} {
+		if _, ok := b.Metrics[k]; !ok {
+			t.Errorf("metric %s missing from record", k)
+		}
+	}
+}
+
+func TestIngestTraceAppendsDocuments(t *testing.T) {
+	srv := startServer(t,
+		[]retrieval.Option{retrieval.WithShards(2), retrieval.WithAutoCompact(true)},
+		httpapi.Options{MaxInFlight: 8})
+	before := 12 // demo corpus size
+	s := runLoad(t, []string{"-addr", srv.URL, "-duration", "300ms", "-concurrency", "2", "-trace", "ingest"})
+	if s.OK == 0 || s.Failed != 0 {
+		t.Fatalf("ingest trace: %+v", s)
+	}
+	// Roughly half the requests were appends; the index must have grown.
+	var stats struct {
+		NumDocs int `json:"numDocs"`
+	}
+	res, err := srv.Client().Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if err := json.NewDecoder(res.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.NumDocs <= before {
+		t.Errorf("ingest trace added no documents: numDocs=%d", stats.NumDocs)
+	}
+}
+
+func TestBurstTraceIdlesBetweenBursts(t *testing.T) {
+	srv := startServer(t, nil, httpapi.Options{})
+	start := time.Now()
+	s := runLoad(t, []string{"-addr", srv.URL, "-duration", "600ms", "-concurrency", "2", "-trace", "burst"})
+	if s.OK == 0 {
+		t.Fatalf("burst trace delivered nothing: %+v", s)
+	}
+	if time.Since(start) < 600*time.Millisecond {
+		t.Error("burst trace returned before the duration elapsed")
+	}
+}
+
+func TestParseFlagsRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"-trace", "nope"},
+		{"-zipf-s", "0.5"},
+		{"positional"},
+	} {
+		if _, err := parseFlags(args, os.Stderr); err == nil {
+			t.Errorf("parseFlags(%v) should fail", args)
+		}
+	}
+	cfg, err := parseFlags([]string{"-addr", "localhost:9999"}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "http://localhost:9999" || cfg.label != "load-zipf" {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func TestDefaultQueriesDeterministic(t *testing.T) {
+	a, b := defaultQueries(), defaultQueries()
+	if len(a) < 10 {
+		t.Fatalf("query set too small: %d", len(a))
+	}
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Error("defaultQueries is not deterministic")
+	}
+}

@@ -7,8 +7,10 @@
 //	POST /v1/docs          live append (sharded indexes, -shards)
 //	POST /v1/docs:batch    live append, batched
 //	GET  /v1/stats         index description, segment/compaction stats
+//	GET  /metrics          Prometheus text exposition (see OPERATIONS.md)
 //	GET  /healthz          liveness probe
 //	GET  /readyz           readiness probe (503 while compaction is owed)
+//	GET  /debug/pprof/*    runtime profiles (only with -pprof)
 //
 // Usage:
 //
@@ -24,9 +26,16 @@
 // directory. Repeated queries are answered from an epoch-keyed result
 // cache (-cache-mb, default 64 MiB, 0 disables; the Cache-Status
 // response header and /v1/stats expose its behavior) that live appends
-// and compactions invalidate instantly. The daemon shuts down
-// gracefully on SIGINT/SIGTERM, draining in-flight requests and
-// stopping the background compactor.
+// and compactions invalidate instantly.
+//
+// Under overload the daemon sheds rather than collapses: at most
+// -max-inflight search/docs requests execute concurrently, up to
+// -max-queue more wait, and the rest are answered 429 with Retry-After;
+// ingest is additionally shed while compaction debt exceeds -max-debt.
+// Every request is measured on GET /metrics, -access-log adds a
+// structured JSON line per request, and -pprof mounts the runtime
+// profilers. The daemon shuts down gracefully on SIGINT/SIGTERM,
+// draining in-flight requests and stopping the background compactor.
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -48,16 +58,21 @@ import (
 )
 
 type serveConfig struct {
-	addr      string
-	indexPath string
-	rank      int
-	backend   string
-	weighting string
-	shards    int
-	cacheMB   int
-	timeout   time.Duration
-	maxTopN   int
-	files     []string
+	addr        string
+	indexPath   string
+	rank        int
+	backend     string
+	weighting   string
+	shards      int
+	cacheMB     int
+	timeout     time.Duration
+	maxTopN     int
+	maxInFlight int
+	maxQueue    int
+	maxDebt     int
+	pprof       bool
+	accessLog   bool
+	files       []string
 }
 
 func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
@@ -73,6 +88,11 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	fs.IntVar(&cfg.cacheMB, "cache-mb", 64, "query result cache budget in MiB (0 disables; epoch-keyed, so live appends/compactions invalidate instantly)")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request search timeout")
 	fs.IntVar(&cfg.maxTopN, "top-max", 100, "cap on per-query result count")
+	fs.IntVar(&cfg.maxInFlight, "max-inflight", 256, "max concurrently executing search/docs requests; excess requests queue, then shed with 429 (0 = unlimited)")
+	fs.IntVar(&cfg.maxQueue, "max-queue", 0, "max requests waiting for an in-flight slot before shedding (0 = 4x max-inflight)")
+	fs.IntVar(&cfg.maxDebt, "max-debt", 8, "shed ingest (POST /v1/docs) with 429 while more than this many sealed segments await compaction (0 = never)")
+	fs.BoolVar(&cfg.pprof, "pprof", false, "mount /debug/pprof/ profiling endpoints (do not expose to untrusted networks)")
+	fs.BoolVar(&cfg.accessLog, "access-log", false, "emit one structured JSON log line per request on stderr")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -194,10 +214,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	handler := httpapi.NewHandler(ret, httpapi.Options{
-		Timeout: cfg.timeout,
-		MaxTopN: cfg.maxTopN,
-	})
+	opts := httpapi.Options{
+		Timeout:           cfg.timeout,
+		MaxTopN:           cfg.maxTopN,
+		MaxInFlight:       cfg.maxInFlight,
+		MaxQueue:          cfg.maxQueue,
+		MaxCompactionDebt: cfg.maxDebt,
+		EnablePprof:       cfg.pprof,
+	}
+	if cfg.accessLog {
+		opts.AccessLog = slog.New(slog.NewJSONHandler(stderr, nil))
+	}
+	handler := httpapi.NewHandler(ret, opts)
 	return serve(ctx, ln, handler, 10*time.Second, stdout)
 }
 

@@ -1,0 +1,109 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro/retrieval
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCachedQueryHit              	 5182532	       232.6 ns/op	     320 B/op	       1 allocs/op
+BenchmarkCachedQueryZipfian          	 3941790	       296.5 ns/op	         0.8885 hit-rate	     320 B/op	       1 allocs/op
+pkg: repro/internal/vsm
+BenchmarkSearchShortQuery            	  500000	      1500 ns/op
+PASS
+ok  	repro/retrieval	8.294s
+`
+
+func TestParse(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(benches), benches)
+	}
+	hit := benches[0]
+	if hit.Pkg != "repro/retrieval" || hit.Name != "BenchmarkCachedQueryHit" {
+		t.Fatalf("first bench = %+v", hit)
+	}
+	if hit.NsPerOp != 232.6 || hit.Iterations != 5182532 {
+		t.Fatalf("ns/iters = %v/%v", hit.NsPerOp, hit.Iterations)
+	}
+	if hit.BytesPerOp == nil || *hit.BytesPerOp != 320 || hit.AllocsPerOp == nil || *hit.AllocsPerOp != 1 {
+		t.Fatalf("benchmem fields = %+v", hit)
+	}
+	zipf := benches[1]
+	if zipf.Metrics["hit-rate"] != 0.8885 {
+		t.Fatalf("custom metric lost: %+v", zipf)
+	}
+	vsm := benches[2]
+	if vsm.Pkg != "repro/internal/vsm" || vsm.BytesPerOp != nil {
+		t.Fatalf("no-benchmem bench = %+v", vsm)
+	}
+}
+
+func TestParseAveragesRepeatedRuns(t *testing.T) {
+	input := "pkg: p\n" +
+		"BenchmarkX \t 10\t 100 ns/op\t 64 B/op\t 2 allocs/op\t 0.4 hit-rate\n" +
+		"BenchmarkX \t 30\t 300 ns/op\t 32 B/op\t 4 allocs/op\t 0.8 hit-rate\n"
+	benches, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 1 {
+		t.Fatalf("got %d entries, want 1: %+v", len(benches), benches)
+	}
+	b := benches[0]
+	// Every measured column is averaged, not just ns/op; the iteration
+	// count keeps the latest run's value.
+	if b.NsPerOp != 200 || *b.BytesPerOp != 48 || *b.AllocsPerOp != 3 {
+		t.Fatalf("averages = %v ns, %v B, %v allocs; want 200/48/3", b.NsPerOp, *b.BytesPerOp, *b.AllocsPerOp)
+	}
+	if got := b.Metrics["hit-rate"]; got < 0.6-1e-12 || got > 0.6+1e-12 {
+		t.Fatalf("hit-rate = %v, want 0.6 (averaged)", got)
+	}
+	if b.Iterations != 30 {
+		t.Fatalf("iterations = %d, want 30 (latest run)", b.Iterations)
+	}
+}
+
+func TestMergeSynthesizedRun(t *testing.T) {
+	// A recorder that builds Benchmarks directly (cmd/lsiload) merges
+	// through the same path as parsed `go test` output.
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	run := Run{
+		Label: "load-zipf", Date: "2026-08-07T00:00:00Z", Go: "go1.24",
+		Benchmarks: []Benchmark{{
+			Name: "LoadZipf", Iterations: 1000, NsPerOp: 123456,
+			Metrics: map[string]float64{"p99_ns": 500000, "error_rate": 0},
+		}},
+	}
+	if err := Merge(path, run); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("merged file is not valid JSON: %v", err)
+	}
+	if len(rec.Runs) != 1 || rec.Runs[0].Benchmarks[0].Metrics["p99_ns"] != 500000 {
+		t.Fatalf("round-trip lost data: %+v", rec)
+	}
+	// Replacing by label is idempotent.
+	if err := Merge(path, run); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if err := json.Unmarshal(data, &rec); err != nil || len(rec.Runs) != 1 {
+		t.Fatalf("re-merge duplicated the run: %v %+v", err, rec)
+	}
+}

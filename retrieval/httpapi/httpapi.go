@@ -9,10 +9,14 @@
 //	                       query-cache counters (hits/misses/coalesced/
 //	                       evictions) when the index caches
 //	                       (retrieval.WithQueryCache / lsiserve -cache-mb)
+//	GET  /metrics          Prometheus text exposition: per-route latency
+//	                       histograms and status counters, cache and
+//	                       segment/compaction gauges, shed counters
 //	GET  /healthz          liveness probe (process is up and serving)
 //	GET  /readyz           readiness probe: 503 while the index owes
 //	                       compaction work (sealed segments pending or a
 //	                       compaction in flight), 200 otherwise
+//	GET  /debug/pprof/*    runtime profiles (only with Options.EnablePprof)
 //
 // Text searches against a caching index carry a Cache-Status response
 // header ("hit", "miss", or "coalesced"); uncached indexes omit it.
@@ -24,6 +28,14 @@
 // interrupted mid-kernel); overruns surface as 504. The docs endpoints
 // require a retriever with live-update support (an index built with
 // retrieval.WithShards); immutable indexes answer 501.
+//
+// Under overload the handler sheds rather than collapses: when
+// Options.MaxInFlight requests are executing and Options.MaxQueue more
+// are waiting, additional search/docs requests are answered 429 with a
+// Retry-After hint; docs requests are also shed while compaction debt
+// exceeds Options.MaxCompactionDebt. Probes and /metrics are never shed.
+// See observe.go for the middleware and OPERATIONS.md for the operator
+// view.
 package httpapi
 
 import (
@@ -31,9 +43,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/retrieval"
 	"repro/retrieval/cache"
 )
@@ -53,6 +67,34 @@ type Options struct {
 	MaxBatch int
 	// MaxBodyBytes caps the request body size (default 1 MiB).
 	MaxBodyBytes int64
+
+	// MaxInFlight caps concurrently executing search/docs requests
+	// (0 = unlimited). When the cap is reached, up to MaxQueue further
+	// requests wait for a slot; beyond that they are shed with
+	// 429 + Retry-After. Probes (/healthz, /readyz), /metrics, and
+	// pprof are exempt so an overloaded server stays observable.
+	MaxInFlight int
+	// MaxQueue bounds the requests waiting for an in-flight slot
+	// (default 4x MaxInFlight; only meaningful with MaxInFlight > 0).
+	MaxQueue int
+	// MaxCompactionDebt sheds docs (ingest) requests with 429 while the
+	// index has more than this many sealed segments awaiting compaction
+	// (0 = never shed on debt). This is the backpressure valve for
+	// "ingest outruns compaction": searches keep flowing, writers are
+	// asked to back off until the compactor catches up.
+	MaxCompactionDebt int
+	// Metrics is the registry the handler's series are registered on
+	// and GET /metrics serves (default: a fresh private registry).
+	// Register at most one handler per registry — series names collide
+	// otherwise.
+	Metrics *metrics.Registry
+	// AccessLog emits one structured line per request when set (shed
+	// requests log at Warn, everything else at Info).
+	AccessLog *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose process internals and must not face
+	// untrusted networks.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +112,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxInFlight > 0 && o.MaxQueue <= 0 {
+		o.MaxQueue = 4 * o.MaxInFlight
 	}
 	return o
 }
@@ -158,19 +203,35 @@ type ErrorResponse struct {
 type handler struct {
 	ret  retrieval.Retriever
 	opts Options
+	obs  *observer
+	gate *gate
 }
 
-// NewHandler wraps a Retriever in the HTTP/JSON API.
+// NewHandler wraps a Retriever in the HTTP/JSON API. Every route runs
+// through the observability + admission middleware (see observe.go);
+// the expensive routes (search, docs) are additionally bounded by the
+// admission gate when Options.MaxInFlight is set.
 func NewHandler(ret retrieval.Retriever, opts Options) http.Handler {
 	h := &handler{ret: ret, opts: opts.withDefaults()}
+	h.obs = newObserver(h.opts.Metrics, ret)
+	h.gate = newGate(h.opts.MaxInFlight, h.opts.MaxQueue)
+	if h.gate != nil {
+		h.obs.reg.GaugeFunc("lsi_http_queued_requests",
+			"Requests waiting for an in-flight slot (shed once MaxQueue is exceeded).",
+			func() float64 { return float64(h.gate.queued.Load()) })
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/search", h.search)
-	mux.HandleFunc("POST /v1/search:batch", h.searchBatch)
-	mux.HandleFunc("POST /v1/docs", h.addDoc)
-	mux.HandleFunc("POST /v1/docs:batch", h.addDocs)
-	mux.HandleFunc("GET /v1/stats", h.stats)
-	mux.HandleFunc("GET /healthz", h.healthz)
-	mux.HandleFunc("GET /readyz", h.readyz)
+	mux.HandleFunc("POST /v1/search", h.route("search", gateQuery, h.search))
+	mux.HandleFunc("POST /v1/search:batch", h.route("search_batch", gateQuery, h.searchBatch))
+	mux.HandleFunc("POST /v1/docs", h.route("docs", gateIngest, h.addDoc))
+	mux.HandleFunc("POST /v1/docs:batch", h.route("docs_batch", gateIngest, h.addDocs))
+	mux.HandleFunc("GET /v1/stats", h.route("stats", gateNone, h.stats))
+	mux.HandleFunc("GET /healthz", h.route("healthz", gateNone, h.healthz))
+	mux.HandleFunc("GET /readyz", h.route("readyz", gateNone, h.readyz))
+	mux.HandleFunc("GET /metrics", h.route("metrics", gateNone, h.metricsHandler))
+	if h.opts.EnablePprof {
+		registerPprof(mux)
+	}
 	return mux
 }
 

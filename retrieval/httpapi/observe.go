@@ -1,0 +1,387 @@
+package httpapi
+
+// Observability and admission control: the middleware every route runs
+// through. Three concerns live here, in request order:
+//
+//  1. Admission gate — a concurrency limit (Options.MaxInFlight) with a
+//     bounded wait queue (Options.MaxQueue). A request that finds the
+//     limit reached and the queue full is shed immediately with
+//     429 + Retry-After instead of piling onto a saturated backend;
+//     ingest routes are additionally shed while the index's compaction
+//     debt exceeds Options.MaxCompactionDebt. Probe and scrape routes
+//     (/healthz, /readyz, /metrics, pprof) never queue and are never
+//     shed — an overloaded server must stay observable.
+//  2. Instrumentation — per-route latency histograms, request counters
+//     by status code, in-flight/queued gauges, and shed counters, all
+//     registered on the handler's metrics.Registry and served by
+//     GET /metrics in the Prometheus text format, alongside collectors
+//     for the index itself (documents, memory, cache counters, and the
+//     live-index segment/compaction/freshness gauges).
+//  3. Access logs — one structured (slog) line per request when
+//     Options.AccessLog is set.
+//
+// The shed path is deliberately cheap: no body read, no backend work,
+// one counter increment — the property the degradation tests pin
+// (during overload, accepted requests stay correct and shed requests
+// cost almost nothing).
+
+import (
+	"context"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/retrieval"
+)
+
+// LiveStatsReporter is the optional live-index observability capability:
+// the concrete *retrieval.Index implements it, reporting per-shard
+// segment topology, ingest volume, compaction debt, and freshness (ok
+// is false for immutable indexes). The handler exports these as
+// /metrics gauges and uses CompactionDebt for ingest admission.
+type LiveStatsReporter interface {
+	LiveStats() (retrieval.LiveStats, bool)
+}
+
+// CacheStatsReporter is the optional query-cache observability
+// capability of the concrete *retrieval.Index (ok is false when the
+// index was built without retrieval.WithQueryCache). The handler
+// exports the counters as live /metrics series.
+type CacheStatsReporter interface {
+	CacheStats() (retrieval.QueryCacheStats, bool)
+}
+
+// gateClass says how the admission gate treats a route.
+type gateClass int
+
+const (
+	// gateNone: never queued, never shed (probes, scrapes, pprof).
+	gateNone gateClass = iota
+	// gateQuery: bounded by the concurrency limit + queue.
+	gateQuery
+	// gateIngest: bounded like gateQuery, and additionally shed while
+	// compaction debt exceeds the budget.
+	gateIngest
+)
+
+// gate is the admission controller: a counting semaphore of in-flight
+// slots plus a bounded count of waiters. nil means admission is
+// unlimited (Options.MaxInFlight <= 0).
+type gate struct {
+	sem      chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+func newGate(maxInFlight, maxQueue int) *gate {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	return &gate{sem: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+}
+
+// acquire claims an in-flight slot, waiting in the bounded queue if the
+// limit is reached. ok=false means the request must be shed: the queue
+// was full, or the caller's context ended while waiting.
+func (g *gate) acquire(ctx context.Context) (ok bool) {
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return false
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (g *gate) release() { <-g.sem }
+
+// observer owns the handler's metric series. It is always present —
+// instrumentation is not optional — but costs two atomic adds and a
+// histogram observe per request.
+type observer struct {
+	reg      *metrics.Registry
+	latency  map[string]*metrics.Histogram // by route
+	inflight *metrics.Gauge
+
+	mu       sync.Mutex
+	requests map[string]*metrics.Counter // by route \x00 code
+	shed     map[string]*metrics.Counter // by route \x00 reason
+}
+
+// routes is the fixed route-label vocabulary; latency histograms are
+// pre-registered for each so scrapes show every route from the first
+// response.
+var routes = []string{"search", "search_batch", "docs", "docs_batch", "stats", "healthz", "readyz", "metrics"}
+
+// newObserver registers the handler's own series plus the index-level
+// collectors on reg (a fresh registry when nil). One handler per
+// registry: series names would collide otherwise.
+func newObserver(reg *metrics.Registry, ret retrieval.Retriever) *observer {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	o := &observer{
+		reg:      reg,
+		latency:  make(map[string]*metrics.Histogram, len(routes)),
+		requests: make(map[string]*metrics.Counter),
+		shed:     make(map[string]*metrics.Counter),
+	}
+	for _, route := range routes {
+		o.latency[route] = reg.Histogram("lsi_http_request_duration_seconds",
+			"Request latency by route, in seconds.", nil, metrics.Label{Name: "route", Value: route})
+	}
+	o.inflight = reg.Gauge("lsi_http_inflight_requests",
+		"Requests currently executing (admitted past the gate).")
+
+	reg.GaugeFunc("lsi_index_docs", "Indexed documents.",
+		func() float64 { return float64(ret.NumDocs()) })
+	reg.GaugeFunc("lsi_index_memory_bytes", "Estimated index heap footprint in bytes.",
+		func() float64 { return float64(ret.Stats().MemoryBytes) })
+
+	if cs, ok := ret.(CacheStatsReporter); ok {
+		if _, cached := cs.CacheStats(); cached {
+			lookups := func(pick func(retrieval.QueryCacheStats) int64) func() float64 {
+				return func() float64 { st, _ := cs.CacheStats(); return float64(pick(st)) }
+			}
+			reg.CounterFunc("lsi_cache_lookups_total", "Query-cache lookups by disposition.",
+				lookups(func(s retrieval.QueryCacheStats) int64 { return s.Hits }),
+				metrics.Label{Name: "result", Value: "hit"})
+			reg.CounterFunc("lsi_cache_lookups_total", "Query-cache lookups by disposition.",
+				lookups(func(s retrieval.QueryCacheStats) int64 { return s.Misses }),
+				metrics.Label{Name: "result", Value: "miss"})
+			reg.CounterFunc("lsi_cache_lookups_total", "Query-cache lookups by disposition.",
+				lookups(func(s retrieval.QueryCacheStats) int64 { return s.Coalesced }),
+				metrics.Label{Name: "result", Value: "coalesced"})
+			reg.CounterFunc("lsi_cache_evictions_total", "Query-cache entries evicted by the LRU byte bound.",
+				lookups(func(s retrieval.QueryCacheStats) int64 { return s.Evictions }))
+			reg.CounterFunc("lsi_cache_rejected_total", "Computed results not stored because the epoch moved mid-compute.",
+				lookups(func(s retrieval.QueryCacheStats) int64 { return s.Rejected }))
+			reg.GaugeFunc("lsi_cache_entries", "Query-cache resident entries.",
+				lookups(func(s retrieval.QueryCacheStats) int64 { return int64(s.Entries) }))
+			reg.GaugeFunc("lsi_cache_bytes", "Query-cache resident bytes (estimated).",
+				lookups(func(s retrieval.QueryCacheStats) int64 { return s.Bytes }))
+			reg.GaugeFunc("lsi_cache_capacity_bytes", "Query-cache byte budget.",
+				lookups(func(s retrieval.QueryCacheStats) int64 { return s.CapBytes }))
+		}
+	}
+
+	if lr, ok := ret.(LiveStatsReporter); ok {
+		if ls, live := lr.LiveStats(); live {
+			live := func(pick func(retrieval.LiveStats) float64) func() float64 {
+				return func() float64 { st, _ := lr.LiveStats(); return pick(st) }
+			}
+			reg.CounterFunc("lsi_index_epoch", "Index-wide mutation epoch (advances after every published ingest batch and compaction swap).",
+				live(func(s retrieval.LiveStats) float64 { return float64(s.Epoch) }))
+			reg.GaugeFunc("lsi_index_epoch_age_seconds", "Seconds since the last published mutation — the freshness signal of the epoch-keyed query cache.",
+				live(func(s retrieval.LiveStats) float64 { return time.Since(s.LastMutation).Seconds() }))
+			reg.CounterFunc("lsi_index_docs_ingested_total", "Documents accepted through live ingest since boot (rate() of this is the ingest rate).",
+				live(func(s retrieval.LiveStats) float64 { return float64(s.DocsIngested) }))
+			reg.CounterFunc("lsi_index_compactions_total", "Segment rebuilds performed by the compactor since boot.",
+				live(func(s retrieval.LiveStats) float64 { return float64(s.Compactions) }))
+			reg.GaugeFunc("lsi_index_compaction_debt", "Sealed segments waiting for the compactor (ingest is shed past the configured budget).",
+				live(func(s retrieval.LiveStats) float64 { return float64(s.CompactionDebt) }))
+			reg.GaugeFunc("lsi_index_compacting", "1 while a compaction pass is in flight.",
+				live(func(s retrieval.LiveStats) float64 {
+					if s.Compacting {
+						return 1
+					}
+					return 0
+				}))
+			for sh := range ls.PerShard {
+				shardLbl := metrics.Label{Name: "shard", Value: strconv.Itoa(sh)}
+				perShard := func(sh int, pick func(retrieval.ShardStat) int) func() float64 {
+					return func() float64 {
+						st, _ := lr.LiveStats()
+						if sh >= len(st.PerShard) {
+							return 0
+						}
+						return float64(pick(st.PerShard[sh]))
+					}
+				}
+				reg.GaugeFunc("lsi_shard_segments", "Published segments per shard by lifecycle state.",
+					perShard(sh, func(s retrieval.ShardStat) int { return s.Live }),
+					shardLbl, metrics.Label{Name: "state", Value: "live"})
+				reg.GaugeFunc("lsi_shard_segments", "Published segments per shard by lifecycle state.",
+					perShard(sh, func(s retrieval.ShardStat) int { return s.SealedPending }),
+					shardLbl, metrics.Label{Name: "state", Value: "sealed_pending"})
+				reg.GaugeFunc("lsi_shard_segments", "Published segments per shard by lifecycle state.",
+					perShard(sh, func(s retrieval.ShardStat) int { return s.Compacted }),
+					shardLbl, metrics.Label{Name: "state", Value: "compacted"})
+				reg.GaugeFunc("lsi_shard_docs", "Documents per shard.",
+					perShard(sh, func(s retrieval.ShardStat) int { return s.Docs }),
+					shardLbl)
+			}
+		}
+	}
+	return o
+}
+
+// requestCounter returns (creating on first use) the requests_total
+// series for a (route, status) pair. Codes are dynamic, so these cannot
+// be pre-registered like the latency histograms.
+func (o *observer) requestCounter(route string, code int) *metrics.Counter {
+	key := route + "\x00" + strconv.Itoa(code)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c, ok := o.requests[key]
+	if !ok {
+		c = o.reg.Counter("lsi_http_requests_total", "Requests by route and status code.",
+			metrics.Label{Name: "route", Value: route},
+			metrics.Label{Name: "code", Value: strconv.Itoa(code)})
+		o.requests[key] = c
+	}
+	return c
+}
+
+// shedCounter returns (creating on first use) the shed_total series for
+// a (route, reason) pair.
+func (o *observer) shedCounter(route, reason string) *metrics.Counter {
+	key := route + "\x00" + reason
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c, ok := o.shed[key]
+	if !ok {
+		c = o.reg.Counter("lsi_http_shed_total", "Requests shed by the admission gate, by route and reason.",
+			metrics.Label{Name: "route", Value: route},
+			metrics.Label{Name: "reason", Value: reason})
+		o.shed[key] = c
+	}
+	return c
+}
+
+// statusRecorder captures the response status and size for metrics and
+// access logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// shed writes the 429 response for a request the gate refused. The
+// Retry-After hint is deliberately coarse: 1s for queue pressure (one
+// request's worth of backoff), 2s for compaction debt (one compactor
+// tick).
+func (h *handler) shedResponse(w http.ResponseWriter, route, reason string, retryAfter int) {
+	h.obs.shedCounter(route, reason).Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeError(w, http.StatusTooManyRequests, "server overloaded (%s); retry after %ds", reason, retryAfter)
+}
+
+// route wraps an endpoint in the admission gate, instrumentation, and
+// access-log middleware. name is the route's metrics label.
+func (h *handler) route(name string, class gateClass, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w}
+
+		admitted := true
+		reason := ""
+		switch {
+		case class == gateIngest && h.opts.MaxCompactionDebt > 0 && h.debt() > h.opts.MaxCompactionDebt:
+			admitted, reason = false, "compaction_debt"
+			h.shedResponse(sr, name, reason, 2)
+		case class != gateNone && h.gate != nil:
+			if h.gate.acquire(r.Context()) {
+				defer h.gate.release()
+			} else {
+				admitted, reason = false, "queue_full"
+				h.shedResponse(sr, name, reason, 1)
+			}
+		}
+		if admitted {
+			h.obs.inflight.Add(1)
+			next(sr, r)
+			h.obs.inflight.Add(-1)
+		}
+
+		elapsed := time.Since(start)
+		if sr.status == 0 {
+			// A handler that never wrote (nothing in this package does)
+			// still counts as a 200 for accounting.
+			sr.status = http.StatusOK
+		}
+		h.obs.latency[name].Observe(elapsed.Seconds())
+		h.obs.requestCounter(name, sr.status).Inc()
+		if log := h.opts.AccessLog; log != nil {
+			attrs := []any{
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", name,
+				"status", sr.status,
+				"bytes", sr.bytes,
+				"dur_ms", float64(elapsed.Microseconds()) / 1000,
+				"remote", r.RemoteAddr,
+			}
+			if cs := sr.Header().Get("Cache-Status"); cs != "" {
+				attrs = append(attrs, "cache", cs)
+			}
+			if !admitted {
+				attrs = append(attrs, "shed", reason)
+				log.Warn("shed", attrs...)
+			} else {
+				log.Info("request", attrs...)
+			}
+		}
+	}
+}
+
+// debt reads the index's current compaction debt (0 when the retriever
+// does not report live stats).
+func (h *handler) debt() int {
+	lr, ok := h.ret.(LiveStatsReporter)
+	if !ok {
+		return 0
+	}
+	ls, live := lr.LiveStats()
+	if !live {
+		return 0
+	}
+	return ls.CompactionDebt
+}
+
+// metricsHandler serves GET /metrics in the Prometheus text exposition
+// format.
+func (h *handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.obs.reg.WritePrometheus(w)
+}
+
+// registerPprof mounts the net/http/pprof handlers on mux (behind
+// Options.EnablePprof; these endpoints expose process internals and
+// should not be reachable from untrusted networks — see OPERATIONS.md).
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

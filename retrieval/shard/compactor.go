@@ -169,6 +169,7 @@ func (x *Index) Compact() (int, error) {
 		// visible before the epoch moves, so epoch-keyed cache entries
 		// can never mix pre- and post-compaction rankings.
 		x.globalEpoch.Add(1)
+		x.lastMutation.Store(time.Now().UnixNano())
 		rebuilt += len(pending)
 		x.compactions.Add(1)
 	}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/lsi"
 	"repro/internal/segment"
@@ -173,6 +174,8 @@ func (x *Index) AddBatch(docs []Doc) (int, error) {
 	// whole batch, which is what lets the query cache key results by
 	// epoch without ever serving pre-Add state (see Index.Epoch).
 	x.globalEpoch.Add(1)
+	x.docsIngested.Add(int64(len(docs)))
+	x.lastMutation.Store(time.Now().UnixNano())
 	if sealed {
 		x.wakeCompactor()
 	}

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lsi"
 	"repro/internal/mat"
@@ -138,6 +139,12 @@ type Index struct {
 	compacting  atomic.Int32
 	compactions atomic.Int64 // total segment rebuilds performed
 
+	// Observability counters (see DocsIngested / LastMutation): ingest
+	// volume and the wall-clock time of the last published mutation,
+	// which /metrics turns into an ingest rate and an epoch age.
+	docsIngested atomic.Int64
+	lastMutation atomic.Int64 // unix nanoseconds; set at build and on every epoch bump
+
 	// globalEpoch counts published mutations index-wide. It is bumped
 	// AFTER the mutation's state pointers are stored (ingest publishes
 	// ids + every shard state first; compaction swaps its segment
@@ -213,6 +220,7 @@ func newIndex(numTerms int, cfg Config) *Index {
 		x.shards[s].state.Store(&shardState{})
 	}
 	x.ids.Store(&idTable{})
+	x.lastMutation.Store(time.Now().UnixNano())
 	return x
 }
 
@@ -387,14 +395,88 @@ func (x *Index) Ready() bool {
 	if x.compacting.Load() > 0 {
 		return false
 	}
+	return x.CompactionDebt() == 0
+}
+
+// CompactionDebt counts the sealed segments waiting for the compactor —
+// the backlog that grows when ingest outruns compaction. Zero on a
+// fully compacted index; the httpapi admission gate sheds ingest when
+// this exceeds its budget, and /metrics exports it as the
+// lsi_index_compaction_debt gauge.
+func (x *Index) CompactionDebt() int {
+	debt := 0
 	for _, sh := range x.shards {
 		for _, seg := range sh.state.Load().stable {
 			if compactable(seg) {
-				return false
+				debt++
 			}
 		}
 	}
-	return true
+	return debt
+}
+
+// Compacting reports whether a compaction pass is in flight.
+func (x *Index) Compacting() bool { return x.compacting.Load() > 0 }
+
+// Compactions returns the total number of segment rebuilds performed
+// since Build or Open.
+func (x *Index) Compactions() int64 { return x.compactions.Load() }
+
+// DocsIngested returns the total number of documents accepted through
+// Add/AddBatch since Build or Open (build-time documents are not
+// counted). Monotonic; a Prometheus rate() over it is the ingest rate.
+func (x *Index) DocsIngested() int64 { return x.docsIngested.Load() }
+
+// LastMutation returns the wall-clock time of the last published
+// mutation (ingest batch or compaction swap), or the build/open time if
+// none has happened. time.Since(LastMutation()) is the index's epoch
+// age: how stale the freshest published state is — near zero under
+// steady ingest, growing on an idle or stalled index.
+func (x *Index) LastMutation() time.Time {
+	return time.Unix(0, x.lastMutation.Load())
+}
+
+// ShardStat is the per-shard slice of Stats: the segment counts and
+// document total of one shard, in the same states Stats counts
+// index-wide. Exported per shard so monitoring can spot imbalance
+// (one shard accumulating sealed segments while others stay compacted).
+type ShardStat struct {
+	// Segments counts every published segment of the shard; Live,
+	// SealedPending, and Compacted split them by lifecycle state (a
+	// frozen fold-in segment reloaded without raw docs is in none of the
+	// three).
+	Segments      int `json:"segments"`
+	Live          int `json:"liveSegments"`
+	SealedPending int `json:"sealedPending"`
+	Compacted     int `json:"compactedSegments"`
+	// Docs is the shard's document count.
+	Docs int `json:"docs"`
+}
+
+// ShardStats snapshots every shard's segment topology, indexed by shard
+// number. Like Stats it is wait-free: each shard's published state is
+// loaded once.
+func (x *Index) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(x.shards))
+	for i, sh := range x.shards {
+		s := sh.state.Load()
+		var segs []*segment.Segment
+		segs = s.segments(segs)
+		st := &out[i]
+		for _, seg := range segs {
+			st.Segments++
+			st.Docs += seg.Len()
+			switch {
+			case seg == s.live:
+				st.Live++
+			case compactable(seg):
+				st.SealedPending++
+			case seg.Compacted:
+				st.Compacted++
+			}
+		}
+	}
+	return out
 }
 
 // Close stops the background compactor and marks the index closed for

@@ -6,7 +6,7 @@ GO ?= go
 # Base ref for the perf-regression gate (CI passes the PR's base branch).
 BASE ?= origin/main
 
-.PHONY: all build test lint vet fmt-check docs-check race bench-smoke bench bench-record bench-gate fuzz-short serve-smoke load-smoke
+.PHONY: all build test lint vet fmt-check docs-check race bench-smoke bench bench-record bench-gate fuzz-short serve-smoke load-smoke cluster-smoke
 
 all: build test
 
@@ -35,10 +35,11 @@ docs-check:
 
 # Race-detect the concurrency-bearing packages: the worker pool, the
 # numeric + retrieval layers built on it, the public API + HTTP layer
-# (including the admission-gate degradation tests), the metrics
+# (including the admission-gate degradation tests), the WAL, the
+# cluster router/replica (hedged fan-out, failover), the metrics
 # registry, and the load generator.
 race:
-	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./internal/segment ./internal/metrics ./retrieval ./retrieval/cache ./retrieval/shard ./retrieval/httpapi ./cmd/lsiserve ./cmd/lsiload
+	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./internal/segment ./internal/metrics ./retrieval ./retrieval/cache ./retrieval/shard ./retrieval/wal ./retrieval/cluster ./retrieval/httpapi ./cmd/lsiserve ./cmd/lsiload
 
 # Build the serving daemon, boot it on a free port, and curl the health
 # and search endpoints — fails on any non-200.
@@ -54,6 +55,16 @@ load-smoke:
 	$(GO) build -o bin/lsiserve ./cmd/lsiserve
 	$(GO) build -o bin/lsiload ./cmd/lsiload
 	sh scripts/load_smoke.sh bin/lsiserve bin/lsiload
+
+# Stand up a 3-node local cluster (shard export + WAL'd nodes + router
+# over a generated manifest) and drive an lsiload Zipf trace through
+# the router; fails on any failed request, a degraded quorum, or
+# missing lsi_cluster_* metrics. The summary lands in
+# cluster-smoke.json (archived by CI).
+cluster-smoke:
+	$(GO) build -o bin/lsiserve ./cmd/lsiserve
+	$(GO) build -o bin/lsiload ./cmd/lsiload
+	sh scripts/cluster_smoke.sh bin/lsiserve bin/lsiload
 
 # Compile-and-run guard for every benchmark: one iteration each with
 # allocation reporting, no tests. The output lands in bench-smoke.txt so
@@ -78,8 +89,10 @@ bench-gate:
 	sh scripts/bench_gate.sh -r "$(BASE)" -o bench-gate.txt
 
 # Short local mirror of the nightly fuzz job: 30s per fuzz target (the
-# manifest loader and the query-cache key normalizer).
+# manifest loader, the query-cache key normalizer, and the WAL record
+# decoder).
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzParseManifest -fuzztime=30s ./retrieval/shard
 	$(GO) test -run='^$$' -fuzz=FuzzQueryKeyNormalizer -fuzztime=30s ./retrieval/cache
 	$(GO) test -run='^$$' -fuzz=FuzzNormalizeQuery -fuzztime=30s ./retrieval/cache
+	$(GO) test -run='^$$' -fuzz=FuzzScanRecords -fuzztime=30s ./retrieval/wal

@@ -10,6 +10,15 @@
 //
 //	lsiload -addr localhost:8080 [-duration 10s] [-concurrency 8] [-trace zipf]
 //	lsiload -addr localhost:8080 -trace ingest -o BENCH_6.json -l load-ingest
+//	lsiload -addr host1:8080,host2:8080   # round-robin over several targets
+//
+// -addr accepts a comma-separated target list; each worker rotates
+// through them request by request, which spreads a trace across the
+// nodes of a cluster (or compares a router against its nodes).
+//
+// Shed accounting counts both admission-gate statuses: 429 (queue
+// full) and 503 (compaction debt). Both are the server protecting
+// itself, not a failure, and both back the closed loop off briefly.
 //
 // Traces:
 //
@@ -60,6 +69,7 @@ import (
 
 type loadConfig struct {
 	addr        string
+	addrs       []string // normalized base URLs parsed from addr
 	duration    time.Duration
 	concurrency int
 	trace       string
@@ -75,7 +85,7 @@ func parseFlags(args []string, stderr io.Writer) (loadConfig, error) {
 	cfg := loadConfig{}
 	fs := flag.NewFlagSet("lsiload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fs.StringVar(&cfg.addr, "addr", "localhost:8080", "lsiserve address (host:port, or a full http:// base URL)")
+	fs.StringVar(&cfg.addr, "addr", "localhost:8080", "lsiserve address (host:port or http:// base URL; comma-separate several to round-robin)")
 	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to run the trace")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop workers (each keeps one request in flight)")
 	fs.StringVar(&cfg.trace, "trace", "zipf", "workload trace: zipf, burst, or ingest")
@@ -105,10 +115,18 @@ func parseFlags(args []string, stderr io.Writer) (loadConfig, error) {
 	if cfg.label == "" {
 		cfg.label = "load-" + cfg.trace
 	}
-	if !strings.Contains(cfg.addr, "://") {
-		cfg.addr = "http://" + cfg.addr
+	for _, a := range strings.Split(cfg.addr, ",") {
+		if a = strings.TrimSpace(a); a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		cfg.addrs = append(cfg.addrs, strings.TrimRight(a, "/"))
 	}
-	cfg.addr = strings.TrimRight(cfg.addr, "/")
+	if len(cfg.addrs) == 0 {
+		return cfg, fmt.Errorf("lsiload: -addr names no targets")
+	}
 	return cfg, nil
 }
 
@@ -151,8 +169,14 @@ func readQueries(path string) ([]string, error) {
 type collector struct {
 	latency *metrics.Histogram // seconds
 	ok      atomic.Int64       // 2xx
-	shed    atomic.Int64       // 429 (the gate working as designed)
+	shed    atomic.Int64       // 429/503 (the admission gates working as designed)
 	failed  atomic.Int64       // other statuses and transport errors
+}
+
+// isShed reports whether a status is an admission-gate response: 429
+// for a full queue, 503 for compaction debt on ingest.
+func isShed(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 }
 
 func (c *collector) observe(elapsed time.Duration, status int, err error) {
@@ -164,7 +188,7 @@ func (c *collector) observe(elapsed time.Duration, status int, err error) {
 	switch {
 	case status >= 200 && status < 300:
 		c.ok.Add(1)
-	case status == http.StatusTooManyRequests:
+	case isShed(status):
 		c.shed.Add(1)
 	default:
 		c.failed.Add(1)
@@ -228,8 +252,13 @@ func (w *worker) ingestBody() []byte {
 	return body
 }
 
+// target rotates through the configured base URLs request by request.
+func (w *worker) target() string {
+	return w.cfg.addrs[w.seq%len(w.cfg.addrs)]
+}
+
 func (w *worker) do(ctx context.Context, path string, body []byte) {
-	req, err := http.NewRequestWithContext(ctx, "POST", w.cfg.addr+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, "POST", w.target()+path, bytes.NewReader(body))
 	if err != nil {
 		w.col.failed.Add(1)
 		return
@@ -247,7 +276,7 @@ func (w *worker) do(ctx context.Context, path string, body []byte) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	w.col.observe(time.Since(start), resp.StatusCode, nil)
-	if resp.StatusCode == http.StatusTooManyRequests {
+	if isShed(resp.StatusCode) {
 		// Back off briefly; a closed loop that instantly retries turns
 		// shedding into a busy-wait against the gate.
 		select {

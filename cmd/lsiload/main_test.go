@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -132,8 +134,58 @@ func TestParseFlagsRejects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.addr != "http://localhost:9999" || cfg.label != "load-zipf" {
+	if len(cfg.addrs) != 1 || cfg.addrs[0] != "http://localhost:9999" || cfg.label != "load-zipf" {
 		t.Errorf("defaults: %+v", cfg)
+	}
+	// Comma-separated targets normalize independently.
+	cfg, err = parseFlags([]string{"-addr", "host1:8080, http://host2:9090/"}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.addrs) != 2 || cfg.addrs[0] != "http://host1:8080" || cfg.addrs[1] != "http://host2:9090" {
+		t.Errorf("multi-target addrs: %+v", cfg.addrs)
+	}
+	if _, err := parseFlags([]string{"-addr", " , "}, os.Stderr); err == nil {
+		t.Error("empty target list should fail")
+	}
+}
+
+// TestMultiTargetRoundRobin: with two targets every node sees traffic.
+func TestMultiTargetRoundRobin(t *testing.T) {
+	var hits [2]atomic.Int64
+	servers := make([]*httptest.Server, 2)
+	for i := range servers {
+		i := i
+		servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			w.Write([]byte(`{"results":[]}`))
+		}))
+		t.Cleanup(servers[i].Close)
+	}
+	s := runLoad(t, []string{"-addr", servers[0].URL + "," + servers[1].URL,
+		"-duration", "200ms", "-concurrency", "2"})
+	if s.OK == 0 || s.Failed != 0 {
+		t.Fatalf("multi-target run: %+v", s)
+	}
+	if hits[0].Load() == 0 || hits[1].Load() == 0 {
+		t.Fatalf("round robin skipped a target: %d / %d", hits[0].Load(), hits[1].Load())
+	}
+}
+
+// TestShedCounts503: the compaction-debt gate answers 503, which is
+// shed (backpressure working), not an error.
+func TestShedCounts503(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, `{"error":"compaction debt"}`, http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+	s := runLoad(t, []string{"-addr", srv.URL, "-duration", "150ms", "-concurrency", "2"})
+	if s.Shed == 0 || s.Shed != s.Requests {
+		t.Fatalf("503s not counted as shed: %+v", s)
+	}
+	if s.Failed != 0 || s.ErrorRate != 0 {
+		t.Fatalf("503 counted as failure: %+v", s)
 	}
 }
 

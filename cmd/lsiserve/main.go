@@ -7,6 +7,8 @@
 //	POST /v1/docs          live append (sharded indexes, -shards)
 //	POST /v1/docs:batch    live append, batched
 //	GET  /v1/stats         index description, segment/compaction stats
+//	GET  /v1/replicate/*   replication pull endpoints (serving from an
+//	                       index directory; see retrieval/httpapi)
 //	GET  /metrics          Prometheus text exposition (see OPERATIONS.md)
 //	GET  /healthz          liveness probe
 //	GET  /readyz           readiness probe (503 while compaction is owed)
@@ -17,6 +19,20 @@
 //	lsiserve [-addr :8080] [-k 0] [-backend lsi] [-weighting log] [-shards 0] [-cache-mb 64] [file1.txt ...]
 //	lsiserve -index saved.idx       # single-stream index file
 //	lsiserve -index saved-dir/      # sharded index directory
+//	lsiserve -index dir/ -wal-dir wal/ [-checkpoint-every 30s]   # durable cluster node
+//	lsiserve -save-cluster out/ -shards 3 [file1.txt ...]        # export per-shard node dirs
+//	lsiserve -cluster manifest.json                              # cluster router
+//	lsiserve -replica-of http://primary:8080 [-data-dir dir]     # catch-up replica
+//
+// The last four forms are the distributed tier (retrieval/cluster):
+// -save-cluster exports each shard of a sharded index as a standalone
+// 1-shard node directory and exits; a node serves one such directory
+// with a write-ahead log (-wal-dir) so acked appends survive SIGKILL,
+// checkpointing back into its -index directory every -checkpoint-every
+// when documents arrived; -cluster serves the routing tier over the
+// nodes in a manifest file (SIGHUP re-reads it — the version must
+// strictly increase); -replica-of mirrors a node by snapshot pull +
+// WAL tail and serves read traffic for it.
 //
 // Each file argument is one document; with no files (and no -index) the
 // built-in demo corpus is served, which is what the CI smoke test and
@@ -31,7 +47,8 @@
 // Under overload the daemon sheds rather than collapses: at most
 // -max-inflight search/docs requests execute concurrently, up to
 // -max-queue more wait, and the rest are answered 429 with Retry-After;
-// ingest is additionally shed while compaction debt exceeds -max-debt.
+// ingest is shed 503 + Retry-After while compaction debt exceeds
+// -max-debt.
 // Every request is measured on GET /metrics, -access-log adds a
 // structured JSON line per request, and -pprof mounts the runtime
 // profilers. The daemon shuts down gracefully on SIGINT/SIGTERM,
@@ -53,7 +70,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/retrieval"
+	"repro/retrieval/cluster"
 	"repro/retrieval/httpapi"
 )
 
@@ -73,6 +92,14 @@ type serveConfig struct {
 	pprof       bool
 	accessLog   bool
 	files       []string
+
+	// Distributed tier (retrieval/cluster).
+	clusterPath     string
+	replicaOf       string
+	dataDir         string
+	walDir          string
+	checkpointEvery time.Duration
+	saveCluster     string
 }
 
 func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
@@ -90,13 +117,50 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	fs.IntVar(&cfg.maxTopN, "top-max", 100, "cap on per-query result count")
 	fs.IntVar(&cfg.maxInFlight, "max-inflight", 256, "max concurrently executing search/docs requests; excess requests queue, then shed with 429 (0 = unlimited)")
 	fs.IntVar(&cfg.maxQueue, "max-queue", 0, "max requests waiting for an in-flight slot before shedding (0 = 4x max-inflight)")
-	fs.IntVar(&cfg.maxDebt, "max-debt", 8, "shed ingest (POST /v1/docs) with 429 while more than this many sealed segments await compaction (0 = never)")
+	fs.IntVar(&cfg.maxDebt, "max-debt", 8, "shed ingest (POST /v1/docs) with 503 while more than this many sealed segments await compaction (0 = never)")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "mount /debug/pprof/ profiling endpoints (do not expose to untrusted networks)")
 	fs.BoolVar(&cfg.accessLog, "access-log", false, "emit one structured JSON log line per request on stderr")
+	fs.StringVar(&cfg.clusterPath, "cluster", "", "serve as the routing tier over the cluster manifest at this path (SIGHUP reloads)")
+	fs.StringVar(&cfg.replicaOf, "replica-of", "", "serve as a catch-up replica of the node at this base URL")
+	fs.StringVar(&cfg.dataDir, "data-dir", "", "local snapshot directory for -replica-of (default: a fresh temp dir)")
+	fs.StringVar(&cfg.walDir, "wal-dir", "", "attach a write-ahead log in this directory: appends are fsync'd before they are acked and replayed on boot (sharded indexes)")
+	fs.DurationVar(&cfg.checkpointEvery, "checkpoint-every", 0, "checkpoint the index into its -index directory at this cadence when documents arrived, rotating the WAL (0 = never; requires -wal-dir and -index DIR)")
+	fs.StringVar(&cfg.saveCluster, "save-cluster", "", "export each shard as a standalone node directory under this path and exit (requires a sharded index)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
 	cfg.files = fs.Args()
+	// The three serving modes are exclusive, and the router/replica modes
+	// build no index of their own — reject flags they would ignore.
+	if cfg.clusterPath != "" || cfg.replicaOf != "" {
+		if cfg.clusterPath != "" && cfg.replicaOf != "" {
+			return cfg, fmt.Errorf("-cluster and -replica-of are exclusive serving modes")
+		}
+		mode := "-cluster"
+		if cfg.replicaOf != "" {
+			mode = "-replica-of"
+		}
+		var conflicts []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "k", "backend", "weighting", "shards", "index", "wal-dir", "checkpoint-every", "save-cluster":
+				conflicts = append(conflicts, "-"+f.Name)
+			case "data-dir":
+				if cfg.replicaOf == "" {
+					conflicts = append(conflicts, "-"+f.Name)
+				}
+			}
+		})
+		if len(cfg.files) > 0 {
+			conflicts = append(conflicts, "file arguments")
+		}
+		if len(conflicts) > 0 {
+			return cfg, fmt.Errorf("%s serves no local index; %s cannot apply", mode, strings.Join(conflicts, ", "))
+		}
+	}
+	if cfg.checkpointEvery > 0 && cfg.walDir == "" {
+		return cfg, fmt.Errorf("-checkpoint-every needs -wal-dir: a checkpoint without a WAL rotation would not shorten replay")
+	}
 	// A saved index fixes its backend, rank, and weighting at build time;
 	// refuse invocations that would silently discard build flags or files.
 	if cfg.indexPath != "" {
@@ -182,16 +246,155 @@ func serve(ctx context.Context, ln net.Listener, handler http.Handler, shutdownT
 	return nil
 }
 
+// serveOptions translates the shared flag block into handler options.
+func serveOptions(cfg serveConfig, stderr io.Writer) httpapi.Options {
+	opts := httpapi.Options{
+		Timeout:           cfg.timeout,
+		MaxTopN:           cfg.maxTopN,
+		MaxInFlight:       cfg.maxInFlight,
+		MaxQueue:          cfg.maxQueue,
+		MaxCompactionDebt: cfg.maxDebt,
+		EnablePprof:       cfg.pprof,
+	}
+	if cfg.accessLog {
+		opts.AccessLog = slog.New(slog.NewJSONHandler(stderr, nil))
+	}
+	return opts
+}
+
+// runRouter serves the cluster routing tier over the manifest at
+// cfg.clusterPath. SIGHUP re-reads the manifest; a reload only takes
+// effect when its version strictly increases and the shard count is
+// unchanged, so a stale or truncated file can never regress the
+// topology.
+func runRouter(ctx context.Context, cfg serveConfig, stdout, stderr io.Writer) error {
+	man, err := cluster.LoadManifest(cfg.clusterPath)
+	if err != nil {
+		return err
+	}
+	router, err := cluster.NewRouter(man, cluster.RouterOptions{NodeTimeout: cfg.timeout})
+	if err != nil {
+		return err
+	}
+	reg := metrics.NewRegistry()
+	router.RegisterMetrics(reg)
+	if err := router.Sync(ctx); err != nil {
+		// The router can serve reads without a synced write path; ingest
+		// stays frozen until a later Sync (a SIGHUP reload retries).
+		fmt.Fprintf(stderr, "lsiserve: WARNING: cluster sync failed, ingest frozen: %v\n", err)
+	}
+	fmt.Fprintf(stdout, "lsiserve: cluster router, manifest v%d, %d shards over %d nodes, %d documents (SIGHUP reloads %s)\n",
+		man.Version, man.Shards, len(man.Nodes), router.NumDocs(), cfg.clusterPath)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				m, err := cluster.LoadManifest(cfg.clusterPath)
+				if err == nil {
+					err = router.Reload(m)
+				}
+				if err != nil {
+					fmt.Fprintf(stderr, "lsiserve: manifest reload rejected: %v\n", err)
+					continue
+				}
+				if err := router.Sync(ctx); err != nil {
+					fmt.Fprintf(stderr, "lsiserve: WARNING: cluster sync failed, ingest frozen: %v\n", err)
+				}
+				fmt.Fprintf(stderr, "lsiserve: manifest reloaded, now v%d over %d nodes\n", m.Version, len(m.Nodes))
+			}
+		}
+	}()
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	opts := serveOptions(cfg, stderr)
+	opts.Metrics = reg
+	return serve(ctx, ln, httpapi.NewHandler(router, opts), 10*time.Second, stdout)
+}
+
+// runReplica bootstraps a replica from its primary, keeps it caught up
+// in the background, and serves read traffic from the local snapshot.
+func runReplica(ctx context.Context, cfg serveConfig, stdout, stderr io.Writer) error {
+	dir := cfg.dataDir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "lsireplica-*"); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "lsiserve: no -data-dir given, snapshots go to %s\n", dir)
+	}
+	rep := cluster.NewReplica(cfg.replicaOf, dir, cluster.ReplicaOptions{NodeTimeout: cfg.timeout})
+	if err := rep.Bootstrap(ctx); err != nil {
+		return fmt.Errorf("replica bootstrap from %s: %w", cfg.replicaOf, err)
+	}
+	reg := metrics.NewRegistry()
+	rep.RegisterMetrics(reg)
+	go rep.Run(ctx)
+	fmt.Fprintf(stdout, "lsiserve: replica of %s, %d documents at generation %d\n",
+		cfg.replicaOf, rep.NumDocs(), rep.Generation())
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	opts := serveOptions(cfg, stderr)
+	opts.Metrics = reg
+	return serve(ctx, ln, httpapi.NewHandler(rep, opts), 10*time.Second, stdout)
+}
+
+// checkpointLoop folds WAL'd appends back into the index directory at a
+// fixed cadence, but only when documents actually arrived — an idle
+// node never churns its segment files.
+func checkpointLoop(ctx context.Context, ix *retrieval.Index, dir string, every time.Duration, stderr io.Writer) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	last := ix.NumDocs()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			n := ix.NumDocs()
+			if n == last {
+				continue
+			}
+			if err := ix.Checkpoint(dir); err != nil {
+				fmt.Fprintf(stderr, "lsiserve: checkpoint: %v\n", err)
+				continue
+			}
+			last = n
+		}
+	}
+}
+
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	cfg, err := parseFlags(args, stderr)
 	if err != nil {
 		return err
+	}
+	if cfg.clusterPath != "" {
+		return runRouter(ctx, cfg, stdout, stderr)
+	}
+	if cfg.replicaOf != "" {
+		return runReplica(ctx, cfg, stdout, stderr)
 	}
 	ret, err := newRetriever(cfg)
 	if err != nil {
 		return err
 	}
 	defer ret.Close() // stops the sharded compactor; no-op otherwise
+	if cfg.saveCluster != "" {
+		if err := ret.SaveShardDirs(cfg.saveCluster); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "lsiserve: exported %d node directories under %s\n", ret.NumShards(), cfg.saveCluster)
+		return nil
+	}
 	stats := ret.Stats()
 	fmt.Fprintf(stdout, "lsiserve: %s index, %d documents, %d terms", stats.Backend, stats.NumDocs, stats.NumTerms)
 	if stats.Rank > 0 {
@@ -210,20 +413,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		// instead of looking healthy and failing per request.
 		fmt.Fprintln(stderr, "lsiserve: WARNING: index has no vocabulary (v1 format?); text queries will fail — re-save it with a current build to upgrade")
 	}
+	opts := serveOptions(cfg, stderr)
+	if cfg.walDir != "" {
+		replayed, err := ret.AttachWAL(cfg.walDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "lsiserve: wal attached (%s), %d documents replayed\n", cfg.walDir, replayed)
+	}
+	if cfg.indexPath != "" {
+		if st, err := os.Stat(cfg.indexPath); err == nil && st.IsDir() {
+			// Serving from an index directory makes this process a valid
+			// replication primary: replicas pull the checkpoint files and
+			// tail the WAL.
+			opts.ReplicateDir = cfg.indexPath
+		}
+	}
+	if cfg.checkpointEvery > 0 {
+		if opts.ReplicateDir == "" {
+			return fmt.Errorf("-checkpoint-every needs -index pointing at an index directory to checkpoint into")
+		}
+		go checkpointLoop(ctx, ret, cfg.indexPath, cfg.checkpointEvery, stderr)
+	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
-	}
-	opts := httpapi.Options{
-		Timeout:           cfg.timeout,
-		MaxTopN:           cfg.maxTopN,
-		MaxInFlight:       cfg.maxInFlight,
-		MaxQueue:          cfg.maxQueue,
-		MaxCompactionDebt: cfg.maxDebt,
-		EnablePprof:       cfg.pprof,
-	}
-	if cfg.accessLog {
-		opts.AccessLog = slog.New(slog.NewJSONHandler(stderr, nil))
 	}
 	handler := httpapi.NewHandler(ret, opts)
 	return serve(ctx, ln, handler, 10*time.Second, stdout)

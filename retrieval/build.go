@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/corpus"
 	"repro/internal/ir"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/vsm"
 	"repro/retrieval/cache"
 	"repro/retrieval/shard"
+	"repro/retrieval/wal"
 )
 
 // Index is the concrete Retriever produced by Build and Load. It bundles
@@ -35,6 +37,12 @@ type Index struct {
 	docIDs          []string
 
 	qc *queryCache // non-nil iff built/opened with WithQueryCache
+
+	// wlog is the attached write-ahead log (AttachWAL); nil means Adds
+	// are not logged. walMu serializes logged Adds and checkpoints so
+	// logged positions mirror apply order exactly.
+	wlog  *wal.Log
+	walMu sync.Mutex
 }
 
 var _ Retriever = (*Index)(nil)
@@ -188,6 +196,8 @@ func (ix *Index) Stats() Stats {
 	case ix.sharded != nil:
 		ss := ix.sharded.Stats()
 		st.Sharded = true
+		st.Epoch = ix.sharded.Epoch()
+		st.Generation = ss.Generation
 		st.Shards = ss.Shards
 		st.Segments = ss.Segments
 		st.LiveSegments = ss.Live

@@ -1,0 +1,139 @@
+// Package cluster is the shard-per-node distributed serving tier: a
+// Router that fans text queries out to shard-owning nodes over the
+// httpapi JSON protocol and merges the partials deterministically, and
+// a Replica that mirrors a node by pulling its checkpoint over the
+// /v1/replicate endpoints and tailing its write-ahead log.
+//
+// The topology contract is the one the sharded index already keeps
+// in-process (retrieval/shard): global document g lives on shard
+// g mod S as local document g div S. Each node serves a standalone
+// 1-shard export of its shard (retrieval.Index.SaveShardDir), so a
+// node's local result (l, score) is the cluster result
+// (l*S + s, score) — the score bit-for-bit, because per-shard latent
+// spaces and fold-in are independent of which process hosts them and
+// JSON round-trips float64 exactly. Merging per-node top-N lists with
+// the same (score desc, global asc) comparator the single-process
+// index uses therefore reproduces the single-process answer bitwise
+// whenever every shard responds; see router.go for what happens when
+// one does not (partial results, surfaced honestly).
+//
+// Freshness across processes is tracked as (manifest generation,
+// document count) — NOT the in-process epoch, which advances on
+// compaction timing no two processes share. See retrieval.Index.Epoch.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+)
+
+// ManifestVersionFloor is the smallest version a manifest may declare;
+// Router.Reload additionally requires each reload to strictly increase
+// the version, so a stale file left behind by an older deploy can never
+// roll the topology back.
+const ManifestVersionFloor = 1
+
+// Node is one serving process in the cluster manifest.
+type Node struct {
+	// Name identifies the node in logs, errors, and metrics; unique
+	// within a manifest.
+	Name string `json:"name"`
+	// URL is the node's httpapi base URL (scheme + host[:port]).
+	URL string `json:"url"`
+	// Shard is the shard this node serves, in [0, Manifest.Shards).
+	Shard int `json:"shard"`
+	// Replica marks a catch-up mirror: eligible for reads (the router
+	// hedges to it when the primary is slow or down), never for writes.
+	Replica bool `json:"replica,omitempty"`
+}
+
+// Manifest is the versioned cluster topology: which node serves which
+// shard. It is deliberately dumb data — a JSON file an operator edits
+// (or a control loop rewrites) and the router hot-reloads; there is no
+// consensus protocol underneath it, so correctness of a reload is the
+// operator's contract: version strictly increases, every shard keeps
+// exactly one primary.
+type Manifest struct {
+	Version int    `json:"version"`
+	Shards  int    `json:"shards"`
+	Nodes   []Node `json:"nodes"`
+}
+
+// Validate checks the manifest is a servable topology: a positive
+// version and shard count, unique node names, parseable URLs, every
+// node's shard in range, and exactly one primary (non-replica node) per
+// shard. Replicas are optional, any number per shard.
+func (m *Manifest) Validate() error {
+	if m.Version < ManifestVersionFloor {
+		return fmt.Errorf("cluster: manifest version %d, want >= %d", m.Version, ManifestVersionFloor)
+	}
+	if m.Shards < 1 {
+		return fmt.Errorf("cluster: manifest declares %d shards, want >= 1", m.Shards)
+	}
+	names := make(map[string]bool, len(m.Nodes))
+	primaries := make([]int, m.Shards)
+	for i, n := range m.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("cluster: node %d has no name", i)
+		}
+		if names[n.Name] {
+			return fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		names[n.Name] = true
+		u, err := url.Parse(n.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return fmt.Errorf("cluster: node %q: URL %q is not a base URL", n.Name, n.URL)
+		}
+		if n.Shard < 0 || n.Shard >= m.Shards {
+			return fmt.Errorf("cluster: node %q: shard %d out of range [0, %d)", n.Name, n.Shard, m.Shards)
+		}
+		if !n.Replica {
+			primaries[n.Shard]++
+		}
+	}
+	for s, c := range primaries {
+		if c != 1 {
+			return fmt.Errorf("cluster: shard %d has %d primaries, want exactly 1", s, c)
+		}
+	}
+	return nil
+}
+
+// ParseManifest decodes and validates manifest bytes; arbitrary input
+// yields a valid *Manifest or a descriptive error, never a panic.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("cluster: manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// LoadManifest reads and validates a manifest file — the boot and
+// hot-reload entry point for cmd/lsiserve -cluster.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: manifest: %w", err)
+	}
+	return ParseManifest(data)
+}
+
+// byShard compiles the manifest into per-shard candidate lists, primary
+// first — the order the router tries (and hedges) nodes in.
+func (m *Manifest) byShard() [][]Node {
+	out := make([][]Node, m.Shards)
+	for _, n := range m.Nodes {
+		if !n.Replica {
+			out[n.Shard] = append([]Node{n}, out[n.Shard]...)
+		} else {
+			out[n.Shard] = append(out[n.Shard], n)
+		}
+	}
+	return out
+}

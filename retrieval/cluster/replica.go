@@ -1,0 +1,383 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/retrieval"
+	"repro/retrieval/httpapi"
+	"repro/retrieval/shard"
+)
+
+// ReplicaOptions configures a Replica; zero values pick the documented
+// defaults.
+type ReplicaOptions struct {
+	// PollInterval is the WAL-tail cadence of Run (default 500ms).
+	PollInterval time.Duration
+	// NodeTimeout bounds each request to the primary (default 10s — a
+	// snapshot file pull moves real bytes).
+	NodeTimeout time.Duration
+	// Client is the HTTP client for primary requests.
+	Client *http.Client
+}
+
+func (o ReplicaOptions) withDefaults() ReplicaOptions {
+	if o.PollInterval <= 0 {
+		o.PollInterval = 500 * time.Millisecond
+	}
+	if o.NodeTimeout <= 0 {
+		o.NodeTimeout = 10 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// Replica mirrors one cluster node: it bootstraps by pulling the
+// primary's checkpoint over GET /v1/replicate/{manifest,file}, then
+// keeps up by tailing the primary's write-ahead log
+// (GET /v1/replicate/wal?from=<its own document count>). When the tail
+// answers 410 Gone — a checkpoint on the primary rotated the records
+// the replica still needed — it re-pulls a whole snapshot and resumes
+// tailing from there.
+//
+// A Replica is also a serving node: it implements retrieval.Retriever
+// (plus the readiness and freshness capabilities httpapi looks for) by
+// delegating to its current local index, which is swapped atomically
+// after a re-snapshot so queries never observe a half-applied state.
+// Replayed documents flow through the ordinary ingest path of the
+// local 1-shard index, so a caught-up replica serves bit-for-bit the
+// scores its primary serves.
+//
+// Catch-up is deliberately pull-based and stateless on the primary: a
+// replica that dies just falls behind; when it returns it either tails
+// from where it stopped or, if too far behind, re-snapshots. Nothing
+// on the primary tracks replica positions.
+type Replica struct {
+	primary atomic.Pointer[string]
+	dir     string
+	opts    ReplicaOptions
+	client  *http.Client
+
+	cur   atomic.Pointer[retrieval.Index]
+	snaps atomic.Int64 // snapshot pulls performed (names the snap dirs)
+
+	batches atomic.Int64
+	applied atomic.Int64
+	lastErr atomic.Pointer[string]
+}
+
+// NewReplica prepares a replica of the node at primaryURL, keeping its
+// local snapshots under dir. Call Bootstrap before serving.
+func NewReplica(primaryURL, dir string, opts ReplicaOptions) *Replica {
+	r := &Replica{dir: dir, opts: opts.withDefaults()}
+	r.primary.Store(&primaryURL)
+	r.client = r.opts.Client
+	return r
+}
+
+// SetPrimary re-points the replica at a primary that moved (a restart
+// on a new address, or a manifest change). Safe under a running tail
+// loop; the next round uses the new address.
+func (r *Replica) SetPrimary(url string) { r.primary.Store(&url) }
+
+// Primary returns the primary base URL the replica follows.
+func (r *Replica) Primary() string { return *r.primary.Load() }
+
+// get runs one GET against the primary, returning the response body.
+// A non-2xx status is returned as errStatus so callers can branch on
+// the replication protocol's meaningful codes (404 mid-pull, 410 on a
+// rotated tail).
+func (r *Replica) get(ctx context.Context, path string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.opts.NodeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.Primary()+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: replica: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil, &errStatus{path: path, code: resp.StatusCode}
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// errStatus is a non-2xx replication response.
+type errStatus struct {
+	path string
+	code int
+}
+
+func (e *errStatus) Error() string {
+	return fmt.Sprintf("cluster: replica: %s: status %d", e.path, e.code)
+}
+
+func statusOf(err error) int {
+	var es *errStatus
+	if errors.As(err, &es) {
+		return es.code
+	}
+	return 0
+}
+
+// Bootstrap pulls a full snapshot from the primary and opens it for
+// serving. It retries a bounded number of times when a checkpoint on
+// the primary races the pull (a manifest-named file answering 404).
+func (r *Replica) Bootstrap(ctx context.Context) error {
+	const attempts = 3
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = r.pullSnapshot(ctx); err == nil {
+			return nil
+		}
+		if statusOf(err) != http.StatusNotFound {
+			break // only a raced checkpoint is worth retrying
+		}
+	}
+	r.noteErr(err)
+	return err
+}
+
+// pullSnapshot fetches the primary's checkpoint into a fresh local
+// directory — every data file first, the manifest last, so a torn pull
+// is never openable — then opens it and swaps it in as the serving
+// index. The previous index (if any) is left to the garbage collector
+// rather than closed: queries may still be draining on it, and a
+// snapshot opens with compaction disabled, so it holds no goroutines.
+func (r *Replica) pullSnapshot(ctx context.Context) error {
+	manBytes, err := r.get(ctx, "/v1/replicate/manifest")
+	if err != nil {
+		return err
+	}
+	man, err := shard.ParseManifest(manBytes)
+	if err != nil {
+		return fmt.Errorf("cluster: replica: primary manifest: %w", err)
+	}
+	if man.Shards != 1 {
+		return fmt.Errorf("cluster: replica: primary serves a %d-shard index; replicas mirror 1-shard exports", man.Shards)
+	}
+	snap := filepath.Join(r.dir, fmt.Sprintf("snap-%d", r.snaps.Add(1)))
+	if err := os.MkdirAll(snap, 0o777); err != nil {
+		return err
+	}
+	files := []string{man.IDsFile, "text.json"}
+	for _, segs := range man.Segments {
+		for _, seg := range segs {
+			files = append(files, seg.File)
+		}
+	}
+	for _, name := range files {
+		data, err := r.get(ctx, "/v1/replicate/file?name="+name)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(snap, name), data, 0o666); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(filepath.Join(snap, shard.ManifestName), manBytes, 0o666); err != nil {
+		return err
+	}
+	ix, err := retrieval.OpenDir(snap, retrieval.WithAutoCompact(false))
+	if err != nil {
+		return fmt.Errorf("cluster: replica: opening snapshot: %w", err)
+	}
+	old := r.cur.Swap(ix)
+	_ = old // see the doc comment: never closed under draining queries
+	return nil
+}
+
+// CatchUp performs one tail round: ask the primary for every document
+// past the replica's current count and apply them through the local
+// ingest path. A 410 means the primary's checkpoint rotated past us —
+// re-snapshot and report how that went. Returns the number of
+// documents applied.
+func (r *Replica) CatchUp(ctx context.Context) (int, error) {
+	ix := r.cur.Load()
+	if ix == nil {
+		return 0, fmt.Errorf("cluster: replica: not bootstrapped")
+	}
+	from := ix.NumDocs()
+	body, err := r.get(ctx, fmt.Sprintf("/v1/replicate/wal?from=%d", from))
+	if statusOf(err) == http.StatusGone {
+		if err := r.Bootstrap(ctx); err != nil {
+			return 0, err
+		}
+		applied := r.cur.Load().NumDocs() - from
+		if applied < 0 {
+			applied = 0
+		}
+		r.applied.Add(int64(applied))
+		return applied, nil
+	}
+	if err != nil {
+		r.noteErr(err)
+		return 0, err
+	}
+	var resp httpapi.ReplicateWALResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		r.noteErr(err)
+		return 0, fmt.Errorf("cluster: replica: decoding wal tail: %w", err)
+	}
+	if len(resp.Docs) == 0 {
+		return 0, nil
+	}
+	got, err := ix.Add(ctx, resp.Docs)
+	if err != nil {
+		r.noteErr(err)
+		return 0, fmt.Errorf("cluster: replica: applying wal tail: %w", err)
+	}
+	if got != from {
+		return 0, fmt.Errorf("cluster: replica: tail landed at %d, want %d", got, from)
+	}
+	r.batches.Add(1)
+	r.applied.Add(int64(len(resp.Docs)))
+	return len(resp.Docs), nil
+}
+
+// Run tails the primary until ctx ends, sleeping PollInterval between
+// rounds. Errors are recorded (see ReplicaStats.LastError) and retried
+// on the next round; only ctx cancellation stops the loop.
+func (r *Replica) Run(ctx context.Context) {
+	t := time.NewTicker(r.opts.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.CatchUp(ctx)
+		}
+	}
+}
+
+func (r *Replica) noteErr(err error) {
+	if err == nil {
+		return
+	}
+	s := err.Error()
+	r.lastErr.Store(&s)
+}
+
+// Index returns the replica's current serving index (nil before
+// Bootstrap).
+func (r *Replica) Index() *retrieval.Index { return r.cur.Load() }
+
+// --- retrieval.Retriever and httpapi capabilities, by delegation ---
+
+var errNotBootstrapped = fmt.Errorf("cluster: replica: not bootstrapped")
+
+// Search implements retrieval.Retriever against the current snapshot.
+func (r *Replica) Search(ctx context.Context, query string, topN int) ([]retrieval.Result, error) {
+	ix := r.cur.Load()
+	if ix == nil {
+		return nil, errNotBootstrapped
+	}
+	return ix.Search(ctx, query, topN)
+}
+
+// SearchBatch implements retrieval.Retriever.
+func (r *Replica) SearchBatch(ctx context.Context, queries []string, topN int) ([][]retrieval.Result, error) {
+	ix := r.cur.Load()
+	if ix == nil {
+		return nil, errNotBootstrapped
+	}
+	return ix.SearchBatch(ctx, queries, topN)
+}
+
+// NumDocs implements retrieval.Retriever (0 before Bootstrap).
+func (r *Replica) NumDocs() int {
+	if ix := r.cur.Load(); ix != nil {
+		return ix.NumDocs()
+	}
+	return 0
+}
+
+// Stats implements retrieval.Retriever.
+func (r *Replica) Stats() retrieval.Stats {
+	if ix := r.cur.Load(); ix != nil {
+		return ix.Stats()
+	}
+	return retrieval.Stats{Backend: "replica"}
+}
+
+// Ready reports whether the replica has a serving snapshot — the
+// httpapi readiness capability.
+func (r *Replica) Ready() bool { return r.cur.Load() != nil }
+
+// Epoch implements the httpapi freshness capability. A replica's epoch
+// is its local index's and is not comparable to the primary's; compare
+// (Generation, NumDocs) instead.
+func (r *Replica) Epoch() uint64 {
+	if ix := r.cur.Load(); ix != nil {
+		return ix.Epoch()
+	}
+	return 0
+}
+
+// Generation returns the manifest generation of the snapshot the
+// replica serves — the primary checkpoint it descends from.
+func (r *Replica) Generation() uint64 {
+	if ix := r.cur.Load(); ix != nil {
+		return ix.Generation()
+	}
+	return 0
+}
+
+// ReplicaStats is the replica's observability snapshot.
+type ReplicaStats struct {
+	// Snapshots counts full snapshot pulls (bootstrap + every 410).
+	Snapshots int64
+	// Batches and DocsApplied count WAL-tail rounds that applied
+	// documents, and the documents they applied (re-snapshot documents
+	// included in DocsApplied).
+	Batches     int64
+	DocsApplied int64
+	// LastError is the most recent catch-up error ("" when none has
+	// occurred); it does not reset on success — it is a debugging
+	// breadcrumb, not a health signal. Health is Ready + staleness.
+	LastError string
+}
+
+// ReplicaStats snapshots the replica's counters.
+func (r *Replica) ReplicaStats() ReplicaStats {
+	st := ReplicaStats{
+		Snapshots:   r.snaps.Load(),
+		Batches:     r.batches.Load(),
+		DocsApplied: r.applied.Load(),
+	}
+	if p := r.lastErr.Load(); p != nil {
+		st.LastError = *p
+	}
+	return st
+}
+
+// RegisterMetrics exports the replica's counters on reg under the
+// lsi_replica_* namespace.
+func (r *Replica) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("lsi_replica_snapshots_total", "Full snapshot pulls (bootstrap and every 410-triggered re-snapshot).",
+		func() float64 { return float64(r.snaps.Load()) })
+	reg.CounterFunc("lsi_replica_batches_total", "WAL-tail rounds that applied documents.",
+		func() float64 { return float64(r.batches.Load()) })
+	reg.CounterFunc("lsi_replica_docs_applied_total", "Documents applied from the primary's WAL tail and re-snapshots.",
+		func() float64 { return float64(r.applied.Load()) })
+	reg.GaugeFunc("lsi_replica_generation", "Manifest generation of the serving snapshot.",
+		func() float64 { return float64(r.Generation()) })
+	reg.GaugeFunc("lsi_replica_docs", "Documents in the serving snapshot.",
+		func() float64 { return float64(r.NumDocs()) })
+}

@@ -1,0 +1,558 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/topk"
+	"repro/retrieval"
+	"repro/retrieval/httpapi"
+)
+
+// RouterOptions configures a Router; zero values pick the documented
+// defaults.
+type RouterOptions struct {
+	// NodeTimeout bounds each per-node request (default 2s). The
+	// caller's context still applies on top.
+	NodeTimeout time.Duration
+	// HedgeAfter is how long the router waits on a node before also
+	// trying the shard's next candidate (default 150ms). A node that
+	// fails outright is hedged immediately, without waiting. The first
+	// success wins; stragglers are canceled.
+	HedgeAfter time.Duration
+	// Client is the HTTP client for node requests (default: a dedicated
+	// client with sane connection reuse).
+	Client *http.Client
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.NodeTimeout <= 0 {
+		o.NodeTimeout = 2 * time.Second
+	}
+	if o.HedgeAfter <= 0 {
+		o.HedgeAfter = 150 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	return o
+}
+
+// manifestState is the router's compiled topology, swapped atomically
+// on Reload so queries in flight keep the manifest they started with.
+type manifestState struct {
+	man     *Manifest
+	byShard [][]Node
+}
+
+// Router fans queries out to the shard-owning nodes of a cluster
+// manifest and merges their answers into the single-process result
+// order. It implements retrieval.Retriever (plus the httpapi
+// FanoutSearcher, DocAdder, and ReadyReporter capabilities), so
+// httpapi.NewHandler(router, ...) is a complete cluster front door.
+//
+// Reads degrade, writes don't: a shard whose every candidate node
+// failed is simply absent from a search's merge — the response is
+// marked partial (X-Partial-Results through httpapi) and counted — but
+// an Add that cannot reach a shard primary fails and freezes ingest
+// until Sync re-derives the cluster's document count, because global
+// numbering (g mod S owns g) leaves no correct place to put a skipped
+// document.
+type Router struct {
+	opts   RouterOptions
+	client *http.Client
+	man    atomic.Pointer[manifestState]
+
+	// ingestMu serializes writers: round-robin numbering means each
+	// batch's shard split depends on the exact global position where the
+	// batch starts.
+	ingestMu   sync.Mutex
+	nextGlobal int
+	synced     bool
+
+	docs      atomic.Int64 // published nextGlobal, for lock-free NumDocs
+	partials  atomic.Int64
+	hedges    atomic.Int64
+	nodeErrs  atomic.Int64
+	reloads   atomic.Int64
+	staleRels atomic.Int64
+}
+
+// NewRouter compiles a validated manifest into a Router. Call Sync
+// before ingesting (Add also syncs lazily); searches need no sync.
+func NewRouter(m *Manifest, opts RouterOptions) (*Router, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{opts: opts.withDefaults()}
+	r.client = r.opts.Client
+	r.man.Store(&manifestState{man: m, byShard: m.byShard()})
+	return r, nil
+}
+
+// Reload hot-swaps the cluster topology. The new manifest must validate,
+// keep the shard count (resharding is a rebuild, not a reload), and
+// strictly increase the version — a stale file can never roll the
+// topology back. Queries in flight finish on the manifest they started
+// with.
+func (r *Router) Reload(m *Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	cur := r.man.Load()
+	if m.Version <= cur.man.Version {
+		r.staleRels.Add(1)
+		return fmt.Errorf("cluster: reload version %d is not newer than the serving version %d", m.Version, cur.man.Version)
+	}
+	if m.Shards != cur.man.Shards {
+		return fmt.Errorf("cluster: reload changes the shard count %d -> %d; resharding requires a rebuild", cur.man.Shards, m.Shards)
+	}
+	r.man.Store(&manifestState{man: m, byShard: m.byShard()})
+	r.reloads.Add(1)
+	return nil
+}
+
+// Manifest returns the serving topology.
+func (r *Router) Manifest() *Manifest { return r.man.Load().man }
+
+// post runs one JSON request against one node, decoding a 2xx body
+// into out. Non-2xx responses become errors carrying the node's name
+// and the body's error message.
+func (r *Router) post(ctx context.Context, node Node, path string, body, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, r.opts.NodeTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("cluster: encoding request for node %q: %w", node.Name, err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	method := http.MethodPost
+	if body == nil {
+		method = http.MethodGet
+	}
+	req, err := http.NewRequestWithContext(ctx, method, node.URL+path, rd)
+	if err != nil {
+		return fmt.Errorf("cluster: node %q: %w", node.Name, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: node %q: %w", node.Name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e httpapi.ErrorResponse
+		json.NewDecoder(io.LimitReader(resp.Body, 4<<10)).Decode(&e)
+		return fmt.Errorf("cluster: node %q: %s: status %d: %s", node.Name, path, resp.StatusCode, e.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("cluster: node %q: decoding %s response: %w", node.Name, path, err)
+	}
+	return nil
+}
+
+// hedged runs call against a shard's candidates, primary first. A
+// candidate that errors is replaced immediately; one that is merely
+// slow is raced against the next candidate after HedgeAfter. The first
+// success wins and cancels the stragglers; when every candidate has
+// failed the last error is returned.
+func hedged[T any](r *Router, ctx context.Context, nodes []Node, call func(context.Context, Node) (T, error)) (T, error) {
+	var zero T
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, len(nodes))
+	launched, pending := 0, 0
+	launch := func() {
+		node := nodes[launched]
+		launched++
+		pending++
+		go func() {
+			v, err := call(hctx, node)
+			ch <- outcome{v, err}
+		}()
+	}
+	launch()
+	timer := time.NewTimer(r.opts.HedgeAfter)
+	defer timer.Stop()
+	var lastErr error
+	for {
+		select {
+		case out := <-ch:
+			pending--
+			if out.err == nil {
+				return out.v, nil
+			}
+			r.nodeErrs.Add(1)
+			lastErr = out.err
+			if launched < len(nodes) {
+				launch()
+			} else if pending == 0 {
+				return zero, lastErr
+			}
+		case <-timer.C:
+			if launched < len(nodes) {
+				r.hedges.Add(1)
+				launch()
+				timer.Reset(r.opts.HedgeAfter)
+			}
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// shardResults is one shard's answer to a fan-out, remapped to global
+// document numbers.
+type shardResults struct {
+	shard   int
+	perQ    [][]retrieval.Result
+	failed  bool
+	lastErr error
+}
+
+// fanout runs one batch of queries against every shard concurrently
+// and returns the per-shard outcomes. Queries and merge stay strictly
+// deterministic; only availability varies.
+func (r *Router) fanout(ctx context.Context, queries []string, topN int) ([]shardResults, *manifestState) {
+	ms := r.man.Load()
+	S := ms.man.Shards
+	out := make([]shardResults, S)
+	var wg sync.WaitGroup
+	for s := 0; s < S; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			perQ, err := hedged(r, ctx, ms.byShard[s], func(ctx context.Context, node Node) ([][]retrieval.Result, error) {
+				if len(queries) == 1 {
+					var resp httpapi.SearchResponse
+					if err := r.post(ctx, node, "/v1/search", httpapi.SearchRequest{Query: queries[0], TopN: topN}, &resp); err != nil {
+						return nil, err
+					}
+					return [][]retrieval.Result{resp.Results}, nil
+				}
+				var resp httpapi.BatchSearchResponse
+				if err := r.post(ctx, node, "/v1/search:batch", httpapi.BatchSearchRequest{Queries: queries, TopN: topN}, &resp); err != nil {
+					return nil, err
+				}
+				if len(resp.Results) != len(queries) {
+					return nil, fmt.Errorf("cluster: node %q answered %d of %d queries", node.Name, len(resp.Results), len(queries))
+				}
+				return resp.Results, nil
+			})
+			out[s] = shardResults{shard: s, perQ: perQ, failed: err != nil, lastErr: err}
+		}(s)
+	}
+	wg.Wait()
+	return out, ms
+}
+
+// mergeQuery merges one query's per-shard answers into the
+// single-process result order: remap each shard-local document l to
+// global l*S + s, then sort with the exact comparator the in-process
+// index uses (internal/topk: score desc, global asc) and truncate to
+// topN. Because each node returns its own top-topN superset of the
+// global top-topN's members on that shard, the merge is exact — not an
+// approximation.
+func mergeQuery(parts []shardResults, q, topN, S int) []retrieval.Result {
+	var ms []topk.Match
+	ids := make(map[int]string)
+	for _, p := range parts {
+		if p.failed {
+			continue
+		}
+		for _, res := range p.perQ[q] {
+			g := res.Doc*S + p.shard
+			ms = append(ms, topk.Match{Doc: g, Score: res.Score})
+			ids[g] = res.ID
+		}
+	}
+	topk.SortMatches(ms)
+	if topN > 0 && len(ms) > topN {
+		ms = ms[:topN]
+	}
+	out := make([]retrieval.Result, len(ms))
+	for i, m := range ms {
+		out[i] = retrieval.Result{Doc: m.Doc, ID: ids[m.Doc], Score: m.Score}
+	}
+	return out
+}
+
+// SearchPartial fans one query across the cluster. partial reports a
+// degraded quorum: at least one shard answered and at least one did
+// not, so the results are a correct merge of the shards that did.
+// When no shard answers, the error of the last failure is returned.
+func (r *Router) SearchPartial(ctx context.Context, query string, topN int) ([]retrieval.Result, bool, error) {
+	parts, ms := r.fanout(ctx, []string{query}, topN)
+	failed := 0
+	var lastErr error
+	for _, p := range parts {
+		if p.failed {
+			failed++
+			lastErr = p.lastErr
+		}
+	}
+	if failed == len(parts) {
+		return nil, false, fmt.Errorf("cluster: no shard reachable: %w", lastErr)
+	}
+	partial := failed > 0
+	if partial {
+		r.partials.Add(1)
+	}
+	return mergeQuery(parts, 0, topN, ms.man.Shards), partial, nil
+}
+
+// SearchBatchPartial is SearchPartial for a query batch; one fan-out
+// round trip per shard regardless of batch size.
+func (r *Router) SearchBatchPartial(ctx context.Context, queries []string, topN int) ([][]retrieval.Result, bool, error) {
+	parts, ms := r.fanout(ctx, queries, topN)
+	failed := 0
+	var lastErr error
+	for _, p := range parts {
+		if p.failed {
+			failed++
+			lastErr = p.lastErr
+		}
+	}
+	if failed == len(parts) {
+		return nil, false, fmt.Errorf("cluster: no shard reachable: %w", lastErr)
+	}
+	partial := failed > 0
+	if partial {
+		r.partials.Add(1)
+	}
+	out := make([][]retrieval.Result, len(queries))
+	for q := range queries {
+		out[q] = mergeQuery(parts, q, topN, ms.man.Shards)
+	}
+	return out, partial, nil
+}
+
+// Search implements retrieval.Retriever. Partiality is not visible
+// through this narrow interface; callers that must distinguish a
+// degraded answer use SearchPartial (httpapi does, surfacing the
+// X-Partial-Results header).
+func (r *Router) Search(ctx context.Context, query string, topN int) ([]retrieval.Result, error) {
+	res, _, err := r.SearchPartial(ctx, query, topN)
+	return res, err
+}
+
+// SearchBatch implements retrieval.Retriever.
+func (r *Router) SearchBatch(ctx context.Context, queries []string, topN int) ([][]retrieval.Result, error) {
+	res, _, err := r.SearchBatchPartial(ctx, queries, topN)
+	return res, err
+}
+
+// NumDocs returns the cluster's document count as of the last
+// Sync/Add (0 before the first sync).
+func (r *Router) NumDocs() int { return int(r.docs.Load()) }
+
+// Stats implements retrieval.Retriever with a cluster-level summary.
+func (r *Router) Stats() retrieval.Stats {
+	ms := r.man.Load()
+	return retrieval.Stats{
+		Backend:     "cluster",
+		Sharded:     true,
+		Shards:      ms.man.Shards,
+		NumDocs:     r.NumDocs(),
+		TextQueries: true,
+	}
+}
+
+// Ready implements the httpapi readiness capability: the router is
+// ready once ingest is synced (searches work regardless; readiness
+// gates traffic that may include writes).
+func (r *Router) Ready() bool {
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+	return r.synced
+}
+
+// docsOnShard is the round-robin partition arithmetic: how many of N
+// global documents shard s of S holds.
+func docsOnShard(s, N, S int) int {
+	if N <= s {
+		return 0
+	}
+	return (N - s + S - 1) / S
+}
+
+// Sync derives the cluster's next global document position from the
+// shard primaries' document counts and verifies they form a consistent
+// round-robin prefix (shard s of S holding ceil((N-s)/S) documents).
+// Inconsistent counts — the wreckage of a partially failed write —
+// leave ingest frozen with a descriptive error; searches still work.
+func (r *Router) Sync(ctx context.Context) error {
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+	return r.syncLocked(ctx)
+}
+
+func (r *Router) syncLocked(ctx context.Context) error {
+	r.synced = false
+	ms := r.man.Load()
+	S := ms.man.Shards
+	counts := make([]int, S)
+	total := 0
+	for s := 0; s < S; s++ {
+		primary := ms.byShard[s][0]
+		var st retrieval.Stats
+		if err := r.post(ctx, primary, "/v1/stats", nil, &st); err != nil {
+			return fmt.Errorf("cluster: sync: %w", err)
+		}
+		counts[s] = st.NumDocs
+		total += st.NumDocs
+	}
+	for s := 0; s < S; s++ {
+		if want := docsOnShard(s, total, S); counts[s] != want {
+			return fmt.Errorf("cluster: sync: shard %d holds %d documents, want %d of a consistent %d-document round-robin — a write landed partially; see OPERATIONS.md",
+				s, counts[s], want, total)
+		}
+	}
+	r.nextGlobal = total
+	r.docs.Store(int64(total))
+	r.synced = true
+	return nil
+}
+
+// Add implements live ingest through the router: documents are
+// numbered from the cluster's next global position and routed to their
+// owning shards (global g to shard g mod S), preserving the exact
+// placement a single-process sharded index would have chosen. Writes
+// go to primaries only. Any failure freezes ingest (synced=false)
+// until Sync verifies what actually landed, because a partially
+// applied batch would otherwise shift every later document's shard.
+func (r *Router) Add(ctx context.Context, docs []retrieval.Document) (int, error) {
+	if len(docs) == 0 {
+		return 0, fmt.Errorf("cluster: empty add batch")
+	}
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+	if !r.synced {
+		if err := r.syncLocked(ctx); err != nil {
+			return 0, err
+		}
+	}
+	ms := r.man.Load()
+	S := ms.man.Shards
+	first := r.nextGlobal
+
+	// Split the batch by owning shard. Globals are assigned in order, so
+	// each shard's sub-batch lands at consecutive locals starting at the
+	// local position of its first global.
+	type sub struct {
+		docs       []httpapi.AddDocRequest
+		firstLocal int
+	}
+	subs := make([]sub, S)
+	for i, d := range docs {
+		g := first + i
+		s := g % S
+		if subs[s].docs == nil {
+			subs[s].firstLocal = g / S
+		}
+		subs[s].docs = append(subs[s].docs, httpapi.AddDocRequest{ID: d.ID, Text: d.Text})
+	}
+	for s := 0; s < S; s++ {
+		if subs[s].docs == nil {
+			continue
+		}
+		primary := ms.byShard[s][0]
+		var resp httpapi.AddDocsResponse
+		if err := r.post(ctx, primary, "/v1/docs:batch", httpapi.AddDocsRequest{Docs: subs[s].docs}, &resp); err != nil {
+			r.synced = false
+			return 0, fmt.Errorf("cluster: add: ingest frozen until Sync: %w", err)
+		}
+		if resp.First != subs[s].firstLocal {
+			r.synced = false
+			return 0, fmt.Errorf("cluster: add: shard %d appended at local %d, expected %d — cluster out of sync, ingest frozen until Sync",
+				s, resp.First, subs[s].firstLocal)
+		}
+	}
+	r.nextGlobal += len(docs)
+	r.docs.Store(int64(r.nextGlobal))
+	return first, nil
+}
+
+// RouterStats is the router's observability snapshot.
+type RouterStats struct {
+	// ManifestVersion is the serving topology's version.
+	ManifestVersion int
+	// Synced reports whether ingest is live (see Sync).
+	Synced bool
+	// Docs is the cluster document count as of the last Sync/Add.
+	Docs int64
+	// Partials counts quorum-degraded search responses served.
+	Partials int64
+	// Hedges counts hedged requests launched because a node was slow.
+	Hedges int64
+	// NodeErrors counts failed node requests (including hedge losers).
+	NodeErrors int64
+	// Reloads and StaleReloads count accepted and version-rejected
+	// manifest reloads.
+	Reloads      int64
+	StaleReloads int64
+}
+
+// RouterStats snapshots the router's counters.
+func (r *Router) RouterStats() RouterStats {
+	r.ingestMu.Lock()
+	synced := r.synced
+	r.ingestMu.Unlock()
+	return RouterStats{
+		ManifestVersion: r.man.Load().man.Version,
+		Synced:          synced,
+		Docs:            r.docs.Load(),
+		Partials:        r.partials.Load(),
+		Hedges:          r.hedges.Load(),
+		NodeErrors:      r.nodeErrs.Load(),
+		Reloads:         r.reloads.Load(),
+		StaleReloads:    r.staleRels.Load(),
+	}
+}
+
+// RegisterMetrics exports the router's counters on reg under the
+// lsi_cluster_* namespace (distinct from the per-node lsi_* series, so
+// a router can share a Prometheus job with the nodes it fronts).
+func (r *Router) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("lsi_cluster_manifest_version", "Version of the serving cluster manifest.",
+		func() float64 { return float64(r.man.Load().man.Version) })
+	reg.GaugeFunc("lsi_cluster_docs", "Cluster document count as of the last ingest sync.",
+		func() float64 { return float64(r.docs.Load()) })
+	reg.GaugeFunc("lsi_cluster_ingest_synced", "1 while ingest is synced and accepting writes.",
+		func() float64 {
+			if r.Ready() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("lsi_cluster_partial_results_total", "Search responses served from a degraded quorum.",
+		func() float64 { return float64(r.partials.Load()) })
+	reg.CounterFunc("lsi_cluster_hedges_total", "Hedged node requests launched because a primary was slow.",
+		func() float64 { return float64(r.hedges.Load()) })
+	reg.CounterFunc("lsi_cluster_node_errors_total", "Failed node requests, including hedge losers.",
+		func() float64 { return float64(r.nodeErrs.Load()) })
+	reg.CounterFunc("lsi_cluster_manifest_reloads_total", "Accepted manifest hot reloads.",
+		func() float64 { return float64(r.reloads.Load()) })
+	reg.CounterFunc("lsi_cluster_manifest_stale_reloads_total", "Manifest reloads refused by the version gate.",
+		func() float64 { return float64(r.staleRels.Load()) })
+}

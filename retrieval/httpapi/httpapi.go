@@ -15,11 +15,35 @@
 //	GET  /healthz          liveness probe (process is up and serving)
 //	GET  /readyz           readiness probe: 503 while the index owes
 //	                       compaction work (sealed segments pending or a
-//	                       compaction in flight), 200 otherwise
+//	                       compaction in flight), 200 otherwise; the body
+//	                       carries the index epoch, manifest generation,
+//	                       and document count
 //	GET  /debug/pprof/*    runtime profiles (only with Options.EnablePprof)
+//
+// Replication (for retrieval/cluster replicas catching up from a
+// primary; the file endpoints require Options.ReplicateDir, the WAL
+// endpoint a retriever with an attached WAL):
+//
+//	GET /v1/replicate/manifest       the primary's current manifest.json
+//	GET /v1/replicate/file?name=...  one checkpoint file (manifest.json,
+//	                                 text.json, ids-*.json, seg-*.idx;
+//	                                 anything else is 400, a file a
+//	                                 checkpoint has retired is 404 —
+//	                                 re-fetch the manifest and retry)
+//	GET /v1/replicate/wal?from=N     every logged document with global
+//	                                 position >= N, as JSON; 410 Gone
+//	                                 when a checkpoint rotated the
+//	                                 needed records away (re-snapshot)
 //
 // Text searches against a caching index carry a Cache-Status response
 // header ("hit", "miss", or "coalesced"); uncached indexes omit it.
+// Search, docs, stats, readyz, and replication responses carry
+// X-Index-Epoch, X-Index-Generation, and X-Index-Docs headers when the
+// retriever reports them (see EpochReporter): epoch observes local
+// index motion, (generation, docs) is the cross-process freshness token
+// replication compares. A fan-out retriever (the cluster router) that
+// answered from a degraded quorum marks the response with
+// X-Partial-Results: true; the body is still a valid result set.
 //
 // Malformed requests get a 400 with {"error": "..."}; a query whose
 // terms all miss the vocabulary is a valid request with zero matches
@@ -32,10 +56,10 @@
 // Under overload the handler sheds rather than collapses: when
 // Options.MaxInFlight requests are executing and Options.MaxQueue more
 // are waiting, additional search/docs requests are answered 429 with a
-// Retry-After hint; docs requests are also shed while compaction debt
-// exceeds Options.MaxCompactionDebt. Probes and /metrics are never shed.
-// See observe.go for the middleware and OPERATIONS.md for the operator
-// view.
+// Retry-After hint; docs requests are shed 503 + Retry-After while
+// compaction debt exceeds Options.MaxCompactionDebt. Probes and
+// /metrics are never shed. See observe.go for the middleware and
+// OPERATIONS.md for the operator view.
 package httpapi
 
 import (
@@ -45,6 +69,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/metrics"
@@ -77,12 +102,19 @@ type Options struct {
 	// MaxQueue bounds the requests waiting for an in-flight slot
 	// (default 4x MaxInFlight; only meaningful with MaxInFlight > 0).
 	MaxQueue int
-	// MaxCompactionDebt sheds docs (ingest) requests with 429 while the
-	// index has more than this many sealed segments awaiting compaction
-	// (0 = never shed on debt). This is the backpressure valve for
-	// "ingest outruns compaction": searches keep flowing, writers are
-	// asked to back off until the compactor catches up.
+	// MaxCompactionDebt sheds docs (ingest) requests with 503 +
+	// Retry-After while the index has more than this many sealed
+	// segments awaiting compaction (0 = never shed on debt). This is the
+	// backpressure valve for "ingest outruns compaction": searches keep
+	// flowing, writers are asked to back off until the compactor catches
+	// up. 503 rather than the queue-full 429: the client's rate is not
+	// the problem, the server owes background work.
 	MaxCompactionDebt int
+	// ReplicateDir enables GET /v1/replicate/{manifest,file}: the
+	// checkpoint directory (the one the server saves into / opened from)
+	// whose manifest and files replicas may pull. Empty disables the
+	// file endpoints (404).
+	ReplicateDir string
 	// Metrics is the registry the handler's series are registered on
 	// and GET /metrics serves (default: a fresh private registry).
 	// Register at most one handler per registry — series names collide
@@ -149,6 +181,35 @@ type DocAdder interface {
 // /readyz; retrievers without it are always ready.
 type ReadyReporter interface {
 	Ready() bool
+}
+
+// EpochReporter is the optional freshness capability: the concrete
+// *retrieval.Index (and the cluster router) implement it. When present,
+// responses carry X-Index-Epoch and X-Index-Generation headers next to
+// X-Index-Docs. Epoch observes local index motion and is NOT comparable
+// across processes; (Generation, NumDocs) is the token replication
+// compares.
+type EpochReporter interface {
+	Epoch() uint64
+	Generation() uint64
+}
+
+// FanoutSearcher is the optional distributed-query capability of the
+// cluster router: searches that may be answered from a degraded quorum
+// report partial=true, which the handler surfaces as the
+// X-Partial-Results response header. When the retriever implements it,
+// text searches prefer it over plain Search.
+type FanoutSearcher interface {
+	SearchPartial(ctx context.Context, query string, topN int) (results []retrieval.Result, partial bool, err error)
+	SearchBatchPartial(ctx context.Context, queries []string, topN int) (results [][]retrieval.Result, partial bool, err error)
+}
+
+// WALTailer is the optional replication catch-up capability behind GET
+// /v1/replicate/wal: a *retrieval.Index with an attached WAL implements
+// it usefully (WALAttached reports whether a log is armed).
+type WALTailer interface {
+	WALAttached() bool
+	TailWAL(from int) ([]retrieval.Document, error)
 }
 
 // SearchRequest is the body of POST /v1/search. Exactly one of Query and
@@ -226,6 +287,9 @@ func NewHandler(ret retrieval.Retriever, opts Options) http.Handler {
 	mux.HandleFunc("POST /v1/docs", h.route("docs", gateIngest, h.addDoc))
 	mux.HandleFunc("POST /v1/docs:batch", h.route("docs_batch", gateIngest, h.addDocs))
 	mux.HandleFunc("GET /v1/stats", h.route("stats", gateNone, h.stats))
+	mux.HandleFunc("GET /v1/replicate/manifest", h.route("replicate_manifest", gateNone, h.replicateManifest))
+	mux.HandleFunc("GET /v1/replicate/file", h.route("replicate_file", gateNone, h.replicateFile))
+	mux.HandleFunc("GET /v1/replicate/wal", h.route("replicate_wal", gateNone, h.replicateWAL))
 	mux.HandleFunc("GET /healthz", h.route("healthz", gateNone, h.healthz))
 	mux.HandleFunc("GET /readyz", h.route("readyz", gateNone, h.readyz))
 	mux.HandleFunc("GET /metrics", h.route("metrics", gateNone, h.metricsHandler))
@@ -233,6 +297,18 @@ func NewHandler(ret retrieval.Retriever, opts Options) http.Handler {
 		registerPprof(mux)
 	}
 	return mux
+}
+
+// indexHeaders stamps the freshness headers on a response. Call it
+// after the handler's index work is done (post-append for the docs
+// endpoints) and before the body is written, so the headers describe
+// the state the response reflects.
+func (h *handler) indexHeaders(w http.ResponseWriter) {
+	if er, ok := h.ret.(EpochReporter); ok {
+		w.Header().Set("X-Index-Epoch", strconv.FormatUint(er.Epoch(), 10))
+		w.Header().Set("X-Index-Generation", strconv.FormatUint(er.Generation(), 10))
+	}
+	w.Header().Set("X-Index-Docs", strconv.Itoa(h.ret.NumDocs()))
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -314,7 +390,13 @@ func (h *handler) search(w http.ResponseWriter, r *http.Request) {
 		}
 		results, err = vs.SearchVector(ctx, req.Vector, topN)
 	} else {
-		if ss, ok := h.ret.(StatusSearcher); ok {
+		if fs, ok := h.ret.(FanoutSearcher); ok {
+			var partial bool
+			results, partial, err = fs.SearchPartial(ctx, req.Query, topN)
+			if partial {
+				w.Header().Set("X-Partial-Results", "true")
+			}
+		} else if ss, ok := h.ret.(StatusSearcher); ok {
 			var st cache.Status
 			results, st, err = ss.SearchStatus(ctx, req.Query, topN)
 			if st != cache.StatusBypass {
@@ -335,6 +417,7 @@ func (h *handler) search(w http.ResponseWriter, r *http.Request) {
 	if results == nil {
 		results = []retrieval.Result{}
 	}
+	h.indexHeaders(w)
 	writeJSON(w, http.StatusOK, SearchResponse{Results: results})
 }
 
@@ -357,11 +440,22 @@ func (h *handler) searchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), h.opts.Timeout)
 	defer cancel()
-	results, err := h.ret.SearchBatch(ctx, req.Queries, topN)
+	var results [][]retrieval.Result
+	var err error
+	if fs, ok := h.ret.(FanoutSearcher); ok {
+		var partial bool
+		results, partial, err = fs.SearchBatchPartial(ctx, req.Queries, topN)
+		if partial {
+			w.Header().Set("X-Partial-Results", "true")
+		}
+	} else {
+		results, err = h.ret.SearchBatch(ctx, req.Queries, topN)
+	}
 	if err != nil {
 		writeSearchError(w, err)
 		return
 	}
+	h.indexHeaders(w)
 	writeJSON(w, http.StatusOK, BatchSearchResponse{Results: results})
 }
 
@@ -396,6 +490,7 @@ func (h *handler) addInto(w http.ResponseWriter, r *http.Request, docs []retriev
 		}
 		return
 	}
+	h.indexHeaders(w) // post-append: the headers include this batch
 	writeJSON(w, http.StatusOK, AddDocsResponse{First: first, Count: len(docs)})
 }
 
@@ -436,17 +531,23 @@ func (h *handler) addDocs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{"status": "ready", "numDocs": h.ret.NumDocs()}
+	if er, ok := h.ret.(EpochReporter); ok {
+		body["epoch"] = er.Epoch()
+		body["generation"] = er.Generation()
+	}
+	h.indexHeaders(w)
 	if rr, ok := h.ret.(ReadyReporter); ok && !rr.Ready() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "not-ready",
-			"reason": "index is warming: compaction pending or in flight",
-		})
+		body["status"] = "not-ready"
+		body["reason"] = "index is warming: compaction pending or in flight"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	h.indexHeaders(w)
 	writeJSON(w, http.StatusOK, h.ret.Stats())
 }
 

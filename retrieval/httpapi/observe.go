@@ -7,10 +7,12 @@ package httpapi
 //     bounded wait queue (Options.MaxQueue). A request that finds the
 //     limit reached and the queue full is shed immediately with
 //     429 + Retry-After instead of piling onto a saturated backend;
-//     ingest routes are additionally shed while the index's compaction
-//     debt exceeds Options.MaxCompactionDebt. Probe and scrape routes
-//     (/healthz, /readyz, /metrics, pprof) never queue and are never
-//     shed — an overloaded server must stay observable.
+//     ingest routes are additionally shed with 503 + Retry-After while
+//     the index's compaction debt exceeds Options.MaxCompactionDebt
+//     (503, not 429: the client did nothing wrong — the server owes
+//     background work). Probe and scrape routes (/healthz, /readyz,
+//     /metrics, pprof) never queue and are never shed — an overloaded
+//     server must stay observable.
 //  2. Instrumentation — per-route latency histograms, request counters
 //     by status code, in-flight/queued gauges, and shed counters, all
 //     registered on the handler's metrics.Registry and served by
@@ -124,7 +126,8 @@ type observer struct {
 // routes is the fixed route-label vocabulary; latency histograms are
 // pre-registered for each so scrapes show every route from the first
 // response.
-var routes = []string{"search", "search_batch", "docs", "docs_batch", "stats", "healthz", "readyz", "metrics"}
+var routes = []string{"search", "search_batch", "docs", "docs_batch", "stats", "healthz", "readyz", "metrics",
+	"replicate_manifest", "replicate_file", "replicate_wal"}
 
 // newObserver registers the handler's own series plus the index-level
 // collectors on reg (a fresh registry when nil). One handler per
@@ -286,14 +289,16 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// shed writes the 429 response for a request the gate refused. The
-// Retry-After hint is deliberately coarse: 1s for queue pressure (one
-// request's worth of backoff), 2s for compaction debt (one compactor
-// tick).
-func (h *handler) shedResponse(w http.ResponseWriter, route, reason string, retryAfter int) {
+// shed writes the refusal for a request the gate refused: 429 for queue
+// pressure (the client can help by sending less), 503 for compaction
+// debt (the server owes background work; the client did nothing wrong).
+// Both carry Retry-After; the hint is deliberately coarse — 1s for
+// queue pressure (one request's worth of backoff), 2s for compaction
+// debt (one compactor tick).
+func (h *handler) shedResponse(w http.ResponseWriter, route, reason string, status, retryAfter int) {
 	h.obs.shedCounter(route, reason).Inc()
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-	writeError(w, http.StatusTooManyRequests, "server overloaded (%s); retry after %ds", reason, retryAfter)
+	writeError(w, status, "server overloaded (%s); retry after %ds", reason, retryAfter)
 }
 
 // route wraps an endpoint in the admission gate, instrumentation, and
@@ -308,13 +313,13 @@ func (h *handler) route(name string, class gateClass, next http.HandlerFunc) htt
 		switch {
 		case class == gateIngest && h.opts.MaxCompactionDebt > 0 && h.debt() > h.opts.MaxCompactionDebt:
 			admitted, reason = false, "compaction_debt"
-			h.shedResponse(sr, name, reason, 2)
+			h.shedResponse(sr, name, reason, http.StatusServiceUnavailable, 2)
 		case class != gateNone && h.gate != nil:
 			if h.gate.acquire(r.Context()) {
 				defer h.gate.release()
 			} else {
 				admitted, reason = false, "queue_full"
-				h.shedResponse(sr, name, reason, 1)
+				h.shedResponse(sr, name, reason, http.StatusTooManyRequests, 1)
 			}
 		}
 		if admitted {

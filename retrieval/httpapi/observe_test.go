@@ -194,8 +194,9 @@ func (d *debtRet) LiveStats() (retrieval.LiveStats, bool) {
 	return retrieval.LiveStats{CompactionDebt: d.debt, LastMutation: time.Now()}, true
 }
 
-// TestShedCompactionDebt: ingest routes shed on debt, search routes do
-// not.
+// TestShedCompactionDebt: ingest routes shed 503 on debt (the server
+// owes background work — distinct from the queue-full 429), search
+// routes do not shed.
 func TestShedCompactionDebt(t *testing.T) {
 	ret := &debtRet{
 		blockingRet: blockingRet{started: make(chan struct{}, 1), release: make(chan struct{}, 1)},
@@ -204,8 +205,8 @@ func TestShedCompactionDebt(t *testing.T) {
 	h := NewHandler(ret, Options{MaxCompactionDebt: 5})
 
 	rec := do(t, h, "POST", "/v1/docs", `{"text":"x"}`)
-	if rec.Code != http.StatusTooManyRequests {
-		t.Fatalf("docs with debt: status %d, want 429: %s", rec.Code, rec.Body)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("docs with debt: status %d, want 503: %s", rec.Code, rec.Body)
 	}
 	if ra := rec.Header().Get("Retry-After"); ra != "2" {
 		t.Errorf("Retry-After %q, want \"2\"", ra)

@@ -1,0 +1,116 @@
+package httpapi
+
+// Replication endpoints: the pull side of retrieval/cluster's
+// snapshot + WAL-tail catch-up. A replica bootstraps by fetching the
+// primary's manifest, then every file the manifest names, then tails
+// the WAL from its own document count. The endpoints are deliberately
+// dumb — byte-serve checkpoint files, JSON-serve the log suffix — so
+// all replication policy (retries, generation checks, re-snapshot on
+// 410) lives in the replica, where it can be tested in-process.
+//
+// Safety: /v1/replicate/file serves only bare names matching the
+// checkpoint vocabulary (manifest.json, text.json, ids-<n>.json,
+// seg-<a>-<b>-<c>.idx) out of Options.ReplicateDir — no separators, no
+// traversal, nothing outside the checkpoint. A 404 for a name the
+// manifest listed means a newer checkpoint retired that generation
+// mid-pull; the replica re-fetches the manifest and starts over.
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+
+	"repro/retrieval"
+)
+
+// ReplicateWALResponse is the body of GET /v1/replicate/wal: every
+// logged document with global position >= From, in global order. Apply
+// it to a replica holding [0, From) and the replica is caught up to the
+// primary's acked writes at the time of the call (the X-Index-Docs
+// header on the response).
+type ReplicateWALResponse struct {
+	From int                  `json:"from"`
+	Docs []retrieval.Document `json:"docs"`
+}
+
+// replicaFilePat is the complete vocabulary of checkpoint file names a
+// replica may fetch (see retrieval/shard's manifest layout).
+var replicaFilePat = regexp.MustCompile(`^(manifest\.json|text\.json|ids-[0-9]+\.json|seg-[0-9]+-[0-9]+-[0-9]+\.idx)$`)
+
+func (h *handler) replicateManifest(w http.ResponseWriter, r *http.Request) {
+	h.serveReplicaFile(w, "manifest.json")
+}
+
+func (h *handler) replicateFile(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if !replicaFilePat.MatchString(name) {
+		writeError(w, http.StatusBadRequest, "%q is not a checkpoint file name", name)
+		return
+	}
+	h.serveReplicaFile(w, name)
+}
+
+// serveReplicaFile streams one checkpoint file from ReplicateDir. The
+// freshness headers ride along so a replica can detect a checkpoint
+// racing its pull without an extra round trip.
+func (h *handler) serveReplicaFile(w http.ResponseWriter, name string) {
+	if h.opts.ReplicateDir == "" {
+		writeError(w, http.StatusNotFound, "replication is not enabled on this server (no checkpoint directory)")
+		return
+	}
+	f, err := os.Open(filepath.Join(h.opts.ReplicateDir, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		writeError(w, http.StatusNotFound, "checkpoint file %q does not exist (a newer checkpoint may have retired it; re-fetch the manifest)", name)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "opening checkpoint file: %v", err)
+		return
+	}
+	defer f.Close()
+	h.indexHeaders(w)
+	if filepath.Ext(name) == ".json" {
+		w.Header().Set("Content-Type", "application/json")
+	} else {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+	if st, err := f.Stat(); err == nil {
+		w.Header().Set("Content-Length", strconv.FormatInt(st.Size(), 10))
+	}
+	io.Copy(w, f)
+}
+
+func (h *handler) replicateWAL(w http.ResponseWriter, r *http.Request) {
+	wt, ok := h.ret.(WALTailer)
+	if !ok || !wt.WALAttached() {
+		writeError(w, http.StatusNotFound, "this server has no write-ahead log attached")
+		return
+	}
+	fromStr := r.URL.Query().Get("from")
+	from, err := strconv.Atoi(fromStr)
+	if err != nil || from < 0 {
+		writeError(w, http.StatusBadRequest, "\"from\" must be a non-negative document position, got %q", fromStr)
+		return
+	}
+	docs, err := wt.TailWAL(from)
+	switch {
+	case errors.Is(err, retrieval.ErrWALGone):
+		// The replica is behind the last rotation: it must re-pull a
+		// snapshot and tail from the snapshot's document count.
+		writeError(w, http.StatusGone, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if docs == nil {
+		docs = []retrieval.Document{}
+	}
+	h.indexHeaders(w)
+	writeJSON(w, http.StatusOK, ReplicateWALResponse{From: from, Docs: docs})
+}

@@ -20,6 +20,10 @@ type LiveStats struct {
 	// Epoch is the index-wide mutation epoch (see shard.Index.Epoch): it
 	// advances after every published Add batch and compaction swap.
 	Epoch uint64
+	// Generation is the manifest generation of the newest durable
+	// checkpoint (see shard.Index.Generation); comparable across a
+	// primary and its replicas, unlike Epoch.
+	Generation uint64
 	// DocsIngested counts documents accepted through Add since
 	// Build/Open (build-time documents excluded); monotonic, so a
 	// Prometheus rate() over it is the ingest rate.
@@ -49,6 +53,7 @@ func (ix *Index) LiveStats() (LiveStats, bool) {
 	}
 	return LiveStats{
 		Epoch:          ix.sharded.Epoch(),
+		Generation:     ix.sharded.Generation(),
 		DocsIngested:   ix.sharded.DocsIngested(),
 		LastMutation:   ix.sharded.LastMutation(),
 		CompactionDebt: ix.sharded.CompactionDebt(),

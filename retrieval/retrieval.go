@@ -110,6 +110,17 @@ type Stats struct {
 	// layer (vocabulary and document ID strings).
 	MemoryBytes int64 `json:"memoryBytes"`
 
+	// Epoch is the index-wide mutation epoch of a sharded live index
+	// (advances after every published Add batch and compaction swap);
+	// permanently 0 for immutable indexes. Local to this process — see
+	// Index.Epoch.
+	Epoch uint64 `json:"epoch"`
+	// Generation is the manifest generation of the newest durable
+	// checkpoint of a sharded live index (0 for immutable indexes and
+	// for sharded indexes never saved); comparable across a primary and
+	// its replicas — see Index.Generation.
+	Generation uint64 `json:"generation"`
+
 	// Sharded-index topology (zero unless Sharded).
 	Shards            int   `json:"shards,omitempty"`
 	Segments          int   `json:"segments,omitempty"`

@@ -282,23 +282,11 @@ func (x *Index) SaveDir(dir string) error {
 	if err := writeFileAtomic(dir, ManifestName, manData); err != nil {
 		return fmt.Errorf("shard: save manifest: %w", err)
 	}
+	x.generation.Store(uint64(gen))
 
 	// The new manifest is live; retire the previous generation's data
-	// files. Best-effort: leftovers from a failed cleanup are ignored by
-	// Open and removed by the next save's pass.
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil
-	}
-	for _, e := range entries {
-		name := e.Name()
-		var g, a, b int
-		isSeg := func() bool { n, _ := fmt.Sscanf(name, "seg-%d-%d-%d.idx", &g, &a, &b); return n == 3 }
-		isIDs := func() bool { n, _ := fmt.Sscanf(name, "ids-%d.json", &g); return n == 1 }
-		if (isSeg() || isIDs()) && !keep[name] {
-			os.Remove(filepath.Join(dir, name))
-		}
-	}
+	// files (best-effort — see retireStaleGenerations).
+	retireStaleGenerations(dir, keep)
 	return nil
 }
 
@@ -339,6 +327,7 @@ func Open(dir string, cfg Config) (*Index, error) {
 	}
 
 	x := newIndex(man.NumTerms, cfg)
+	x.generation.Store(uint64(man.Generation))
 	x.ids.Store(&idTable{ids: ids})
 	for s, entries := range man.Segments {
 		st := &shardState{}

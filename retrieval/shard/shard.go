@@ -145,6 +145,17 @@ type Index struct {
 	docsIngested atomic.Int64
 	lastMutation atomic.Int64 // unix nanoseconds; set at build and on every epoch bump
 
+	// generation is the manifest generation of the newest on-disk
+	// checkpoint this in-memory index corresponds to: set by Open from
+	// the loaded manifest and advanced by SaveDir after its manifest
+	// rename lands (a built-but-never-saved index reports 0, the same
+	// number its first save will write). Replication compares
+	// (generation, numDocs) pairs across nodes — unlike the epoch, which
+	// counts local mutations (including compactions, whose timing
+	// differs per process), the generation names durable state and so is
+	// comparable between a primary and its replicas.
+	generation atomic.Uint64
+
 	// globalEpoch counts published mutations index-wide. It is bumped
 	// AFTER the mutation's state pointers are stored (ingest publishes
 	// ids + every shard state first; compaction swaps its segment
@@ -279,6 +290,13 @@ func (x *Index) Rank() int { return x.cfg.Rank }
 // for them.
 func (x *Index) Epoch() uint64 { return x.globalEpoch.Load() }
 
+// Generation returns the manifest generation of the newest durable
+// checkpoint: the generation Open loaded or the last SaveDir wrote
+// (a built-but-never-saved index reports 0). Together with NumDocs it
+// forms the replication token replicas compare against their primary
+// (see retrieval/cluster).
+func (x *Index) Generation() uint64 { return x.generation.Load() }
+
 // ExternalID returns the external identifier of global document g, or
 // "" if g is out of range.
 func (x *Index) ExternalID(g int) string {
@@ -320,6 +338,9 @@ type Stats struct {
 	// sum, but the max is what monitoring needs: "is it moving?").
 	Shards int    `json:"shards"`
 	Epoch  uint64 `json:"epoch"`
+	// Generation is the manifest generation of the newest durable
+	// checkpoint (0 = never saved); see Index.Generation.
+	Generation uint64 `json:"generation"`
 	// Segments counts every published segment; Live of them are
 	// fold-in segments still absorbing, SealedPending are sealed and
 	// waiting for the compactor, Compacted were rebuilt (or built) by a
@@ -342,7 +363,7 @@ type Stats struct {
 
 // Stats snapshots the segment topology.
 func (x *Index) Stats() Stats {
-	st := Stats{Shards: x.cfg.Shards}
+	st := Stats{Shards: x.cfg.Shards, Generation: x.generation.Load()}
 	// Fold-in segments share their basis matrix with the segment they
 	// fold against; count each distinct basis once.
 	seenBasis := make(map[*mat.Dense]bool)

@@ -98,14 +98,21 @@ func (ix *Index) Compact() (int, error) {
 	return ix.sharded.Compact()
 }
 
-// Close releases background resources (the sharded compactor). It is a
-// no-op for unsharded indexes and is idempotent; searches against an
-// already-published index keep working after Close, but Add fails.
+// Close releases background resources (the sharded compactor and the
+// attached WAL, if any). It is a no-op for unsharded indexes and is
+// idempotent; searches against an already-published index keep working
+// after Close, but Add fails.
 func (ix *Index) Close() error {
 	if ix.sharded == nil {
 		return nil
 	}
-	return ix.sharded.Close()
+	err := ix.sharded.Close()
+	if ix.wlog != nil {
+		if werr := ix.wlog.Close(); err == nil {
+			err = werr
+		}
+	}
+	return err
 }
 
 // docSparse converts a document's text to the sorted sparse term-space
@@ -135,6 +142,9 @@ func (ix *Index) docSparse(text string) (terms []int, weights []float64) {
 // For a TF-IDF-weighted index, added documents are weighted by raw
 // counts (document frequencies are a build-time corpus statistic) — the
 // same convention queries use.
+// With AttachWAL, the batch is additionally framed and fsync'd to the
+// write-ahead log before it is applied, so a crash after Add returns
+// cannot lose it.
 func (ix *Index) Add(ctx context.Context, docs []Document) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -148,6 +158,15 @@ func (ix *Index) Add(ctx context.Context, docs []Document) (int, error) {
 	if len(docs) == 0 {
 		return 0, fmt.Errorf("retrieval: empty batch")
 	}
+	if ix.wlog != nil {
+		return ix.addDurable(docs)
+	}
+	return ix.applyBatch(docs)
+}
+
+// applyBatch folds a validated batch into the shard subsystem — the
+// shared apply step of the direct, durable, and WAL-replay paths.
+func (ix *Index) applyBatch(docs []Document) (int, error) {
 	batch := make([]shard.Doc, len(docs))
 	for i, d := range docs {
 		terms, weights := ix.docSparse(d.Text)
@@ -186,6 +205,13 @@ func (ix *Index) SaveDir(dir string) error {
 	if err := ix.sharded.SaveDir(dir); err != nil {
 		return err
 	}
+	return ix.writeTextMeta(dir)
+}
+
+// writeTextMeta writes the index's text layer (text.json) into dir —
+// shared by SaveDir and the per-shard exports, whose nodes need the
+// same pipeline/vocabulary/weighting to reproduce folds and queries.
+func (ix *Index) writeTextMeta(dir string) error {
 	meta := textMeta{
 		Version:         1,
 		Vocab:           ix.vocab.Terms(),

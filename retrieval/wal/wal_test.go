@@ -1,0 +1,263 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// replayAll reopens nothing — it replays l and returns the payloads.
+func replayAll(t *testing.T, l *Log) [][]byte {
+	t.Helper()
+	var got [][]byte
+	if err := l.Replay(func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		p := []byte(fmt.Sprintf("record-%d-%s", i, bytes.Repeat([]byte{byte(i)}, i*7)))
+		if err := l.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		want = append(want, p)
+	}
+	// Replay on the live log.
+	got := replayAll(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("live replay: got %d records, want %d", len(got), len(want))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Replay after reopen.
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	got = replayAll(t, l2)
+	if len(got) != len(want) {
+		t.Fatalf("reopened replay: got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEmptyPayloadRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if err := l.Append(nil); err != nil {
+		t.Fatalf("Append(nil): %v", err)
+	}
+	got := replayAll(t, l)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("got %v, want one empty record", got)
+	}
+}
+
+// A torn tail (partial final frame) must be tolerated on reopen: the
+// complete prefix replays, the torn bytes are truncated away, and new
+// appends land cleanly after it.
+func TestTornTailTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("ok-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+
+	// Simulate a crash mid-append: write half a frame at the tail.
+	seg := filepath.Join(dir, segName(0))
+	frame := AppendRecord(nil, []byte("this record never finished writing"))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open segment: %v", err)
+	}
+	if _, err := f.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatalf("write torn tail: %v", err)
+	}
+	f.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	got := replayAll(t, l2)
+	if len(got) != 3 {
+		t.Fatalf("got %d records after torn tail, want 3", len(got))
+	}
+	if err := l2.Append([]byte("after-crash")); err != nil {
+		t.Fatalf("Append after torn-tail recovery: %v", err)
+	}
+	got = replayAll(t, l2)
+	if len(got) != 4 || string(got[3]) != "after-crash" {
+		t.Fatalf("post-recovery append not visible: %q", got)
+	}
+	l2.Close()
+}
+
+// Corruption in the body of the log (not a torn tail) must fail Open
+// with ErrCorrupt — silently dropping acked records is not an option.
+func TestCorruptBodyFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Append(bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Append([]byte("second")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	l.Close()
+
+	seg := filepath.Join(dir, segName(0))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	data[10] ^= 0xff // flip a payload byte inside the first record
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatalf("write corrupted segment: %v", err)
+	}
+
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over corrupt body: got %v, want ErrCorrupt", err)
+	}
+}
+
+// Rotate must drop everything appended before it and keep everything
+// after, across a reopen.
+func TestRotateDropsCheckpointedRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := l.Append([]byte("new-0")); err != nil {
+		t.Fatalf("Append after rotate: %v", err)
+	}
+	got := replayAll(t, l)
+	if len(got) != 1 || string(got[0]) != "new-0" {
+		t.Fatalf("after rotate: got %q, want [new-0]", got)
+	}
+	l.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	got = replayAll(t, l2)
+	if len(got) != 1 || string(got[0]) != "new-0" {
+		t.Fatalf("after reopen: got %q, want [new-0]", got)
+	}
+}
+
+func TestRotateTwiceAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	l.Append([]byte("a"))
+	l.Rotate()
+	l.Rotate()
+	l.Append([]byte("b"))
+	l.Close()
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	got := replayAll(t, l2)
+	if len(got) != 1 || string(got[0]) != "b" {
+		t.Fatalf("got %q, want [b]", got)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if err := l.Append(make([]byte, MaxRecordBytes+1)); err == nil {
+		t.Fatal("oversize Append succeeded, want error")
+	}
+}
+
+func TestReplayStopsOnCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	l.Append([]byte("one"))
+	l.Append([]byte("two"))
+	sentinel := errors.New("stop here")
+	calls := 0
+	err = l.Replay(func(p []byte) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Replay error = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after error, want 1", calls)
+	}
+}
+
+func TestParseSegName(t *testing.T) {
+	for n, want := range map[string]bool{
+		segName(0):                true,
+		segName(42):               true,
+		"wal-0.log":               false,
+		"wal-000000000000000.log": false, // 15 digits
+		"seg-0-0-0.idx":           false,
+		"manifest.json":           false,
+	} {
+		if _, ok := parseSegName(n); ok != want {
+			t.Errorf("parseSegName(%q) ok = %v, want %v", n, ok, want)
+		}
+	}
+}

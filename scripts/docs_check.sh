@@ -11,8 +11,9 @@ set -eu
 GO="${GO:-go}"
 
 # Packages whose godoc is the product: the public retrieval API, its
-# cache and sharding subsystems, the HTTP layer, and the metrics kit.
-DIRS="retrieval retrieval/cache retrieval/shard retrieval/httpapi internal/metrics"
+# cache/sharding/durability subsystems, the cluster tier, the HTTP
+# layer, and the metrics kit.
+DIRS="retrieval retrieval/cache retrieval/shard retrieval/wal retrieval/cluster retrieval/httpapi internal/metrics"
 
 $GO vet $(for d in $DIRS; do printf './%s ' "$d"; done)
 

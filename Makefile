@@ -6,7 +6,7 @@ GO ?= go
 # Base ref for the perf-regression gate (CI passes the PR's base branch).
 BASE ?= origin/main
 
-.PHONY: all build test lint vet fmt-check docs-check race bench-smoke bench bench-record bench-gate fuzz-short serve-smoke load-smoke cluster-smoke
+.PHONY: all build test lint vet fmt-check docs-check race bench-smoke bench bench-record bench-gate fuzz-short serve-smoke load-smoke cluster-smoke chaos-smoke
 
 all: build test
 
@@ -36,10 +36,11 @@ docs-check:
 # Race-detect the concurrency-bearing packages: the worker pool, the
 # numeric + retrieval layers built on it, the public API + HTTP layer
 # (including the admission-gate degradation tests), the WAL, the
-# cluster router/replica (hedged fan-out, failover), the metrics
-# registry, and the load generator.
+# cluster router/replica (hedged fan-out, failover, breakers, the chaos
+# suite), the fault-injection harness, the metrics registry, and the
+# load generator.
 race:
-	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./internal/segment ./internal/metrics ./retrieval ./retrieval/cache ./retrieval/shard ./retrieval/wal ./retrieval/cluster ./retrieval/httpapi ./cmd/lsiserve ./cmd/lsiload
+	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./internal/segment ./internal/metrics ./internal/faultinject ./retrieval ./retrieval/cache ./retrieval/shard ./retrieval/wal ./retrieval/cluster ./retrieval/httpapi ./cmd/lsiserve ./cmd/lsiload
 
 # Build the serving daemon, boot it on a free port, and curl the health
 # and search endpoints — fails on any non-200.
@@ -65,6 +66,17 @@ cluster-smoke:
 	$(GO) build -o bin/lsiserve ./cmd/lsiserve
 	$(GO) build -o bin/lsiload ./cmd/lsiload
 	sh scripts/cluster_smoke.sh bin/lsiserve bin/lsiload
+
+# Chaos smoke: the 3-node cluster + router with lsiserve -chaos armed,
+# driven by lsiload -faults on a schedule that flaps one node and
+# partitions another. lsiload gates the resilience invariants (no stuck
+# request, acked-write ledger exact); the script asserts the faults
+# landed, the cluster healed, and the breaker/health metrics are live.
+# The summary lands in chaos-smoke.json (archived by CI).
+chaos-smoke:
+	$(GO) build -o bin/lsiserve ./cmd/lsiserve
+	$(GO) build -o bin/lsiload ./cmd/lsiload
+	sh scripts/chaos_smoke.sh bin/lsiserve bin/lsiload
 
 # Compile-and-run guard for every benchmark: one iteration each with
 # allocation reporting, no tests. The output lands in bench-smoke.txt so

@@ -1,7 +1,7 @@
 package repro
 
 // One benchmark per paper artifact (table, figure, or theorem-shaped
-// claim), as indexed in DESIGN.md §10. Each benchmark runs the scaled-down
+// claim), as indexed in DESIGN.md §11. Each benchmark runs the scaled-down
 // configuration of the corresponding experiment so `go test -bench=.`
 // finishes in minutes; `cmd/lsibench` runs the full paper-scale versions.
 // b.ReportMetric attaches the headline quantity of each experiment so a
@@ -293,7 +293,7 @@ func BenchmarkMixtureExtension(b *testing.B) {
 }
 
 // BenchmarkSVDEngines compares the SVD engines on a fixed corpus matrix —
-// the ablation behind the engine choice in DESIGN.md §10.
+// the ablation behind the engine choice in DESIGN.md §12.
 func BenchmarkSVDEngines(b *testing.B) {
 	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
 		NumTopics: 5, TermsPerTopic: 40, Epsilon: 0.05, MinLen: 40, MaxLen: 80,

@@ -40,6 +40,30 @@
 // Exit status is 0 even when requests failed — the error rate is data,
 // not a tool failure; CI gates assert on the JSON instead. Only flag
 // errors, an unreachable -o path, or an empty query set fail the run.
+//
+// -faults turns the tool into a chaos driver: it reads a JSON schedule
+// of fault steps and posts each step's InjectSpec to a node's
+// /debug/faults admin endpoint (lsiserve -chaos) at its offset, while
+// the trace keeps running. The schedule format:
+//
+//	{"steps": [
+//	  {"at_ms": 0,    "node": "http://127.0.0.1:8081",
+//	   "spec": {"seed": 1, "faults": [{"class": "search", "err_rate": 1}]}},
+//	  {"at_ms": 2000, "node": "http://127.0.0.1:8081", "clear": true}
+//	]}
+//
+// Under -faults the run also checks resilience invariants and exits 1
+// when one is violated, which is what the CI chaos-smoke job gates on:
+//
+//   - no stuck request: every request completes (any status) within
+//     -deadline; a client-side deadline expiry is a violation
+//   - no acked write lost, none invented: the target's /v1/stats
+//     numDocs must end at exactly its starting value plus the acked
+//     (2xx) /v1/docs appends this run made
+//
+// Responses carrying X-Partial-Results (degraded fan-outs honestly
+// marked) are counted in the summary as "partials" — evidence the
+// faults landed, not a violation.
 package main
 
 import (
@@ -63,6 +87,7 @@ import (
 	"time"
 
 	"repro/internal/benchfmt"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/retrieval"
 )
@@ -79,6 +104,10 @@ type loadConfig struct {
 	out         string
 	label       string
 	seed        int64
+
+	// Chaos driving (-faults).
+	faultsFile string
+	deadline   time.Duration
 }
 
 func parseFlags(args []string, stderr io.Writer) (loadConfig, error) {
@@ -95,8 +124,13 @@ func parseFlags(args []string, stderr io.Writer) (loadConfig, error) {
 	fs.StringVar(&cfg.out, "o", "", "merge the run into this BENCH*.json perf record (cmd/benchjson schema)")
 	fs.StringVar(&cfg.label, "l", "", "run label for -o (default: load-<trace>)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "PRNG seed (per-worker streams derive from it)")
+	fs.StringVar(&cfg.faultsFile, "faults", "", "chaos mode: apply this JSON fault schedule to lsiserve -chaos nodes and gate on resilience invariants (exit 1 on violation)")
+	fs.DurationVar(&cfg.deadline, "deadline", 0, "per-request stuck bound; expiring it is an invariant violation (default 5s under -faults, unset otherwise)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
+	}
+	if cfg.faultsFile != "" && cfg.deadline == 0 {
+		cfg.deadline = 5 * time.Second
 	}
 	if fs.NArg() > 0 {
 		return cfg, fmt.Errorf("lsiload: unexpected arguments: %v", fs.Args())
@@ -171,6 +205,11 @@ type collector struct {
 	ok      atomic.Int64       // 2xx
 	shed    atomic.Int64       // 429/503 (the admission gates working as designed)
 	failed  atomic.Int64       // other statuses and transport errors
+
+	// Chaos-mode accounting (-faults).
+	stuck    atomic.Int64 // requests that blew the -deadline bound
+	partials atomic.Int64 // 2xx responses marked X-Partial-Results
+	acked    atomic.Int64 // documents acked (2xx) on /v1/docs
 }
 
 // isShed reports whether a status is an admission-gate response: 429
@@ -213,7 +252,13 @@ type worker struct {
 }
 
 func (w *worker) run(ctx context.Context) {
-	for ctx.Err() == nil {
+	// The trace duration bounds request STARTS; ctx (cut at duration +
+	// drain grace) is only the backstop. In-flight requests at the
+	// cutoff drain to completion, so an append the server acks is
+	// always counted — canceling mid-flight would strand applied writes
+	// outside the acked-write ledger and fail the chaos gate on a
+	// healthy cluster.
+	for ctx.Err() == nil && time.Since(w.begin) < w.cfg.duration {
 		if w.cfg.trace == "burst" {
 			phase := time.Since(w.begin) % (onPhase + offPhase)
 			if phase >= onPhase {
@@ -258,7 +303,13 @@ func (w *worker) target() string {
 }
 
 func (w *worker) do(ctx context.Context, path string, body []byte) {
-	req, err := http.NewRequestWithContext(ctx, "POST", w.target()+path, bytes.NewReader(body))
+	reqCtx := ctx
+	if w.cfg.deadline > 0 {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(ctx, w.cfg.deadline)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(reqCtx, "POST", w.target()+path, bytes.NewReader(body))
 	if err != nil {
 		w.col.failed.Add(1)
 		return
@@ -270,11 +321,24 @@ func (w *worker) do(ctx context.Context, path string, body []byte) {
 		if ctx.Err() != nil {
 			return // shutdown, not a server failure
 		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The request was still in flight when the stuck bound expired —
+			// the invariant the chaos gate exists to catch.
+			w.col.stuck.Add(1)
+		}
 		w.col.observe(0, 0, err)
 		return
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if resp.Header.Get("X-Partial-Results") == "true" {
+			w.col.partials.Add(1)
+		}
+		if path == "/v1/docs" {
+			w.col.acked.Add(1)
+		}
+	}
 	w.col.observe(time.Since(start), resp.StatusCode, nil)
 	if isShed(resp.StatusCode) {
 		// Back off briefly; a closed loop that instantly retries turns
@@ -302,6 +366,144 @@ type Summary struct {
 	P50Ns       float64 `json:"p50_ns"`
 	P99Ns       float64 `json:"p99_ns"`
 	P999Ns      float64 `json:"p999_ns"`
+
+	// Chaos-mode fields (-faults only).
+	FaultSteps int   `json:"fault_steps,omitempty"`
+	Stuck      int64 `json:"stuck,omitempty"`
+	Partials   int64 `json:"partials,omitempty"`
+	AckedDocs  int64 `json:"acked_docs,omitempty"`
+}
+
+// faultStep is one timed entry of a -faults schedule: at at_ms from run
+// start, install spec on node's /debug/faults (or clear it).
+type faultStep struct {
+	AtMS  int64                  `json:"at_ms"`
+	Node  string                 `json:"node"`
+	Clear bool                   `json:"clear,omitempty"`
+	Spec  faultinject.InjectSpec `json:"spec,omitempty"`
+}
+
+type faultSchedule struct {
+	Steps []faultStep `json:"steps"`
+}
+
+func readFaultSchedule(path string) (*faultSchedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sched faultSchedule
+	if err := json.Unmarshal(data, &sched); err != nil {
+		return nil, fmt.Errorf("lsiload: bad fault schedule %s: %v", path, err)
+	}
+	if len(sched.Steps) == 0 {
+		return nil, fmt.Errorf("lsiload: fault schedule %s has no steps", path)
+	}
+	sort.SliceStable(sched.Steps, func(i, j int) bool { return sched.Steps[i].AtMS < sched.Steps[j].AtMS })
+	for i, s := range sched.Steps {
+		if s.Node == "" {
+			return nil, fmt.Errorf("lsiload: fault step %d names no node", i)
+		}
+	}
+	return &sched, nil
+}
+
+// applyFaultStep drives one node's /debug/faults admin endpoint.
+func applyFaultStep(ctx context.Context, client *http.Client, step faultStep) error {
+	url := strings.TrimRight(step.Node, "/") + "/debug/faults"
+	var req *http.Request
+	var err error
+	if step.Clear {
+		req, err = http.NewRequestWithContext(ctx, http.MethodDelete, url, nil)
+	} else {
+		body, _ := json.Marshal(step.Spec)
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s %s: status %d (is the node running lsiserve -chaos?)", req.Method, url, resp.StatusCode)
+	}
+	return nil
+}
+
+// runFaultSchedule fires each step at its offset from begin until ctx
+// ends. Failures to reach an admin endpoint are reported, not fatal —
+// the invariant gate at the end is what fails the run.
+func runFaultSchedule(ctx context.Context, client *http.Client, sched *faultSchedule, begin time.Time, stderr io.Writer) {
+	for _, step := range sched.Steps {
+		wait := time.Until(begin.Add(time.Duration(step.AtMS) * time.Millisecond))
+		if wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return
+			}
+		}
+		if err := applyFaultStep(ctx, client, step); err != nil {
+			fmt.Fprintf(stderr, "lsiload: fault step at %dms: %v\n", step.AtMS, err)
+			continue
+		}
+		what := "spec installed"
+		if step.Clear {
+			what = "cleared"
+		}
+		fmt.Fprintf(stderr, "lsiload: fault step at %dms: %s on %s\n", step.AtMS, what, step.Node)
+	}
+}
+
+// clearAllFaults disarms every node the schedule touched, so a crashed
+// or interrupted run does not leave a bench flapping.
+func clearAllFaults(client *http.Client, sched *faultSchedule, stderr io.Writer) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	seen := map[string]bool{}
+	for _, step := range sched.Steps {
+		if seen[step.Node] {
+			continue
+		}
+		seen[step.Node] = true
+		if err := applyFaultStep(ctx, client, faultStep{Node: step.Node, Clear: true}); err != nil {
+			fmt.Fprintf(stderr, "lsiload: clearing faults on %s: %v\n", step.Node, err)
+		}
+	}
+}
+
+// fetchNumDocs reads the target's document count from /v1/stats,
+// retrying briefly (the post-run probe can race the last fault clear).
+func fetchNumDocs(base string, client *http.Client) (int, error) {
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+		resp, err := client.Get(base + "/v1/stats")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var body struct {
+			NumDocs *int `json:"numDocs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil || body.NumDocs == nil {
+			lastErr = fmt.Errorf("%s/v1/stats: no numDocs in response (err=%v)", base, err)
+			continue
+		}
+		return *body.NumDocs, nil
+	}
+	return 0, lastErr
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
@@ -324,9 +526,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		MaxIdleConns:        cfg.concurrency,
 		MaxIdleConnsPerHost: cfg.concurrency,
 	}}
-	runCtx, cancel := context.WithTimeout(ctx, cfg.duration)
+	var sched *faultSchedule
+	baseDocs := 0
+	if cfg.faultsFile != "" {
+		if sched, err = readFaultSchedule(cfg.faultsFile); err != nil {
+			return err
+		}
+		// The acked-write ledger starts from the target's pre-run count.
+		if baseDocs, err = fetchNumDocs(cfg.addrs[0], client); err != nil {
+			return fmt.Errorf("lsiload: pre-run document count: %w", err)
+		}
+	}
+	// Workers stop STARTING requests at cfg.duration (they watch the
+	// clock themselves); the context leaves a drain grace on top so the
+	// last in-flight requests resolve — by response or by their own
+	// -deadline — instead of being canceled mid-flight with the ack
+	// undelivered.
+	grace := cfg.deadline
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	runCtx, cancel := context.WithTimeout(ctx, cfg.duration+grace)
 	defer cancel()
 	begin := time.Now()
+	if sched != nil {
+		go runFaultSchedule(runCtx, client, sched, begin, stderr)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.concurrency; i++ {
 		rng := rand.New(rand.NewSource(cfg.seed + int64(i)))
@@ -344,6 +569,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(begin)
+	if sched != nil {
+		clearAllFaults(client, sched, stderr)
+	}
 
 	ok, shed, failed := col.ok.Load(), col.shed.Load(), col.failed.Load()
 	total := ok + shed + failed
@@ -365,6 +593,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		s.ErrorRate = float64(failed) / float64(total)
 		s.ShedRate = float64(shed) / float64(total)
 	}
+	if sched != nil {
+		s.FaultSteps = len(sched.Steps)
+		s.Stuck = col.stuck.Load()
+		s.Partials = col.partials.Load()
+		s.AckedDocs = col.acked.Load()
+	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(s); err != nil {
@@ -373,7 +607,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	if cfg.out != "" {
 		name := "Load" + strings.ToUpper(cfg.trace[:1]) + cfg.trace[1:]
-		return benchfmt.Merge(cfg.out, benchfmt.Run{
+		err := benchfmt.Merge(cfg.out, benchfmt.Run{
 			Label: cfg.label,
 			Date:  time.Now().UTC().Format(time.RFC3339),
 			Go:    runtime.Version(),
@@ -391,6 +625,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				},
 			}},
 		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// The chaos gate: under -faults the run itself passes judgment, so
+	// CI can assert "survived the schedule" with a plain exit status.
+	if sched != nil {
+		var violations []string
+		if s.Stuck > 0 {
+			violations = append(violations, fmt.Sprintf("%d requests stuck past the %v deadline", s.Stuck, cfg.deadline))
+		}
+		finalDocs, err := fetchNumDocs(cfg.addrs[0], client)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("post-run document count unreadable: %v", err))
+		} else if int64(finalDocs) != int64(baseDocs)+s.AckedDocs {
+			violations = append(violations, fmt.Sprintf(
+				"acked-write ledger mismatch: started at %d docs, acked %d appends, target reports %d",
+				baseDocs, s.AckedDocs, finalDocs))
+		}
+		if len(violations) > 0 {
+			return fmt.Errorf("invariant violations under faults:\n  - %s", strings.Join(violations, "\n  - "))
+		}
+		fmt.Fprintf(stderr, "lsiload: fault invariants held: %d steps, %d stuck, ledger %d+%d docs verified\n",
+			s.FaultSteps, s.Stuck, baseDocs, s.AckedDocs)
 	}
 	return nil
 }

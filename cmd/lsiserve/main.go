@@ -13,6 +13,7 @@
 //	GET  /healthz          liveness probe
 //	GET  /readyz           readiness probe (503 while compaction is owed)
 //	GET  /debug/pprof/*    runtime profiles (only with -pprof)
+//	*    /debug/faults     chaos fault-script admin (only with -chaos)
 //
 // Usage:
 //
@@ -52,7 +53,18 @@
 // Every request is measured on GET /metrics, -access-log adds a
 // structured JSON line per request, and -pprof mounts the runtime
 // profilers. The daemon shuts down gracefully on SIGINT/SIGTERM,
-// draining in-flight requests and stopping the background compactor.
+// draining in-flight replication downloads and WAL tails, then ordinary
+// requests, within -drain-timeout, and stopping the background
+// compactor.
+//
+// -chaos arms the fault injector (internal/faultinject): POST an
+// InjectSpec to /debug/faults to script per-class latency, error rates,
+// and connection drops; /debug/faults and /metrics are mounted outside
+// the injected path so a drop-everything fault cannot lock the operator
+// out. In router mode, -probe-every runs background /readyz probes over
+// the manifest nodes to feed outlier ejection. lsiload -faults drives
+// this endpoint on a timed schedule; see the chaos suite in
+// retrieval/cluster and scripts/chaos_smoke.sh.
 package main
 
 import (
@@ -70,6 +82,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/retrieval"
 	"repro/retrieval/cluster"
@@ -100,6 +113,12 @@ type serveConfig struct {
 	walDir          string
 	checkpointEvery time.Duration
 	saveCluster     string
+	probeEvery      time.Duration
+	breakerOpenFor  time.Duration
+
+	// Resilience and chaos.
+	chaos        bool
+	drainTimeout time.Duration
 }
 
 func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
@@ -126,6 +145,10 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	fs.StringVar(&cfg.walDir, "wal-dir", "", "attach a write-ahead log in this directory: appends are fsync'd before they are acked and replayed on boot (sharded indexes)")
 	fs.DurationVar(&cfg.checkpointEvery, "checkpoint-every", 0, "checkpoint the index into its -index directory at this cadence when documents arrived, rotating the WAL (0 = never; requires -wal-dir and -index DIR)")
 	fs.StringVar(&cfg.saveCluster, "save-cluster", "", "export each shard as a standalone node directory under this path and exit (requires a sharded index)")
+	fs.DurationVar(&cfg.probeEvery, "probe-every", 2*time.Second, "router mode: probe every node's /readyz at this cadence to feed outlier ejection (0 disables)")
+	fs.DurationVar(&cfg.breakerOpenFor, "breaker-open-for", 0, "router mode: cooldown before an open per-node circuit breaker admits its half-open probe (0 = the cluster default, 5s)")
+	fs.BoolVar(&cfg.chaos, "chaos", false, "arm the fault injector: /debug/faults scripts server-side latency/errors/drops per request class (never expose outside a test bench)")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "graceful-shutdown budget for draining in-flight requests, replication downloads, and WAL tails")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -218,11 +241,13 @@ func newRetriever(cfg serveConfig) (*retrieval.Index, error) {
 	return retrieval.Build(docs, opts...)
 }
 
-// serve runs the daemon on ln until ctx is canceled, then drains
-// in-flight requests for up to shutdownTimeout. It reports the bound
+// serve runs the daemon on ln until ctx is canceled, then drains for up
+// to shutdownTimeout: first the replication tier (in-flight snapshot
+// downloads and WAL tails stop admitting and run to completion), then
+// the HTTP server's ordinary in-flight requests. It reports the bound
 // address on out before accepting traffic (the smoke script and the e2e
 // test parse that line).
-func serve(ctx context.Context, ln net.Listener, handler http.Handler, shutdownTimeout time.Duration, out io.Writer) error {
+func serve(ctx context.Context, ln net.Listener, handler http.Handler, api *httpapi.Handler, shutdownTimeout time.Duration, out io.Writer) error {
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -237,6 +262,14 @@ func serve(ctx context.Context, ln net.Listener, handler http.Handler, shutdownT
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
+	// Drain replication before closing the listener: a replica that is
+	// mid-download finishes intact, new pulls are shed 503 + Retry-After
+	// and fail over; killing the listener first would tear both.
+	if api != nil {
+		if err := api.DrainReplication(shutdownCtx); err != nil {
+			fmt.Fprintf(out, "lsiserve: replication drain incomplete: %v\n", err)
+		}
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("lsiserve: shutdown: %w", err)
 	}
@@ -244,6 +277,27 @@ func serve(ctx context.Context, ln net.Listener, handler http.Handler, shutdownT
 		return err
 	}
 	return nil
+}
+
+// mountChaos arms the -chaos fault injector in front of h. The admin
+// endpoint and the metrics exposition are mounted OUTSIDE the wrapped
+// handler: a drop-everything fault must not lock the operator out of
+// /debug/faults or blind the dashboards watching the incident.
+func mountChaos(in *faultinject.Injector, h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/faults", in.AdminHandler())
+	mux.Handle("/metrics", h)
+	mux.Handle("/", in.Wrap(h))
+	return mux
+}
+
+// chaosWrap applies -chaos to a serving handler (transparent when the
+// flag is off).
+func chaosWrap(cfg serveConfig, h http.Handler) http.Handler {
+	if !cfg.chaos {
+		return h
+	}
+	return mountChaos(&faultinject.Injector{}, h)
 }
 
 // serveOptions translates the shared flag block into handler options.
@@ -272,12 +326,19 @@ func runRouter(ctx context.Context, cfg serveConfig, stdout, stderr io.Writer) e
 	if err != nil {
 		return err
 	}
-	router, err := cluster.NewRouter(man, cluster.RouterOptions{NodeTimeout: cfg.timeout})
+	router, err := cluster.NewRouter(man, cluster.RouterOptions{
+		NodeTimeout:   cfg.timeout,
+		ProbeInterval: cfg.probeEvery,
+		Breaker:       cluster.BreakerOptions{OpenFor: cfg.breakerOpenFor},
+	})
 	if err != nil {
 		return err
 	}
 	reg := metrics.NewRegistry()
 	router.RegisterMetrics(reg)
+	if cfg.probeEvery > 0 {
+		go router.RunProbes(ctx)
+	}
 	if err := router.Sync(ctx); err != nil {
 		// The router can serve reads without a synced write path; ingest
 		// stays frozen until a later Sync (a SIGHUP reload retries).
@@ -315,7 +376,8 @@ func runRouter(ctx context.Context, cfg serveConfig, stdout, stderr io.Writer) e
 	}
 	opts := serveOptions(cfg, stderr)
 	opts.Metrics = reg
-	return serve(ctx, ln, httpapi.NewHandler(router, opts), 10*time.Second, stdout)
+	api := httpapi.NewHandler(router, opts)
+	return serve(ctx, ln, chaosWrap(cfg, api), api, cfg.drainTimeout, stdout)
 }
 
 // runReplica bootstraps a replica from its primary, keeps it caught up
@@ -344,7 +406,8 @@ func runReplica(ctx context.Context, cfg serveConfig, stdout, stderr io.Writer) 
 	}
 	opts := serveOptions(cfg, stderr)
 	opts.Metrics = reg
-	return serve(ctx, ln, httpapi.NewHandler(rep, opts), 10*time.Second, stdout)
+	api := httpapi.NewHandler(rep, opts)
+	return serve(ctx, ln, chaosWrap(cfg, api), api, cfg.drainTimeout, stdout)
 }
 
 // checkpointLoop folds WAL'd appends back into the index directory at a
@@ -439,8 +502,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	handler := httpapi.NewHandler(ret, opts)
-	return serve(ctx, ln, handler, 10*time.Second, stdout)
+	api := httpapi.NewHandler(ret, opts)
+	return serve(ctx, ln, chaosWrap(cfg, api), api, cfg.drainTimeout, stdout)
 }
 
 func main() {

@@ -38,7 +38,8 @@ func TestEndToEndServe(t *testing.T) {
 	var out bytes.Buffer
 	served := make(chan error, 1)
 	go func() {
-		served <- serve(ctx, ln, httpapi.NewHandler(ret, httpapi.Options{}), 5*time.Second, &out)
+		api := httpapi.NewHandler(ret, httpapi.Options{})
+		served <- serve(ctx, ln, api, api, 5*time.Second, &out)
 	}()
 	base := fmt.Sprintf("http://%s", ln.Addr())
 
@@ -260,7 +261,8 @@ func TestEndToEndServeSharded(t *testing.T) {
 	var out bytes.Buffer
 	served := make(chan error, 1)
 	go func() {
-		served <- serve(ctx, ln, httpapi.NewHandler(ret, httpapi.Options{}), 5*time.Second, &out)
+		api := httpapi.NewHandler(ret, httpapi.Options{})
+		served <- serve(ctx, ln, api, api, 5*time.Second, &out)
 	}()
 	base := fmt.Sprintf("http://%s", ln.Addr())
 

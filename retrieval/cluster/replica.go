@@ -9,9 +9,11 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/retrieval"
 	"repro/retrieval/httpapi"
@@ -28,6 +30,17 @@ type ReplicaOptions struct {
 	NodeTimeout time.Duration
 	// Client is the HTTP client for primary requests.
 	Client *http.Client
+	// Clock is the replica's time source for the tail loop and pull
+	// backoff (default faultinject.Real); chaos tests inject a
+	// FakeClock.
+	Clock faultinject.Clock
+	// PullAttempts caps transfer attempts per snapshot file (default 4).
+	// A cut connection resumes with a Range request from the last byte
+	// that landed, so each attempt makes forward progress.
+	PullAttempts int
+	// PullBackoff is the base delay between resumed pull attempts
+	// (default 100ms, doubling per attempt).
+	PullBackoff time.Duration
 }
 
 func (o ReplicaOptions) withDefaults() ReplicaOptions {
@@ -39,6 +52,15 @@ func (o ReplicaOptions) withDefaults() ReplicaOptions {
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{}
+	}
+	if o.Clock == nil {
+		o.Clock = faultinject.Real
+	}
+	if o.PullAttempts <= 0 {
+		o.PullAttempts = 4
+	}
+	if o.PullBackoff <= 0 {
+		o.PullBackoff = 100 * time.Millisecond
 	}
 	return o
 }
@@ -68,12 +90,14 @@ type Replica struct {
 	dir     string
 	opts    ReplicaOptions
 	client  *http.Client
+	clock   faultinject.Clock
 
 	cur   atomic.Pointer[retrieval.Index]
 	snaps atomic.Int64 // snapshot pulls performed (names the snap dirs)
 
 	batches atomic.Int64
 	applied atomic.Int64
+	resumes atomic.Int64 // ranged re-fetches after a cut transfer
 	lastErr atomic.Pointer[string]
 }
 
@@ -83,6 +107,7 @@ func NewReplica(primaryURL, dir string, opts ReplicaOptions) *Replica {
 	r := &Replica{dir: dir, opts: opts.withDefaults()}
 	r.primary.Store(&primaryURL)
 	r.client = r.opts.Client
+	r.clock = r.opts.Clock
 	return r
 }
 
@@ -182,11 +207,7 @@ func (r *Replica) pullSnapshot(ctx context.Context) error {
 		}
 	}
 	for _, name := range files {
-		data, err := r.get(ctx, "/v1/replicate/file?name="+name)
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(filepath.Join(snap, name), data, 0o666); err != nil {
+		if err := r.pullFile(ctx, name, filepath.Join(snap, name), uint64(man.Generation)); err != nil {
 			return err
 		}
 	}
@@ -200,6 +221,102 @@ func (r *Replica) pullSnapshot(ctx context.Context) error {
 	old := r.cur.Swap(ix)
 	_ = old // see the doc comment: never closed under draining queries
 	return nil
+}
+
+// pullFile streams one checkpoint file from the primary to dst,
+// resuming a cut transfer with a Range request from the last byte that
+// landed instead of restarting the whole file. Safe because
+// generation-stamped data files never mutate in place; the mutable
+// manifest.json/text.json are guarded by the X-Index-Generation header,
+// which must keep matching wantGen across attempts — a change means a
+// checkpoint raced the pull, and the whole snapshot restarts (the 404
+// path Bootstrap already retries).
+func (r *Replica) pullFile(ctx context.Context, name, dst string, wantGen uint64) error {
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var got int64
+	var lastErr error
+	for attempt := 0; attempt < r.opts.PullAttempts; attempt++ {
+		if attempt > 0 {
+			// Linear-doubling backoff on the injected clock; ctx still
+			// bounds the whole pull.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-r.clock.After(r.opts.PullBackoff << (attempt - 1)):
+			}
+			if got > 0 {
+				r.resumes.Add(1)
+			}
+		}
+		var err error
+		got, err = r.fetchInto(ctx, f, name, got, wantGen)
+		if err == nil {
+			return nil
+		}
+		// Status errors are protocol answers (404 raced checkpoint, 416
+		// bad resume already handled below) — no retry here; transport
+		// errors retry from the offset reached.
+		if statusOf(err) != 0 {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("cluster: replica: pulling %s: %w", name, lastErr)
+}
+
+// fetchInto runs one (possibly ranged) GET for a checkpoint file and
+// appends the response to f, returning the new local offset. A 200
+// answer to a ranged request (server without Range support, or the
+// file changed) restarts the file from zero; a 416 means the local
+// offset is past the primary's EOF — also a restart.
+func (r *Replica) fetchInto(ctx context.Context, f *os.File, name string, got int64, wantGen uint64) (int64, error) {
+	path := "/v1/replicate/file?name=" + name
+	ctx, cancel := context.WithTimeout(ctx, r.opts.NodeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.Primary()+path, nil)
+	if err != nil {
+		return got, err
+	}
+	if got > 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", got))
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return got, fmt.Errorf("cluster: replica: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if g, err := strconv.ParseUint(resp.Header.Get("X-Index-Generation"), 10, 64); err == nil && wantGen > 0 && g != wantGen {
+		// A checkpoint replaced the one we are pulling: surface the same
+		// status Bootstrap retries with a fresh manifest.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return got, &errStatus{path: path, code: http.StatusNotFound}
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusRequestedRangeNotSatisfiable:
+		// Full body (or an unsatisfiable resume offset): restart the file.
+		if err := f.Truncate(0); err != nil {
+			return 0, err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return 0, err
+		}
+		got = 0
+		if resp.StatusCode == http.StatusRequestedRangeNotSatisfiable {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			return 0, fmt.Errorf("cluster: replica: %s: resume offset past EOF; restarting", path)
+		}
+	case http.StatusPartialContent:
+		// Appending at got, exactly where the Range asked.
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return got, &errStatus{path: path, code: resp.StatusCode}
+	}
+	n, err := io.Copy(f, resp.Body)
+	return got + n, err
 }
 
 // CatchUp performs one tail round: ask the primary for every document
@@ -251,16 +368,15 @@ func (r *Replica) CatchUp(ctx context.Context) (int, error) {
 }
 
 // Run tails the primary until ctx ends, sleeping PollInterval between
-// rounds. Errors are recorded (see ReplicaStats.LastError) and retried
-// on the next round; only ctx cancellation stops the loop.
+// rounds on the replica's clock. Errors are recorded (see
+// ReplicaStats.LastError) and retried on the next round; only ctx
+// cancellation stops the loop.
 func (r *Replica) Run(ctx context.Context) {
-	t := time.NewTicker(r.opts.PollInterval)
-	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-r.clock.After(r.opts.PollInterval):
 			r.CatchUp(ctx)
 		}
 	}
@@ -348,6 +464,9 @@ type ReplicaStats struct {
 	// included in DocsApplied).
 	Batches     int64
 	DocsApplied int64
+	// ResumedPulls counts snapshot-file transfers resumed with a Range
+	// request after a cut connection.
+	ResumedPulls int64
 	// LastError is the most recent catch-up error ("" when none has
 	// occurred); it does not reset on success — it is a debugging
 	// breadcrumb, not a health signal. Health is Ready + staleness.
@@ -357,9 +476,10 @@ type ReplicaStats struct {
 // ReplicaStats snapshots the replica's counters.
 func (r *Replica) ReplicaStats() ReplicaStats {
 	st := ReplicaStats{
-		Snapshots:   r.snaps.Load(),
-		Batches:     r.batches.Load(),
-		DocsApplied: r.applied.Load(),
+		Snapshots:    r.snaps.Load(),
+		Batches:      r.batches.Load(),
+		DocsApplied:  r.applied.Load(),
+		ResumedPulls: r.resumes.Load(),
 	}
 	if p := r.lastErr.Load(); p != nil {
 		st.LastError = *p
@@ -376,6 +496,8 @@ func (r *Replica) RegisterMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(r.batches.Load()) })
 	reg.CounterFunc("lsi_replica_docs_applied_total", "Documents applied from the primary's WAL tail and re-snapshots.",
 		func() float64 { return float64(r.applied.Load()) })
+	reg.CounterFunc("lsi_replica_resumed_pulls_total", "Snapshot-file transfers resumed with a Range request.",
+		func() float64 { return float64(r.resumes.Load()) })
 	reg.GaugeFunc("lsi_replica_generation", "Manifest generation of the serving snapshot.",
 		func() float64 { return float64(r.Generation()) })
 	reg.GaugeFunc("lsi_replica_docs", "Documents in the serving snapshot.",

@@ -4,13 +4,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/topk"
 	"repro/retrieval"
@@ -31,6 +35,40 @@ type RouterOptions struct {
 	// Client is the HTTP client for node requests (default: a dedicated
 	// client with sane connection reuse).
 	Client *http.Client
+
+	// Clock is the router's time source for hedge timers, retry
+	// backoff, breaker cooldowns, and the probe loop (default
+	// faultinject.Real); chaos tests inject a FakeClock and drive every
+	// timing decision deterministically.
+	Clock faultinject.Clock
+	// Breaker configures the per-node circuit breakers; its Clock
+	// defaults to the router's.
+	Breaker BreakerOptions
+	// MaxRetries caps same-node retries of a transport-level failure
+	// (default 2); HTTP status errors fail over via hedging instead of
+	// retrying. Every retry also needs retry-budget approval.
+	MaxRetries int
+	// RetryBase and RetryMaxDelay bound the jittered exponential
+	// backoff between retries (defaults 25ms and 500ms).
+	RetryBase     time.Duration
+	RetryMaxDelay time.Duration
+	// RetryBudgetRatio is the retry budget's refill per logical node
+	// request (default 0.1): across the router, retries cannot exceed
+	// ~this fraction of traffic, so a dead cluster sees failing
+	// requests, not a retry storm. RetryBudgetBurst caps (and seeds)
+	// the saved-up budget (default 10).
+	RetryBudgetRatio float64
+	RetryBudgetBurst float64
+	// RetrySeed seeds the backoff jitter (default 1); chaos tests pin
+	// it so retry schedules are reproducible.
+	RetrySeed int64
+	// ProbeInterval is RunProbes' background health-probe cadence
+	// (default 2s).
+	ProbeInterval time.Duration
+	// FreshnessLagDocs ejects a node whose probed document count lags
+	// the freshest same-shard candidate by more than this (0 =
+	// freshness never ejects; probe failures and not-ready still do).
+	FreshnessLagDocs int
 }
 
 func (o RouterOptions) withDefaults() RouterOptions {
@@ -42,6 +80,27 @@ func (o RouterOptions) withDefaults() RouterOptions {
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	if o.Clock == nil {
+		o.Clock = faultinject.Real
+	}
+	if o.Breaker.Clock == nil {
+		o.Breaker.Clock = o.Clock
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 2
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 25 * time.Millisecond
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = 500 * time.Millisecond
+	}
+	if o.RetrySeed == 0 {
+		o.RetrySeed = 1
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
 	}
 	return o
 }
@@ -69,6 +128,7 @@ type manifestState struct {
 type Router struct {
 	opts   RouterOptions
 	client *http.Client
+	clock  faultinject.Clock
 	man    atomic.Pointer[manifestState]
 
 	// ingestMu serializes writers: round-robin numbering means each
@@ -78,12 +138,23 @@ type Router struct {
 	nextGlobal int
 	synced     bool
 
-	docs      atomic.Int64 // published nextGlobal, for lock-free NumDocs
-	partials  atomic.Int64
-	hedges    atomic.Int64
-	nodeErrs  atomic.Int64
-	reloads   atomic.Int64
-	staleRels atomic.Int64
+	// Health view: per-node breakers + probe observations (health.go),
+	// and the router-wide retry budget.
+	healthMu   sync.Mutex
+	nodeHealth map[string]*nodeHealth
+	budget     *RetryBudget
+	rngMu      sync.Mutex
+	rng        *rand.Rand // backoff jitter; guarded by rngMu
+
+	docs       atomic.Int64 // published nextGlobal, for lock-free NumDocs
+	partials   atomic.Int64
+	hedges     atomic.Int64
+	nodeErrs   atomic.Int64
+	nodeSheds  atomic.Int64
+	denied     atomic.Int64 // requests failed fast by an open breaker
+	probeFails atomic.Int64
+	reloads    atomic.Int64
+	staleRels  atomic.Int64
 }
 
 // NewRouter compiles a validated manifest into a Router. Call Sync
@@ -94,6 +165,10 @@ func NewRouter(m *Manifest, opts RouterOptions) (*Router, error) {
 	}
 	r := &Router{opts: opts.withDefaults()}
 	r.client = r.opts.Client
+	r.clock = r.opts.Clock
+	r.nodeHealth = make(map[string]*nodeHealth)
+	r.budget = NewRetryBudget(r.opts.RetryBudgetRatio, r.opts.RetryBudgetBurst)
+	r.rng = rand.New(rand.NewSource(r.opts.RetrySeed))
 	r.man.Store(&manifestState{man: m, byShard: m.byShard()})
 	return r, nil
 }
@@ -123,9 +198,49 @@ func (r *Router) Reload(m *Manifest) error {
 // Manifest returns the serving topology.
 func (r *Router) Manifest() *Manifest { return r.man.Load().man }
 
+// nodeStatusError is a non-2xx node response: the node answered, so
+// the failure carries HTTP semantics the router branches on — a shed
+// (429/503 + Retry-After) propagates backpressure, anything else is a
+// plain failure handled by hedging.
+type nodeStatusError struct {
+	node, path string
+	code       int
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *nodeStatusError) Error() string {
+	return fmt.Sprintf("cluster: node %q: %s: status %d: %s", e.node, e.path, e.code, e.msg)
+}
+
+// shed reports whether the response was load shedding (queue-full 429
+// or debt/drain 503) rather than a malfunction.
+func (e *nodeStatusError) shed() bool {
+	return e.code == http.StatusTooManyRequests || e.code == http.StatusServiceUnavailable
+}
+
+// shedOf extracts a shed from an error chain (nil when the error is
+// not a shed).
+func shedOf(err error) *nodeStatusError {
+	var nse *nodeStatusError
+	if errors.As(err, &nse) && nse.shed() {
+		return nse
+	}
+	return nil
+}
+
+// breakerDeniedError is a request failed fast by an open breaker — no
+// bytes hit the network.
+type breakerDeniedError struct{ node string }
+
+func (e *breakerDeniedError) Error() string {
+	return fmt.Sprintf("cluster: node %q: circuit breaker open", e.node)
+}
+
 // post runs one JSON request against one node, decoding a 2xx body
-// into out. Non-2xx responses become errors carrying the node's name
-// and the body's error message.
+// into out. Non-2xx responses become *nodeStatusError carrying the
+// node's name, the status, the Retry-After hint, and the body's error
+// message.
 func (r *Router) post(ctx context.Context, node Node, path string, body, out any) error {
 	ctx, cancel := context.WithTimeout(ctx, r.opts.NodeTimeout)
 	defer cancel()
@@ -156,7 +271,11 @@ func (r *Router) post(ctx context.Context, node Node, path string, body, out any
 	if resp.StatusCode/100 != 2 {
 		var e httpapi.ErrorResponse
 		json.NewDecoder(io.LimitReader(resp.Body, 4<<10)).Decode(&e)
-		return fmt.Errorf("cluster: node %q: %s: status %d: %s", node.Name, path, resp.StatusCode, e.Error)
+		var after time.Duration
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+			after = time.Duration(secs) * time.Second
+		}
+		return &nodeStatusError{node: node.Name, path: path, code: resp.StatusCode, retryAfter: after, msg: e.Error}
 	}
 	if out == nil {
 		return nil
@@ -165,6 +284,68 @@ func (r *Router) post(ctx context.Context, node Node, path string, body, out any
 		return fmt.Errorf("cluster: node %q: decoding %s response: %w", node.Name, path, err)
 	}
 	return nil
+}
+
+// jitter draws one backoff delay for a retry attempt from the seeded
+// jitter source.
+func (r *Router) jitter(attempt int) time.Duration {
+	r.rngMu.Lock()
+	defer r.rngMu.Unlock()
+	return backoff(attempt, r.opts.RetryBase, r.opts.RetryMaxDelay, r.rng)
+}
+
+// do is post behind the resilience controls: the node's breaker gates
+// admission (denied requests fail fast without touching the network
+// and are NOT recorded as breaker outcomes), every allowed outcome is
+// recorded, and transport-level failures — the node never answered —
+// are retried against the same node with jittered exponential backoff,
+// each retry approved by the router-wide retry budget. Status errors
+// are not retried here: the node is alive and said no; hedging decides
+// whether another candidate should be tried.
+func (r *Router) do(ctx context.Context, node Node, path string, body, out any) error {
+	h := r.health(node)
+	r.budget.OnRequest()
+	for attempt := 0; ; attempt++ {
+		if !h.breaker.Allow() {
+			r.denied.Add(1)
+			return &breakerDeniedError{node: node.Name}
+		}
+		err := r.post(ctx, node, path, body, out)
+		var nse *nodeStatusError
+		isStatus := errors.As(err, &nse)
+		if err != nil && !isStatus && ctx.Err() != nil {
+			// Canceled mid-flight — a hedge winner elsewhere, or the
+			// caller gave up. Says nothing about the node: don't record
+			// a breaker outcome, don't count an error. But if Allow
+			// claimed the half-open probe slot, hand it back — an
+			// unsettled probe would deny every future request.
+			h.breaker.Cancel()
+			return err
+		}
+		// A shed or client-level status is a healthy node answering;
+		// only transport failures and 5xx malfunctions feed the breaker.
+		h.breaker.Record(err == nil || (isStatus && (nse.code < 500 || nse.shed())))
+		if err != nil {
+			// Counted at the source so hedge losers and retries show up
+			// even when a winner returns before their outcome drains.
+			if shedOf(err) != nil {
+				r.nodeSheds.Add(1)
+			} else {
+				r.nodeErrs.Add(1)
+			}
+		}
+		if err == nil || isStatus {
+			return err
+		}
+		if attempt >= r.opts.MaxRetries || !r.budget.TryRetry() {
+			return err
+		}
+		select {
+		case <-r.clock.After(r.jitter(attempt)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
 }
 
 // hedged runs call against a shard's candidates, primary first. A
@@ -192,8 +373,7 @@ func hedged[T any](r *Router, ctx context.Context, nodes []Node, call func(conte
 		}()
 	}
 	launch()
-	timer := time.NewTimer(r.opts.HedgeAfter)
-	defer timer.Stop()
+	hedge := r.clock.After(r.opts.HedgeAfter)
 	var lastErr error
 	for {
 		select {
@@ -202,18 +382,23 @@ func hedged[T any](r *Router, ctx context.Context, nodes []Node, call func(conte
 			if out.err == nil {
 				return out.v, nil
 			}
-			r.nodeErrs.Add(1)
-			lastErr = out.err
+			// Counting happens in do (sheds/errors) and at the breaker
+			// (denied), so outcomes draining after a winner still show
+			// up in stats. A shed outranks transport noise as the error
+			// to surface: it carries the backpressure hint.
+			if lastErr == nil || shedOf(lastErr) == nil {
+				lastErr = out.err
+			}
 			if launched < len(nodes) {
 				launch()
 			} else if pending == 0 {
 				return zero, lastErr
 			}
-		case <-timer.C:
+		case <-hedge:
 			if launched < len(nodes) {
 				r.hedges.Add(1)
 				launch()
-				timer.Reset(r.opts.HedgeAfter)
+				hedge = r.clock.After(r.opts.HedgeAfter)
 			}
 		case <-ctx.Done():
 			return zero, ctx.Err()
@@ -242,16 +427,18 @@ func (r *Router) fanout(ctx context.Context, queries []string, topN int) ([]shar
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			perQ, err := hedged(r, ctx, ms.byShard[s], func(ctx context.Context, node Node) ([][]retrieval.Result, error) {
+			// The health view orders candidates (outliers last) before
+			// hedging walks them.
+			perQ, err := hedged(r, ctx, r.orderCandidates(ms.byShard[s]), func(ctx context.Context, node Node) ([][]retrieval.Result, error) {
 				if len(queries) == 1 {
 					var resp httpapi.SearchResponse
-					if err := r.post(ctx, node, "/v1/search", httpapi.SearchRequest{Query: queries[0], TopN: topN}, &resp); err != nil {
+					if err := r.do(ctx, node, "/v1/search", httpapi.SearchRequest{Query: queries[0], TopN: topN}, &resp); err != nil {
 						return nil, err
 					}
 					return [][]retrieval.Result{resp.Results}, nil
 				}
 				var resp httpapi.BatchSearchResponse
-				if err := r.post(ctx, node, "/v1/search:batch", httpapi.BatchSearchRequest{Queries: queries, TopN: topN}, &resp); err != nil {
+				if err := r.do(ctx, node, "/v1/search:batch", httpapi.BatchSearchRequest{Queries: queries, TopN: topN}, &resp); err != nil {
 					return nil, err
 				}
 				if len(resp.Results) != len(queries) {
@@ -297,6 +484,17 @@ func mergeQuery(parts []shardResults, q, topN, S int) []retrieval.Result {
 	return out
 }
 
+// allFailedErr shapes the no-shard-reachable error. When the decisive
+// failure was a shed, it propagates as httpapi.ShedError, so the
+// router's client receives the nodes' 429/503 and Retry-After hint
+// instead of a flattened 500 — backpressure survives the router hop.
+func allFailedErr(lastErr error) error {
+	if nse := shedOf(lastErr); nse != nil {
+		return &httpapi.ShedError{StatusCode: nse.code, RetryAfter: nse.retryAfter, Msg: nse.Error()}
+	}
+	return fmt.Errorf("cluster: no shard reachable: %w", lastErr)
+}
+
 // SearchPartial fans one query across the cluster. partial reports a
 // degraded quorum: at least one shard answered and at least one did
 // not, so the results are a correct merge of the shards that did.
@@ -308,11 +506,13 @@ func (r *Router) SearchPartial(ctx context.Context, query string, topN int) ([]r
 	for _, p := range parts {
 		if p.failed {
 			failed++
-			lastErr = p.lastErr
+			if lastErr == nil || shedOf(lastErr) == nil {
+				lastErr = p.lastErr
+			}
 		}
 	}
 	if failed == len(parts) {
-		return nil, false, fmt.Errorf("cluster: no shard reachable: %w", lastErr)
+		return nil, false, allFailedErr(lastErr)
 	}
 	partial := failed > 0
 	if partial {
@@ -330,11 +530,13 @@ func (r *Router) SearchBatchPartial(ctx context.Context, queries []string, topN 
 	for _, p := range parts {
 		if p.failed {
 			failed++
-			lastErr = p.lastErr
+			if lastErr == nil || shedOf(lastErr) == nil {
+				lastErr = p.lastErr
+			}
 		}
 	}
 	if failed == len(parts) {
-		return nil, false, fmt.Errorf("cluster: no shard reachable: %w", lastErr)
+		return nil, false, allFailedErr(lastErr)
 	}
 	partial := failed > 0
 	if partial {
@@ -472,13 +674,37 @@ func (r *Router) Add(ctx context.Context, docs []retrieval.Document) (int, error
 		}
 		subs[s].docs = append(subs[s].docs, httpapi.AddDocRequest{ID: d.ID, Text: d.Text})
 	}
+	// Consult the health view BEFORE the first byte lands: a primary
+	// whose breaker is open would fail this batch anyway, but failing it
+	// now — with no shard written — means ingest need not freeze.
+	for s := 0; s < S; s++ {
+		if subs[s].docs == nil {
+			continue
+		}
+		primary := ms.byShard[s][0]
+		if !r.health(primary).breaker.Ready() {
+			r.denied.Add(1)
+			return 0, &breakerDeniedError{node: primary.Name}
+		}
+		// Ready is a side-effect-free check: the real request below
+		// claims (and settles) any half-open probe slot itself. A claim
+		// here could leak — a later shard's denial returns before this
+		// shard's request ever runs.
+	}
+	landed := false // a failure before any shard write needs no freeze
 	for s := 0; s < S; s++ {
 		if subs[s].docs == nil {
 			continue
 		}
 		primary := ms.byShard[s][0]
 		var resp httpapi.AddDocsResponse
-		if err := r.post(ctx, primary, "/v1/docs:batch", httpapi.AddDocsRequest{Docs: subs[s].docs}, &resp); err != nil {
+		if err := r.do(ctx, primary, "/v1/docs:batch", httpapi.AddDocsRequest{Docs: subs[s].docs}, &resp); err != nil {
+			if nse := shedOf(err); nse != nil {
+				err = &httpapi.ShedError{StatusCode: nse.code, RetryAfter: nse.retryAfter, Msg: nse.Error()}
+			}
+			if !landed {
+				return 0, fmt.Errorf("cluster: add: %w", err)
+			}
 			r.synced = false
 			return 0, fmt.Errorf("cluster: add: ingest frozen until Sync: %w", err)
 		}
@@ -487,6 +713,7 @@ func (r *Router) Add(ctx context.Context, docs []retrieval.Document) (int, error
 			return 0, fmt.Errorf("cluster: add: shard %d appended at local %d, expected %d — cluster out of sync, ingest frozen until Sync",
 				s, resp.First, subs[s].firstLocal)
 		}
+		landed = true
 	}
 	r.nextGlobal += len(docs)
 	r.docs.Store(int64(r.nextGlobal))
@@ -511,6 +738,25 @@ type RouterStats struct {
 	// manifest reloads.
 	Reloads      int64
 	StaleReloads int64
+	// NodeSheds counts node responses that shed load (429/503) — healthy
+	// backpressure, split from NodeErrors so a dashboard can tell
+	// overload from failure.
+	NodeSheds int64
+	// Retries and RetryBudgetExhausted count same-node retries granted
+	// and refused by the retry budget.
+	Retries              int64
+	RetryBudgetExhausted int64
+	// BreakerDenied counts requests failed fast by an open breaker.
+	BreakerDenied int64
+	// BreakersOpen/HalfOpen gauge the current breaker states across
+	// known nodes; BreakerTrips totals closed→open transitions.
+	BreakersOpen     int
+	BreakersHalfOpen int
+	BreakerTrips     int64
+	// NodesEjected gauges nodes the probe loop currently marks as
+	// outliers; ProbeFailures counts failed background probes.
+	NodesEjected  int
+	ProbeFailures int64
 }
 
 // RouterStats snapshots the router's counters.
@@ -518,15 +764,25 @@ func (r *Router) RouterStats() RouterStats {
 	r.ingestMu.Lock()
 	synced := r.synced
 	r.ingestMu.Unlock()
+	open, halfOpen, ejected, trips := r.healthSnapshot()
 	return RouterStats{
-		ManifestVersion: r.man.Load().man.Version,
-		Synced:          synced,
-		Docs:            r.docs.Load(),
-		Partials:        r.partials.Load(),
-		Hedges:          r.hedges.Load(),
-		NodeErrors:      r.nodeErrs.Load(),
-		Reloads:         r.reloads.Load(),
-		StaleReloads:    r.staleRels.Load(),
+		ManifestVersion:      r.man.Load().man.Version,
+		Synced:               synced,
+		Docs:                 r.docs.Load(),
+		Partials:             r.partials.Load(),
+		Hedges:               r.hedges.Load(),
+		NodeErrors:           r.nodeErrs.Load(),
+		Reloads:              r.reloads.Load(),
+		StaleReloads:         r.staleRels.Load(),
+		NodeSheds:            r.nodeSheds.Load(),
+		Retries:              r.budget.Retries(),
+		RetryBudgetExhausted: r.budget.Exhausted(),
+		BreakerDenied:        r.denied.Load(),
+		BreakersOpen:         open,
+		BreakersHalfOpen:     halfOpen,
+		BreakerTrips:         trips,
+		NodesEjected:         ejected,
+		ProbeFailures:        r.probeFails.Load(),
 	}
 }
 
@@ -555,4 +811,22 @@ func (r *Router) RegisterMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(r.reloads.Load()) })
 	reg.CounterFunc("lsi_cluster_manifest_stale_reloads_total", "Manifest reloads refused by the version gate.",
 		func() float64 { return float64(r.staleRels.Load()) })
+	reg.CounterFunc("lsi_cluster_node_sheds_total", "Node responses that shed load (429/503) — backpressure, not failure.",
+		func() float64 { return float64(r.nodeSheds.Load()) })
+	reg.CounterFunc("lsi_cluster_retries_total", "Same-node retries granted by the retry budget.",
+		func() float64 { return float64(r.budget.Retries()) })
+	reg.CounterFunc("lsi_cluster_retry_budget_exhausted_total", "Retries refused because the retry budget was empty.",
+		func() float64 { return float64(r.budget.Exhausted()) })
+	reg.CounterFunc("lsi_cluster_breaker_denied_total", "Requests failed fast by an open circuit breaker.",
+		func() float64 { return float64(r.denied.Load()) })
+	reg.GaugeFunc("lsi_cluster_breakers_open", "Nodes whose circuit breaker is currently open.",
+		func() float64 { open, _, _, _ := r.healthSnapshot(); return float64(open) })
+	reg.GaugeFunc("lsi_cluster_breakers_half_open", "Nodes whose circuit breaker is probing recovery.",
+		func() float64 { _, half, _, _ := r.healthSnapshot(); return float64(half) })
+	reg.CounterFunc("lsi_cluster_breaker_trips_total", "Circuit-breaker closed-to-open transitions across all nodes.",
+		func() float64 { _, _, _, trips := r.healthSnapshot(); return float64(trips) })
+	reg.GaugeFunc("lsi_cluster_nodes_ejected", "Nodes the probe loop currently marks as outliers.",
+		func() float64 { _, _, ej, _ := r.healthSnapshot(); return float64(ej) })
+	reg.CounterFunc("lsi_cluster_probe_failures_total", "Failed background health probes.",
+		func() float64 { return float64(r.probeFails.Load()) })
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/faultinject"
 	"repro/retrieval/wal"
 )
 
@@ -48,13 +49,22 @@ type WALBatch struct {
 // by replay on the next boot. Acked writes are never lost; failed
 // writes may still land.
 func (ix *Index) AttachWAL(dir string) (replayed int, err error) {
+	return ix.AttachWALFS(dir, faultinject.OS{})
+}
+
+// AttachWALFS is AttachWAL with an explicit file system — the
+// fault-injection seam (see wal.OpenFS). Production callers use
+// AttachWAL; chaos tests interpose a faultinject.FaultyFS to script
+// torn appends, fsync errors, and disk-full against the live ingest
+// path and then prove no acked write is lost across a reopen.
+func (ix *Index) AttachWALFS(dir string, fsys faultinject.FS) (replayed int, err error) {
 	if ix.sharded == nil {
 		return 0, fmt.Errorf("%w: only sharded live indexes support a WAL", ErrNotSharded)
 	}
 	if ix.wlog != nil {
 		return 0, fmt.Errorf("retrieval: a WAL is already attached")
 	}
-	log, err := wal.Open(dir)
+	log, err := wal.OpenFS(dir, fsys)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,88 @@
+package httpapi
+
+// Replication drain: the /v1/replicate/* routes register with a
+// drainGroup so graceful shutdown (Handler.DrainReplication) can stop
+// admitting new replication work and wait for in-flight snapshot
+// downloads and WAL tails to complete before the listener closes. A
+// replica that hits a draining server gets 503 + Retry-After and fails
+// over to another candidate; one that is mid-download finishes intact.
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// drainGroup counts in-flight requests and supports a one-way drain.
+// The zero value is ready.
+type drainGroup struct {
+	mu       sync.Mutex
+	inflight int
+	draining bool
+	idle     chan struct{} // non-nil while a drain waits; closed at zero
+}
+
+// enter admits one request, reporting false when the group is
+// draining (the caller must shed).
+func (g *drainGroup) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.inflight++
+	return true
+}
+
+// leave retires one admitted request.
+func (g *drainGroup) leave() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inflight--
+	if g.draining && g.inflight == 0 && g.idle != nil {
+		close(g.idle)
+		g.idle = nil
+	}
+}
+
+// inflightNow reports the current in-flight count (for the gauge).
+func (g *drainGroup) inflightNow() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight
+}
+
+// drain flips the group to draining and waits for in-flight requests
+// to finish, or for ctx. Draining is one-way: the group never admits
+// again.
+func (g *drainGroup) drain(ctx context.Context) error {
+	g.mu.Lock()
+	g.draining = true
+	if g.inflight == 0 {
+		g.mu.Unlock()
+		return nil
+	}
+	if g.idle == nil {
+		g.idle = make(chan struct{})
+	}
+	ch := g.idle
+	g.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// enterReplication is the shared admission check for the replication
+// handlers: false means the 503 has been written and the handler must
+// return.
+func (h *handler) enterReplication(w http.ResponseWriter) bool {
+	if !h.repl.enter() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "server is draining; retry against another node")
+		return false
+	}
+	return true
+}

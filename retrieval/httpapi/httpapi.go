@@ -261,18 +261,85 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// ShedError reports that a backend shed the request under overload
+// (429 queue-full or 503 compaction-debt) rather than failing it. The
+// cluster router returns it when every candidate node shed, preserving
+// the nodes' Retry-After hint; the handler maps it back to the shed
+// status with the hint intact, so backpressure propagates through the
+// router hop to the end client instead of flattening into a 500.
+type ShedError struct {
+	// StatusCode is the shedding backend's status (429 or 503).
+	StatusCode int
+	// RetryAfter is the backend's backoff hint (0 = none given).
+	RetryAfter time.Duration
+	// Msg is the backend's error body.
+	Msg string
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	if e.Msg != "" {
+		return e.Msg
+	}
+	return fmt.Sprintf("backend shed the request (%d)", e.StatusCode)
+}
+
+// writeShed answers with the backend's shed status and Retry-After
+// hint, reporting whether err was a ShedError.
+func writeShed(w http.ResponseWriter, err error) bool {
+	var se *ShedError
+	if !errors.As(err, &se) {
+		return false
+	}
+	status := se.StatusCode
+	if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+		status = http.StatusServiceUnavailable
+	}
+	if se.RetryAfter > 0 {
+		secs := int(se.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeError(w, status, "%v", se)
+	return true
+}
+
 type handler struct {
 	ret  retrieval.Retriever
 	opts Options
 	obs  *observer
 	gate *gate
+	repl drainGroup
 }
+
+// Handler is the assembled API handler: a plain http.Handler plus the
+// lifecycle hook graceful shutdown needs. Serve it like any handler;
+// on shutdown call DrainReplication before closing the listener.
+type Handler struct {
+	mux *http.ServeMux
+	h   *handler
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// DrainReplication stops admitting new replication requests
+// (/v1/replicate/*; they get 503 + Retry-After, pointing the replica
+// at another node) and waits for the in-flight ones — snapshot
+// downloads and WAL tails — to finish, so a routine deploy never
+// presents a torn snapshot to a bootstrapping replica. It returns
+// ctx's error if the context expires first. Call before closing the
+// listener; ordinary requests are unaffected (http.Server.Shutdown
+// already waits for those).
+func (h *Handler) DrainReplication(ctx context.Context) error { return h.h.repl.drain(ctx) }
 
 // NewHandler wraps a Retriever in the HTTP/JSON API. Every route runs
 // through the observability + admission middleware (see observe.go);
 // the expensive routes (search, docs) are additionally bounded by the
 // admission gate when Options.MaxInFlight is set.
-func NewHandler(ret retrieval.Retriever, opts Options) http.Handler {
+func NewHandler(ret retrieval.Retriever, opts Options) *Handler {
 	h := &handler{ret: ret, opts: opts.withDefaults()}
 	h.obs = newObserver(h.opts.Metrics, ret)
 	h.gate = newGate(h.opts.MaxInFlight, h.opts.MaxQueue)
@@ -281,6 +348,9 @@ func NewHandler(ret retrieval.Retriever, opts Options) http.Handler {
 			"Requests waiting for an in-flight slot (shed once MaxQueue is exceeded).",
 			func() float64 { return float64(h.gate.queued.Load()) })
 	}
+	h.obs.reg.GaugeFunc("lsi_http_replication_inflight",
+		"In-flight replication requests (snapshot files and WAL tails); drained before shutdown.",
+		func() float64 { return float64(h.repl.inflightNow()) })
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", h.route("search", gateQuery, h.search))
 	mux.HandleFunc("POST /v1/search:batch", h.route("search_batch", gateQuery, h.searchBatch))
@@ -296,7 +366,7 @@ func NewHandler(ret retrieval.Retriever, opts Options) http.Handler {
 	if h.opts.EnablePprof {
 		registerPprof(mux)
 	}
-	return mux
+	return &Handler{mux: mux, h: h}
 }
 
 // indexHeaders stamps the freshness headers on a response. Call it
@@ -350,6 +420,9 @@ func (h *handler) clampTopN(w http.ResponseWriter, topN int) (int, bool) {
 // vocabulary queries are not errors at this layer (handled by callers);
 // everything else is a client error except timeouts.
 func writeSearchError(w http.ResponseWriter, err error) {
+	if writeShed(w, err) {
+		return
+	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "search timed out: %v", err)
@@ -470,6 +543,9 @@ func (h *handler) addInto(w http.ResponseWriter, r *http.Request, docs []retriev
 	defer cancel()
 	first, err := adder.Add(ctx, docs)
 	if err != nil {
+		if writeShed(w, err) {
+			return
+		}
 		switch {
 		case errors.Is(err, retrieval.ErrImmutableIndex):
 			// Every *retrieval.Index has the Add method; immutability

@@ -17,7 +17,6 @@ package httpapi
 
 import (
 	"errors"
-	"io"
 	"io/fs"
 	"net/http"
 	"os"
@@ -43,7 +42,7 @@ type ReplicateWALResponse struct {
 var replicaFilePat = regexp.MustCompile(`^(manifest\.json|text\.json|ids-[0-9]+\.json|seg-[0-9]+-[0-9]+-[0-9]+\.idx)$`)
 
 func (h *handler) replicateManifest(w http.ResponseWriter, r *http.Request) {
-	h.serveReplicaFile(w, "manifest.json")
+	h.serveReplicaFile(w, r, "manifest.json")
 }
 
 func (h *handler) replicateFile(w http.ResponseWriter, r *http.Request) {
@@ -52,17 +51,26 @@ func (h *handler) replicateFile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%q is not a checkpoint file name", name)
 		return
 	}
-	h.serveReplicaFile(w, name)
+	h.serveReplicaFile(w, r, name)
 }
 
 // serveReplicaFile streams one checkpoint file from ReplicateDir. The
 // freshness headers ride along so a replica can detect a checkpoint
-// racing its pull without an extra round trip.
-func (h *handler) serveReplicaFile(w http.ResponseWriter, name string) {
+// racing its pull without an extra round trip. Files are served via
+// http.ServeContent, so Range requests work: a replica whose download
+// was cut mid-file resumes from its last byte instead of restarting a
+// multi-GB fetch (generation-stamped data files never mutate in place,
+// making a resumed range safe; for the mutable manifest.json/text.json
+// the replica checks X-Index-Generation instead).
+func (h *handler) serveReplicaFile(w http.ResponseWriter, r *http.Request, name string) {
 	if h.opts.ReplicateDir == "" {
 		writeError(w, http.StatusNotFound, "replication is not enabled on this server (no checkpoint directory)")
 		return
 	}
+	if !h.enterReplication(w) {
+		return
+	}
+	defer h.repl.leave()
 	f, err := os.Open(filepath.Join(h.opts.ReplicateDir, name))
 	if errors.Is(err, fs.ErrNotExist) {
 		writeError(w, http.StatusNotFound, "checkpoint file %q does not exist (a newer checkpoint may have retired it; re-fetch the manifest)", name)
@@ -73,16 +81,18 @@ func (h *handler) serveReplicaFile(w http.ResponseWriter, name string) {
 		return
 	}
 	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "stat checkpoint file: %v", err)
+		return
+	}
 	h.indexHeaders(w)
 	if filepath.Ext(name) == ".json" {
 		w.Header().Set("Content-Type", "application/json")
 	} else {
 		w.Header().Set("Content-Type", "application/octet-stream")
 	}
-	if st, err := f.Stat(); err == nil {
-		w.Header().Set("Content-Length", strconv.FormatInt(st.Size(), 10))
-	}
-	io.Copy(w, f)
+	http.ServeContent(w, r, name, st.ModTime(), f)
 }
 
 func (h *handler) replicateWAL(w http.ResponseWriter, r *http.Request) {
@@ -91,6 +101,10 @@ func (h *handler) replicateWAL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "this server has no write-ahead log attached")
 		return
 	}
+	if !h.enterReplication(w) {
+		return
+	}
+	defer h.repl.leave()
 	fromStr := r.URL.Query().Get("from")
 	from, err := strconv.Atoi(fromStr)
 	if err != nil || from < 0 {

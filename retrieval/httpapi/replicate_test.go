@@ -16,7 +16,7 @@ import (
 // replicaHandler builds a WAL'd sharded index checkpointed into a
 // directory and wraps it in a replication-enabled handler, returning
 // both (the index for driving writes, the handler for the HTTP side).
-func replicaHandler(t *testing.T) (*retrieval.Index, http.Handler, string) {
+func replicaHandler(t *testing.T) (*retrieval.Index, *Handler, string) {
 	t.Helper()
 	dir := t.TempDir()
 	data, waldir := filepath.Join(dir, "data"), filepath.Join(dir, "wal")

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/faultinject"
 	"repro/internal/segment"
 )
 
@@ -34,7 +35,7 @@ func (x *Index) SaveShardDir(s int, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("shard: export: %w", err)
 	}
-	gen, err := nextGeneration(dir)
+	gen, err := nextGeneration(dir, faultinject.OS{})
 	if err != nil {
 		return fmt.Errorf("shard: export: %w", err)
 	}
@@ -86,7 +87,7 @@ func (x *Index) SaveShardDir(s int, dir string) error {
 		if err := seg.Ix.Save(&buf); err != nil {
 			return fmt.Errorf("shard: export segment %s: %w", name, err)
 		}
-		if err := writeFileAtomic(dir, name, buf.Bytes()); err != nil {
+		if err := writeFileAtomic(dir, name, buf.Bytes(), faultinject.OS{}); err != nil {
 			return fmt.Errorf("shard: export segment %s: %w", name, err)
 		}
 		keep[name] = true
@@ -103,14 +104,14 @@ func (x *Index) SaveShardDir(s int, dir string) error {
 	if err != nil {
 		return fmt.Errorf("shard: export ids: %w", err)
 	}
-	if err := writeFileAtomic(dir, man.IDsFile, idsData); err != nil {
+	if err := writeFileAtomic(dir, man.IDsFile, idsData, faultinject.OS{}); err != nil {
 		return fmt.Errorf("shard: export ids: %w", err)
 	}
 	manData, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return fmt.Errorf("shard: export manifest: %w", err)
 	}
-	if err := writeFileAtomic(dir, ManifestName, manData); err != nil {
+	if err := writeFileAtomic(dir, ManifestName, manData, faultinject.OS{}); err != nil {
 		return fmt.Errorf("shard: export manifest: %w", err)
 	}
 	retireStaleGenerations(dir, keep)

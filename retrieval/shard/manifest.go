@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/faultinject"
 	"repro/internal/lsi"
 	"repro/internal/segment"
 )
@@ -173,8 +174,8 @@ func validFileName(name string) error {
 // nextGeneration scans dir for generation-stamped data files and returns
 // one past the highest generation found, so a new save never reuses a
 // file name an earlier manifest might reference.
-func nextGeneration(dir string) (int, error) {
-	entries, err := os.ReadDir(dir)
+func nextGeneration(dir string, fsys faultinject.FS) (int, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return 0, err
 	}
@@ -193,12 +194,12 @@ func nextGeneration(dir string) (int, error) {
 
 // writeFileAtomic writes data to dir/name via a temp file + rename, so
 // the name only ever holds a complete file.
-func writeFileAtomic(dir, name string, data []byte) error {
+func writeFileAtomic(dir, name string, data []byte, fsys faultinject.FS) error {
 	tmp := filepath.Join(dir, name+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := fsys.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, name))
+	return fsys.Rename(tmp, filepath.Join(dir, name))
 }
 
 // SaveDir writes the index to dir (created if needed): the manifest,
@@ -210,11 +211,18 @@ func writeFileAtomic(dir, name string, data []byte) error {
 // rename, and only after that switch are the previous generation's
 // files deleted. A crash at any point leaves the directory opening as
 // either the complete old index or the complete new one.
-func (x *Index) SaveDir(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func (x *Index) SaveDir(dir string) error { return x.SaveDirFS(dir, faultinject.OS{}) }
+
+// SaveDirFS is SaveDir with an explicit file system — the
+// fault-injection seam. Every write the checkpoint performs goes
+// through fsys, so tests interpose a faultinject.FaultyFS and verify
+// that a save interrupted by torn writes or disk-full leaves the
+// directory opening as the complete previous index.
+func (x *Index) SaveDirFS(dir string, fsys faultinject.FS) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("shard: save: %w", err)
 	}
-	gen, err := nextGeneration(dir)
+	gen, err := nextGeneration(dir, fsys)
 	if err != nil {
 		return fmt.Errorf("shard: save: %w", err)
 	}
@@ -254,7 +262,7 @@ func (x *Index) SaveDir(dir string) error {
 			if err := seg.Ix.Save(&buf); err != nil {
 				return fmt.Errorf("shard: save segment %s: %w", name, err)
 			}
-			if err := writeFileAtomic(dir, name, buf.Bytes()); err != nil {
+			if err := writeFileAtomic(dir, name, buf.Bytes(), fsys); err != nil {
 				return fmt.Errorf("shard: save segment %s: %w", name, err)
 			}
 			keep[name] = true
@@ -272,14 +280,19 @@ func (x *Index) SaveDir(dir string) error {
 	if err != nil {
 		return fmt.Errorf("shard: save ids: %w", err)
 	}
-	if err := writeFileAtomic(dir, man.IDsFile, idsData); err != nil {
+	if err := writeFileAtomic(dir, man.IDsFile, idsData, fsys); err != nil {
 		return fmt.Errorf("shard: save ids: %w", err)
 	}
 	manData, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return fmt.Errorf("shard: save manifest: %w", err)
 	}
-	if err := writeFileAtomic(dir, ManifestName, manData); err != nil {
+	if err := writeFileAtomic(dir, ManifestName, manData, fsys); err != nil {
+		return fmt.Errorf("shard: save manifest: %w", err)
+	}
+	// From here the new manifest is the directory's truth: fsync the
+	// directory so the rename survives power loss.
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("shard: save manifest: %w", err)
 	}
 	x.generation.Store(uint64(gen))

@@ -1,0 +1,152 @@
+package wal
+
+// Disk-fault tests: the log driven through a faultinject.FaultyFS with
+// scripted short writes, fsync errors, and disk-full. The invariant
+// under every schedule is the one Append promises: a record acked
+// (Append returned nil) before the fault is still replayed after a
+// reopen, and no record acked after a torn frame is ever silently
+// discarded.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// reopenAndReplay closes nothing (the "crash"), reopens the directory
+// on a clean FS, and returns the replayed payloads.
+func reopenAndReplay(t *testing.T, dir string) [][]byte {
+	t.Helper()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after faults: %v", err)
+	}
+	defer l.Close()
+	var got [][]byte
+	if err := l.Replay(func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay after faults: %v", err)
+	}
+	return got
+}
+
+// TestAppendShortWriteDoesNotOrphanLaterAcks: a torn append is
+// truncated away so the NEXT acked append lands at a clean tail. The
+// failure this guards against: the torn frame stays, a later acked
+// record lands beyond it, and reopen's torn-tail truncation silently
+// discards the acked record.
+func TestAppendShortWriteDoesNotOrphanLaterAcks(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultinject.NewFaultyFS(faultinject.OS{}, 42)
+	l, err := OpenFS(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("acked-before")); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.FailWrites(1, nil, true) // every write torn short
+	if err := l.Append([]byte("torn-never-acked")); err == nil {
+		t.Fatal("torn append acked")
+	} else if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("torn append error %v, want the injected fault", err)
+	}
+	fs.Clear()
+
+	if err := l.Append([]byte("acked-after")); err != nil {
+		t.Fatalf("append after recovered tear: %v", err)
+	}
+
+	got := reopenAndReplay(t, dir)
+	if len(got) != 2 || !bytes.Equal(got[0], []byte("acked-before")) || !bytes.Equal(got[1], []byte("acked-after")) {
+		t.Fatalf("replay = %q, want [acked-before acked-after]", got)
+	}
+}
+
+// TestAppendFsyncErrorFailsStop: after a failed fsync nothing written
+// through the fd can be trusted, so the log refuses further appends
+// until rotation or reopen — an un-fsynced "ack" must be impossible.
+func TestAppendFsyncErrorFailsStop(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultinject.NewFaultyFS(faultinject.OS{}, 7)
+	l, err := OpenFS(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailSyncs(1, syscall.EIO)
+	if err := l.Append([]byte("unsynced")); err == nil {
+		t.Fatal("append acked without a durable fsync")
+	}
+	fs.Clear()
+	// Fail-stop: the fault is gone but the fd is still untrusted.
+	if err := l.Append([]byte("after")); err == nil {
+		t.Fatal("failed log accepted an append")
+	}
+	// Rotation (the checkpoint hook) recovers on a fresh segment.
+	if err := l.Rotate(); err != nil {
+		t.Fatalf("rotate on failed log: %v", err)
+	}
+	if err := l.Append([]byte("fresh")); err != nil {
+		t.Fatalf("append after recovery rotation: %v", err)
+	}
+	got := replayAll(t, l)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("fresh")) {
+		t.Fatalf("replay after rotation = %q, want [fresh]", got)
+	}
+}
+
+// TestAppendDiskFullSchedules: under every budget in a sweep, acked
+// records survive reopen and unacked ones never reappear — the
+// crossing record is torn at the budget boundary, exactly the shape a
+// real ENOSPC leaves.
+func TestAppendDiskFullSchedules(t *testing.T) {
+	for budget := int64(0); budget <= 256; budget += 16 {
+		budget := budget
+		t.Run(fmt.Sprintf("budget-%d", budget), func(t *testing.T) {
+			dir := t.TempDir()
+			fs := faultinject.NewFaultyFS(faultinject.OS{}, budget)
+			l, err := OpenFS(dir, fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			fs.DiskFullAfter(budget)
+			var acked [][]byte
+			for i := 0; i < 12; i++ {
+				p := []byte(fmt.Sprintf("rec-%02d-%s", i, "payload-padding-to-make-frames-real"))
+				if err := l.Append(p); err != nil {
+					if !errors.Is(err, faultinject.ErrInjected) && !errors.Is(err, syscall.ENOSPC) {
+						// The fail-stop refusal after an unrestorable tail
+						// is also legitimate.
+						if l.broken == nil {
+							t.Fatalf("append %d: unexpected error %v", i, err)
+						}
+					}
+					continue
+				}
+				acked = append(acked, p)
+			}
+			got := reopenAndReplay(t, dir)
+			if len(got) != len(acked) {
+				t.Fatalf("replay holds %d records, acked %d", len(got), len(acked))
+			}
+			for i := range acked {
+				if !bytes.Equal(got[i], acked[i]) {
+					t.Fatalf("record %d = %q, want %q", i, got[i], acked[i])
+				}
+			}
+		})
+	}
+}

@@ -38,6 +38,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"repro/internal/faultinject"
 )
 
 // ErrCorrupt reports a WAL segment with a malformed or CRC-failing
@@ -72,11 +74,14 @@ func parseSegName(name string) (uint64, bool) {
 // Log is an append-only record log in a directory of numbered segment
 // files. Open/Append/Replay/Rotate are safe for concurrent use.
 type Log struct {
-	dir string
+	dir  string
+	fsys faultinject.FS
 
 	mu     sync.Mutex
-	f      *os.File // active segment, opened for append
-	active uint64   // active segment number
+	f      faultinject.File // active segment, opened for append
+	active uint64           // active segment number
+	off    int64            // durable bytes in the active segment
+	broken error            // first unrecoverable append fault (fail-stop)
 	closed bool
 }
 
@@ -84,15 +89,22 @@ type Log struct {
 // prepares its newest segment for appending. A torn final record left
 // by a crash mid-append is truncated away; corruption earlier in any
 // segment fails the open.
-func Open(dir string) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func Open(dir string) (*Log, error) { return OpenFS(dir, faultinject.OS{}) }
+
+// OpenFS is Open with an explicit file system — the fault-injection
+// seam. Every durability-relevant operation the log performs (segment
+// writes, fsyncs, truncation, rotation) goes through fsys, so tests
+// interpose a faultinject.FaultyFS to script torn writes, fsync
+// errors, and disk-full against the real record format.
+func OpenFS(dir string, fsys faultinject.FS) (*Log, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	segs, err := listSegments(dir)
+	l := &Log{dir: dir, fsys: fsys}
+	segs, err := l.listSegments()
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir}
 	if len(segs) == 0 {
 		if err := l.startSegment(0); err != nil {
 			return nil, err
@@ -101,9 +113,10 @@ func Open(dir string) (*Log, error) {
 	}
 	// Verify every segment now, truncating a torn tail on the newest
 	// (crash mid-append) — older segments must be fully intact.
+	var activeLen int64
 	for i, n := range segs {
 		path := filepath.Join(dir, segName(n))
-		data, err := os.ReadFile(path)
+		data, err := fsys.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("wal: open: %w", err)
 		}
@@ -115,23 +128,24 @@ func Open(dir string) (*Log, error) {
 			if i != len(segs)-1 {
 				return nil, fmt.Errorf("wal: open %s: %w: torn record in a non-final segment", segName(n), ErrCorrupt)
 			}
-			if err := os.Truncate(path, int64(good)); err != nil {
+			if err := fsys.Truncate(path, int64(good)); err != nil {
 				return nil, fmt.Errorf("wal: open: truncating torn tail: %w", err)
 			}
 		}
+		activeLen = int64(good)
 	}
 	active := segs[len(segs)-1]
-	f, err := os.OpenFile(filepath.Join(dir, segName(active)), os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(filepath.Join(dir, segName(active)), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	l.f, l.active = f, active
+	l.f, l.active, l.off = f, active, activeLen
 	return l, nil
 }
 
 // listSegments returns the segment numbers present in dir, ascending.
-func listSegments(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func (l *Log) listSegments() ([]uint64, error) {
+	entries, err := l.fsys.ReadDir(l.dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -148,28 +162,18 @@ func listSegments(dir string) ([]uint64, error) {
 // startSegment creates segment n and makes it active, fsyncing the
 // directory so the new name survives a crash.
 func (l *Log) startSegment(n uint64) error {
-	f, err := os.OpenFile(filepath.Join(l.dir, segName(n)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	// O_APPEND, so every write lands at the current end of file — after
+	// a torn append is truncated away, the next frame starts exactly at
+	// the restored tail instead of leaving a hole at the dead fd offset.
+	f, err := l.fsys.OpenFile(filepath.Join(l.dir, segName(n)), os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: creating segment: %w", err)
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := l.fsys.SyncDir(l.dir); err != nil {
 		f.Close()
-		return err
-	}
-	l.f, l.active = f, n
-	return nil
-}
-
-// syncDir fsyncs a directory so entry creation/removal is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
 		return fmt.Errorf("wal: sync dir: %w", err)
 	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("wal: sync dir: %w", err)
-	}
+	l.f, l.active, l.off = f, n, 0
 	return nil
 }
 
@@ -186,12 +190,30 @@ func (l *Log) Append(payload []byte) error {
 	if l.closed {
 		return fmt.Errorf("wal: log is closed")
 	}
+	if l.broken != nil {
+		return fmt.Errorf("wal: log failed, refusing appends until reopen or rotation: %w", l.broken)
+	}
 	if _, err := l.f.Write(frame); err != nil {
+		// A failed or short write may have left a torn frame at the
+		// tail. Truncate back to the last durable record so no later
+		// append can land beyond the tear — a record written after a
+		// torn frame would be silently discarded by the next boot's
+		// torn-tail truncation even though it was acked. If the tail
+		// cannot be restored, fail-stop.
+		if terr := l.fsys.Truncate(filepath.Join(l.dir, segName(l.active)), l.off); terr != nil {
+			l.broken = fmt.Errorf("restoring tail after torn append: %v (append: %w)", terr, err)
+		}
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
+		// After a failed fsync the kernel may have dropped the dirty
+		// pages while leaving them readable, so nothing written through
+		// this fd can be trusted again. Fail-stop: later appends are
+		// refused, and the next Open re-verifies the tail from disk.
+		l.broken = fmt.Errorf("append fsync: %w", err)
 		return fmt.Errorf("wal: append: fsync: %w", err)
 	}
+	l.off += int64(len(frame))
 	return nil
 }
 
@@ -202,12 +224,12 @@ func (l *Log) Append(payload []byte) error {
 func (l *Log) Replay(fn func(payload []byte) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	segs, err := listSegments(l.dir)
+	segs, err := l.listSegments()
 	if err != nil {
 		return err
 	}
 	for i, n := range segs {
-		data, err := os.ReadFile(filepath.Join(l.dir, segName(n)))
+		data, err := l.fsys.ReadFile(filepath.Join(l.dir, segName(n)))
 		if err != nil {
 			return fmt.Errorf("wal: replay: %w", err)
 		}
@@ -233,28 +255,34 @@ func (l *Log) Rotate() error {
 		return fmt.Errorf("wal: log is closed")
 	}
 	old := l.active
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: rotate: %w", err)
+	if l.broken == nil {
+		// On a failed log, skip the farewell sync: every append since
+		// the fault was refused, so the old fd holds nothing acked, and
+		// the fresh segment below recovers the log on a trustworthy fd.
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: rotate: %w", err)
+		}
 	}
-	if err := l.f.Close(); err != nil {
+	if err := l.f.Close(); err != nil && l.broken == nil {
 		return fmt.Errorf("wal: rotate: %w", err)
 	}
 	if err := l.startSegment(old + 1); err != nil {
 		return err
 	}
+	l.broken = nil
 	// The new segment is durable; retiring the old ones is best-effort
 	// (a leftover is re-deleted by the next rotation, and replay of an
 	// already-checkpointed record is idempotent at the caller).
-	segs, err := listSegments(l.dir)
+	segs, err := l.listSegments()
 	if err != nil {
 		return nil
 	}
 	for _, n := range segs {
 		if n <= old {
-			os.Remove(filepath.Join(l.dir, segName(n)))
+			l.fsys.Remove(filepath.Join(l.dir, segName(n)))
 		}
 	}
-	syncDir(l.dir)
+	l.fsys.SyncDir(l.dir)
 	return nil
 }
 

@@ -6,7 +6,7 @@ GO ?= go
 # Base ref for the perf-regression gate (CI passes the PR's base branch).
 BASE ?= origin/main
 
-.PHONY: all build test lint vet fmt-check docs-check race bench-smoke bench bench-record bench-gate fuzz-short serve-smoke load-smoke cluster-smoke chaos-smoke
+.PHONY: all build test lint vet fmt-check docs-check race bench-smoke bench bench-record bench-gate fuzz-short serve-smoke load-smoke cluster-smoke chaos-smoke ann-smoke
 
 all: build test
 
@@ -37,10 +37,11 @@ docs-check:
 # numeric + retrieval layers built on it, the public API + HTTP layer
 # (including the admission-gate degradation tests), the WAL, the
 # cluster router/replica (hedged fan-out, failover, breakers, the chaos
-# suite), the fault-injection harness, the metrics registry, and the
-# load generator.
+# suite), the fault-injection harness, the metrics registry, the IVF
+# ANN quantizer (trained and probed concurrently by the compactor and
+# searches), and the load generator.
 race:
-	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./internal/segment ./internal/metrics ./internal/faultinject ./retrieval ./retrieval/cache ./retrieval/shard ./retrieval/wal ./retrieval/cluster ./retrieval/httpapi ./cmd/lsiserve ./cmd/lsiload
+	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./internal/segment ./internal/ivf ./internal/metrics ./internal/faultinject ./retrieval ./retrieval/cache ./retrieval/shard ./retrieval/wal ./retrieval/cluster ./retrieval/httpapi ./cmd/lsiserve ./cmd/lsiload
 
 # Build the serving daemon, boot it on a free port, and curl the health
 # and search endpoints — fails on any non-200.
@@ -100,11 +101,21 @@ bench-record:
 bench-gate:
 	sh scripts/bench_gate.sh -r "$(BASE)" -o bench-gate.txt
 
+# Sample a balanced >=100k-document corpus from the paper's model with
+# corpusgen, index it with the IVF ANN tier, and gate recall@10 >= 0.95
+# at nprobe=8 plus ANN-faster-than-exhaustive. The measured summary
+# lands in ann-smoke.json (archived by CI).
+ann-smoke:
+	$(GO) build -o bin/corpusgen ./cmd/corpusgen
+	$(GO) build -o bin/annsmoke ./cmd/annsmoke
+	sh scripts/ann_smoke.sh bin/corpusgen bin/annsmoke
+
 # Short local mirror of the nightly fuzz job: 30s per fuzz target (the
-# manifest loader, the query-cache key normalizer, and the WAL record
-# decoder).
+# manifest loader, the query-cache key normalizer, the WAL record
+# decoder, and the IVF postings decoder).
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzParseManifest -fuzztime=30s ./retrieval/shard
 	$(GO) test -run='^$$' -fuzz=FuzzQueryKeyNormalizer -fuzztime=30s ./retrieval/cache
 	$(GO) test -run='^$$' -fuzz=FuzzNormalizeQuery -fuzztime=30s ./retrieval/cache
 	$(GO) test -run='^$$' -fuzz=FuzzScanRecords -fuzztime=30s ./retrieval/wal
+	$(GO) test -run='^$$' -fuzz=FuzzDecodePostings -fuzztime=30s ./internal/ivf

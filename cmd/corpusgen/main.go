@@ -7,6 +7,15 @@
 //
 //	corpusgen [-docs 1000] [-topics 20] [-terms-per-topic 100] [-eps 0.05]
 //	          [-minlen 50] [-maxlen 100] [-mixture] [-seed 1] [-o corpus.jsonl]
+//	corpusgen -topics 128 -docs-per-topic 800 -eps 0.1    # balanced 102400-doc corpus
+//
+// Scale is set either by -docs (topics drawn uniformly at random, so
+// per-topic counts fluctuate) or by -docs-per-topic, which deals topics
+// round-robin for exactly that many documents per topic — the balanced
+// regime the paper's theorems assume, and the distribution the ANN
+// recall smoke test (scripts/ann_smoke.sh) measures against. -eps is
+// the model's noise knob: the probability mass each topic spreads
+// uniformly over the whole term universe instead of its primary set.
 package main
 
 import (
@@ -20,10 +29,11 @@ import (
 )
 
 func main() {
-	docs := flag.Int("docs", 1000, "number of documents")
+	docs := flag.Int("docs", 1000, "number of documents (topics drawn uniformly at random)")
+	docsPerTopic := flag.Int("docs-per-topic", 0, "balanced scale: exactly this many documents per topic, dealt round-robin (overrides -docs; incompatible with -mixture)")
 	topics := flag.Int("topics", 20, "number of topics")
 	termsPer := flag.Int("terms-per-topic", 100, "primary terms per topic")
-	eps := flag.Float64("eps", 0.05, "separability epsilon")
+	eps := flag.Float64("eps", 0.05, "separability epsilon: the noise mass each topic spreads over the whole term universe")
 	minLen := flag.Int("minlen", 50, "minimum document length")
 	maxLen := flag.Int("maxlen", 100, "maximum document length")
 	mixture := flag.Bool("mixture", false, "sample multi-topic documents (Dirichlet mixtures of up to 3 topics)")
@@ -40,6 +50,9 @@ func main() {
 		err   error
 	)
 	if *mixture {
+		if *docsPerTopic > 0 {
+			fatal(fmt.Errorf("-docs-per-topic deals single-topic documents; it cannot apply with -mixture"))
+		}
 		maxT := 3
 		if maxT > *topics {
 			maxT = *topics
@@ -51,7 +64,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c, err := corpus.Generate(model, *docs, rand.New(rand.NewSource(*seed)))
+	count := *docs
+	if *docsPerTopic > 0 {
+		count = *topics * *docsPerTopic
+		model.Sampler = &corpus.RoundRobinSampler{NumTopics: *topics, MinLen: *minLen, MaxLen: *maxLen}
+	}
+	c, err := corpus.Generate(model, count, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		fatal(err)
 	}

@@ -28,6 +28,12 @@
 //	        300ms idle — exercises queue fill/drain and shed recovery
 //	ingest  alternates POST /v1/docs appends with searches — exercises
 //	        epoch invalidation and the compaction-debt backpressure
+//	ann     the zipf query stream with a per-request "nprobe" override
+//	        cycling through -nprobe-sweep — reports latency quantiles
+//	        per probe budget (the "ann_sweep" summary block), so the
+//	        p99-under-probe-pressure story is one run. The target must
+//	        serve a *retrieval.Index (a node, not the cluster router);
+//	        budget 0 is the exhaustive baseline the others compare to
 //
 // The query set defaults to terms drawn from the built-in demo corpus
 // (what `lsiserve` with no arguments serves); -queries points at a file
@@ -80,6 +86,7 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -104,6 +111,7 @@ type loadConfig struct {
 	out         string
 	label       string
 	seed        int64
+	nprobeSweep []int // parsed from -nprobe-sweep (trace "ann" only)
 
 	// Chaos driving (-faults).
 	faultsFile string
@@ -117,7 +125,8 @@ func parseFlags(args []string, stderr io.Writer) (loadConfig, error) {
 	fs.StringVar(&cfg.addr, "addr", "localhost:8080", "lsiserve address (host:port or http:// base URL; comma-separate several to round-robin)")
 	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to run the trace")
 	fs.IntVar(&cfg.concurrency, "concurrency", 8, "closed-loop workers (each keeps one request in flight)")
-	fs.StringVar(&cfg.trace, "trace", "zipf", "workload trace: zipf, burst, or ingest")
+	fs.StringVar(&cfg.trace, "trace", "zipf", "workload trace: zipf, burst, ingest, or ann")
+	sweep := fs.String("nprobe-sweep", "0,1,2,4,8,16", "trace ann: comma-separated probe budgets cycled per request (0 = exhaustive baseline)")
 	fs.IntVar(&cfg.topN, "topn", 10, "results requested per search")
 	fs.Float64Var(&cfg.zipfS, "zipf-s", 1.1, "Zipf exponent for query popularity (>1; larger = more skewed, more cache hits)")
 	fs.StringVar(&cfg.queriesFile, "queries", "", "file with one query per line (default: terms from the built-in demo corpus)")
@@ -137,8 +146,23 @@ func parseFlags(args []string, stderr io.Writer) (loadConfig, error) {
 	}
 	switch cfg.trace {
 	case "zipf", "burst", "ingest":
+	case "ann":
+		for _, part := range strings.Split(*sweep, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			np, err := strconv.Atoi(part)
+			if err != nil || np < 0 {
+				return cfg, fmt.Errorf("lsiload: bad -nprobe-sweep entry %q (want integers >= 0)", part)
+			}
+			cfg.nprobeSweep = append(cfg.nprobeSweep, np)
+		}
+		if len(cfg.nprobeSweep) == 0 {
+			return cfg, fmt.Errorf("lsiload: -nprobe-sweep names no budgets")
+		}
 	default:
-		return cfg, fmt.Errorf("lsiload: unknown trace %q (want zipf, burst, or ingest)", cfg.trace)
+		return cfg, fmt.Errorf("lsiload: unknown trace %q (want zipf, burst, ingest, or ann)", cfg.trace)
 	}
 	if cfg.zipfS <= 1 {
 		return cfg, fmt.Errorf("lsiload: -zipf-s must be > 1, got %v", cfg.zipfS)
@@ -206,6 +230,10 @@ type collector struct {
 	shed    atomic.Int64       // 429/503 (the admission gates working as designed)
 	failed  atomic.Int64       // other statuses and transport errors
 
+	// Per-probe-budget latency for the ann trace, keyed by nprobe.
+	// Populated before the workers start; Observe is concurrency-safe.
+	annLatency map[int]*metrics.Histogram
+
 	// Chaos-mode accounting (-faults).
 	stuck    atomic.Int64 // requests that blew the -deadline bound
 	partials atomic.Int64 // 2xx responses marked X-Partial-Results
@@ -272,10 +300,14 @@ func (w *worker) run(ctx context.Context) {
 			}
 		}
 		w.seq++
-		if w.cfg.trace == "ingest" && w.seq%2 == 0 {
-			w.do(ctx, "/v1/docs", w.ingestBody())
-		} else {
-			w.do(ctx, "/v1/search", w.searchBody())
+		switch {
+		case w.cfg.trace == "ann":
+			np := w.cfg.nprobeSweep[w.seq%len(w.cfg.nprobeSweep)]
+			w.do(ctx, "/v1/search", w.annBody(np), w.col.annLatency[np])
+		case w.cfg.trace == "ingest" && w.seq%2 == 0:
+			w.do(ctx, "/v1/docs", w.ingestBody(), nil)
+		default:
+			w.do(ctx, "/v1/search", w.searchBody(), nil)
 		}
 	}
 }
@@ -283,6 +315,13 @@ func (w *worker) run(ctx context.Context) {
 func (w *worker) searchBody() []byte {
 	q := w.queries[int(w.zipf.Uint64())]
 	body, _ := json.Marshal(map[string]any{"query": q, "topN": w.cfg.topN})
+	return body
+}
+
+// annBody is searchBody with an explicit per-request probe budget.
+func (w *worker) annBody(nprobe int) []byte {
+	q := w.queries[int(w.zipf.Uint64())]
+	body, _ := json.Marshal(map[string]any{"query": q, "topN": w.cfg.topN, "nprobe": nprobe})
 	return body
 }
 
@@ -302,7 +341,10 @@ func (w *worker) target() string {
 	return w.cfg.addrs[w.seq%len(w.cfg.addrs)]
 }
 
-func (w *worker) do(ctx context.Context, path string, body []byte) {
+// do issues one request; extra, when non-nil, additionally records the
+// latency of successful (2xx) responses — the ann trace's per-budget
+// histogram.
+func (w *worker) do(ctx context.Context, path string, body []byte, extra *metrics.Histogram) {
 	reqCtx := ctx
 	if w.cfg.deadline > 0 {
 		var cancel context.CancelFunc
@@ -331,6 +373,7 @@ func (w *worker) do(ctx context.Context, path string, body []byte) {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	elapsed := time.Since(start)
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		if resp.Header.Get("X-Partial-Results") == "true" {
 			w.col.partials.Add(1)
@@ -338,8 +381,11 @@ func (w *worker) do(ctx context.Context, path string, body []byte) {
 		if path == "/v1/docs" {
 			w.col.acked.Add(1)
 		}
+		if extra != nil {
+			extra.Observe(elapsed.Seconds())
+		}
 	}
-	w.col.observe(time.Since(start), resp.StatusCode, nil)
+	w.col.observe(elapsed, resp.StatusCode, nil)
 	if isShed(resp.StatusCode) {
 		// Back off briefly; a closed loop that instantly retries turns
 		// shedding into a busy-wait against the gate.
@@ -372,6 +418,19 @@ type Summary struct {
 	Stuck      int64 `json:"stuck,omitempty"`
 	Partials   int64 `json:"partials,omitempty"`
 	AckedDocs  int64 `json:"acked_docs,omitempty"`
+
+	// ANNSweep reports per-probe-budget latency for the ann trace, in
+	// -nprobe-sweep order (budget 0 is the exhaustive baseline).
+	ANNSweep []ANNBucket `json:"ann_sweep,omitempty"`
+}
+
+// ANNBucket is one probe budget's slice of an ann-trace run; only
+// successful (2xx) searches count toward its quantiles.
+type ANNBucket struct {
+	NProbe   int     `json:"nprobe"`
+	Requests int64   `json:"requests"`
+	P50Ns    float64 `json:"p50_ns"`
+	P99Ns    float64 `json:"p99_ns"`
 }
 
 // faultStep is one timed entry of a -faults schedule: at at_ms from run
@@ -522,6 +581,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	col := &collector{latency: metrics.NewHistogram(metrics.DefLatencyBuckets)}
+	if cfg.trace == "ann" {
+		col.annLatency = make(map[int]*metrics.Histogram, len(cfg.nprobeSweep))
+		for _, np := range cfg.nprobeSweep {
+			if col.annLatency[np] == nil {
+				col.annLatency[np] = metrics.NewHistogram(metrics.DefLatencyBuckets)
+			}
+		}
+	}
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        cfg.concurrency,
 		MaxIdleConnsPerHost: cfg.concurrency,
@@ -599,6 +666,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		s.Partials = col.partials.Load()
 		s.AckedDocs = col.acked.Load()
 	}
+	if cfg.trace == "ann" {
+		seen := map[int]bool{}
+		for _, np := range cfg.nprobeSweep {
+			if seen[np] {
+				continue
+			}
+			seen[np] = true
+			h := col.annLatency[np]
+			s.ANNSweep = append(s.ANNSweep, ANNBucket{
+				NProbe:   np,
+				Requests: int64(h.Count()),
+				P50Ns:    h.Quantile(0.50) * 1e9,
+				P99Ns:    h.Quantile(0.99) * 1e9,
+			})
+		}
+	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(s); err != nil {
@@ -607,6 +690,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	if cfg.out != "" {
 		name := "Load" + strings.ToUpper(cfg.trace[:1]) + cfg.trace[1:]
+		extra := map[string]float64{}
+		for _, b := range s.ANNSweep {
+			extra[fmt.Sprintf("p99_ns_nprobe%d", b.NProbe)] = b.P99Ns
+		}
 		err := benchfmt.Merge(cfg.out, benchfmt.Run{
 			Label: cfg.label,
 			Date:  time.Now().UTC().Format(time.RFC3339),
@@ -615,14 +702,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				Name:       name,
 				Iterations: total,
 				NsPerOp:    s.MeanNs,
-				Metrics: map[string]float64{
-					"p50_ns":     s.P50Ns,
-					"p99_ns":     s.P99Ns,
-					"p999_ns":    s.P999Ns,
-					"qps":        s.QPS,
-					"error_rate": s.ErrorRate,
-					"shed_rate":  s.ShedRate,
-				},
+				Metrics: func() map[string]float64 {
+					m := map[string]float64{
+						"p50_ns":     s.P50Ns,
+						"p99_ns":     s.P99Ns,
+						"p999_ns":    s.P999Ns,
+						"qps":        s.QPS,
+						"error_rate": s.ErrorRate,
+						"shed_rate":  s.ShedRate,
+					}
+					for k, v := range extra {
+						m[k] = v
+					}
+					return m
+				}(),
 			}},
 		})
 		if err != nil {

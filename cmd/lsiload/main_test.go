@@ -120,10 +120,55 @@ func TestBurstTraceIdlesBetweenBursts(t *testing.T) {
 	}
 }
 
+func TestANNTraceSweepsProbeBudgets(t *testing.T) {
+	srv := startServer(t, []retrieval.Option{retrieval.WithANN(4, 0)}, httpapi.Options{})
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	s := runLoad(t, []string{"-addr", srv.URL, "-duration", "300ms", "-concurrency", "4",
+		"-trace", "ann", "-nprobe-sweep", "0,2,4", "-o", out, "-l", "test-ann", "-seed", "7"})
+
+	if s.Requests == 0 || s.OK == 0 || s.Failed != 0 {
+		t.Fatalf("ann trace traffic: %+v", s)
+	}
+	if len(s.ANNSweep) != 3 {
+		t.Fatalf("ann_sweep has %d buckets, want 3: %+v", len(s.ANNSweep), s.ANNSweep)
+	}
+	var total int64
+	for i, b := range s.ANNSweep {
+		if b.NProbe != []int{0, 2, 4}[i] {
+			t.Errorf("bucket %d budget = %d, want sweep order preserved", i, b.NProbe)
+		}
+		if b.Requests == 0 || b.P50Ns <= 0 || b.P99Ns < b.P50Ns {
+			t.Errorf("bucket %+v has no coherent quantiles", b)
+		}
+		total += b.Requests
+	}
+	if total != s.OK {
+		t.Errorf("sweep buckets cover %d requests, ok=%d", total, s.OK)
+	}
+
+	// The per-budget p99 columns land in the perf record.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchfmt.Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	m := rec.Runs[0].Benchmarks[0].Metrics
+	for _, key := range []string{"p99_ns_nprobe0", "p99_ns_nprobe2", "p99_ns_nprobe4"} {
+		if m[key] <= 0 {
+			t.Errorf("perf record missing %s: %v", key, m)
+		}
+	}
+}
+
 func TestParseFlagsRejects(t *testing.T) {
 	for _, args := range [][]string{
 		{"-trace", "nope"},
 		{"-zipf-s", "0.5"},
+		{"-trace", "ann", "-nprobe-sweep", "1,-2"},
+		{"-trace", "ann", "-nprobe-sweep", " , "},
 		{"positional"},
 	} {
 		if _, err := parseFlags(args, os.Stderr); err == nil {

@@ -9,12 +9,19 @@
 //	lsiquery -q "car engine repair"          # non-interactive, scriptable
 //	lsiquery -save-index demo.idx            # write a self-contained index
 //	lsiquery -stats                          # describe the index (incl. query cache) and exit
+//	lsiquery -ann-nlist 16 -nprobe 2 -q ...  # sublinear IVF cell-probe search
 //
 // Each file is one document. With no files, a small built-in demo corpus
 // (cars/space/cooking themes with synonym variation) is indexed. Without
 // -q, queries are read line by line from stdin. Indexes written by
 // -save-index are self-contained (wire format v2: vocabulary, weighting,
 // document IDs) and can be served directly by `lsiserve -index`.
+//
+// -ann-nlist trains an IVF ANN tier over the LSI space (see
+// retrieval.WithANN) and -nprobe sets how many cells each LSI query
+// scores (0 = exhaustive; -nprobe >= -ann-nlist matches the exhaustive
+// ranking exactly). The VSM column always scans exhaustively — it has
+// no latent space to quantize.
 package main
 
 import (
@@ -38,8 +45,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	query := fs.String("q", "", "answer this one query and exit instead of reading stdin")
 	statsOnly := fs.Bool("stats", false, "print index statistics (backend, rank, vocabulary, memory estimate, query cache) and exit")
 	cacheMB := fs.Int("cache-mb", 0, "attach a query result cache of this many MiB (0 = uncached; repeated interactive queries answer from memory)")
+	annNList := fs.Int("ann-nlist", 0, "train an IVF ANN tier with this many k-means cells over the LSI space (0 = no tier)")
+	nprobe := fs.Int("nprobe", 0, "ANN cells scored per LSI query (0 = exhaustive scan; needs -ann-nlist)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *nprobe > 0 && *annNList <= 0 {
+		return fmt.Errorf("-nprobe needs an ANN tier; set -ann-nlist too")
 	}
 
 	docs := retrieval.DemoCorpus()
@@ -51,7 +63,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	lsiIx, err := retrieval.Build(docs, retrieval.WithRank(*k),
-		retrieval.WithQueryCache(int64(*cacheMB)<<20))
+		retrieval.WithQueryCache(int64(*cacheMB)<<20),
+		retrieval.WithANN(*annNList, *nprobe))
 	if err != nil {
 		return err
 	}
@@ -160,6 +173,10 @@ func printStats(w io.Writer, st retrieval.Stats) {
 	if st.Sharded {
 		fmt.Fprintf(w, "shards:       %d (%d segments: %d live, %d sealed, %d compacted)\n",
 			st.Shards, st.Segments, st.LiveSegments, st.SealedPending, st.CompactedSegments)
+	}
+	if st.ANN != nil {
+		fmt.Fprintf(w, "ann tier:     nlist=%d nprobe=%d (%d quantizers over %d documents)\n",
+			st.ANN.NList, st.ANN.NProbe, st.ANN.Segments, st.ANN.Docs)
 	}
 	if st.Cache != nil {
 		fmt.Fprintf(w, "query cache:  %s cap, %d entries (%s), epoch %d\n",

@@ -45,6 +45,15 @@
 // response header and /v1/stats expose its behavior) that live appends
 // and compactions invalidate instantly.
 //
+// -ann-nlist N trains an IVF ANN tier over the LSI space (see
+// retrieval.WithANN): searches score only the -ann-nprobe cells nearest
+// the query instead of scanning every document, and requests may
+// override the budget per call with the "nprobe" body field. Both flags
+// are runtime knobs like -cache-mb — they apply to prebuilt -index
+// loads too (sharded directories reuse their persisted ann-*.ivf
+// quantizer sidecars). The /v1/stats "ann" block and the lsi_ann_*
+// metrics expose the tier's probe behavior.
+//
 // Under overload the daemon sheds rather than collapses: at most
 // -max-inflight search/docs requests execute concurrently, up to
 // -max-queue more wait, and the rest are answered 429 with Retry-After;
@@ -97,6 +106,8 @@ type serveConfig struct {
 	weighting   string
 	shards      int
 	cacheMB     int
+	annNList    int
+	annNProbe   int
 	timeout     time.Duration
 	maxTopN     int
 	maxInFlight int
@@ -132,6 +143,8 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	fs.StringVar(&cfg.weighting, "weighting", "log", "term weighting: count, binary, log, or tfidf")
 	fs.IntVar(&cfg.shards, "shards", 0, "serve a sharded live index over N shards (accepts POST /v1/docs; 0 = single immutable index)")
 	fs.IntVar(&cfg.cacheMB, "cache-mb", 64, "query result cache budget in MiB (0 disables; epoch-keyed, so live appends/compactions invalidate instantly)")
+	fs.IntVar(&cfg.annNList, "ann-nlist", 0, "train an IVF ANN tier with this many k-means cells over the LSI space (0 disables; requires -backend lsi)")
+	fs.IntVar(&cfg.annNProbe, "ann-nprobe", 0, "default ANN probe budget: cells scored per search (0 = exhaustive default; requests override via \"nprobe\")")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request search timeout")
 	fs.IntVar(&cfg.maxTopN, "top-max", 100, "cap on per-query result count")
 	fs.IntVar(&cfg.maxInFlight, "max-inflight", 256, "max concurrently executing search/docs requests; excess requests queue, then shed with 429 (0 = unlimited)")
@@ -208,11 +221,14 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 // newRetriever builds or loads the index the daemon serves.
 func newRetriever(cfg serveConfig) (*retrieval.Index, error) {
 	cacheOpt := retrieval.WithQueryCache(int64(cfg.cacheMB) << 20)
+	annOpt := retrieval.WithANN(cfg.annNList, cfg.annNProbe)
 	if cfg.indexPath != "" {
 		// Open handles both forms: a directory is a sharded index, a
-		// file a single-stream one. The cache is a runtime knob, so it
-		// applies to prebuilt indexes too.
-		return retrieval.Open(cfg.indexPath, cacheOpt)
+		// file a single-stream one. The cache and the ANN tier are
+		// runtime knobs, so they apply to prebuilt indexes too (sharded
+		// directories load their ann-*.ivf sidecars; missing quantizers
+		// are trained in place when -ann-nlist asks for them).
+		return retrieval.Open(cfg.indexPath, cacheOpt, annOpt)
 	}
 	backend, err := retrieval.ParseBackend(cfg.backend)
 	if err != nil {
@@ -234,6 +250,7 @@ func newRetriever(cfg serveConfig) (*retrieval.Index, error) {
 		retrieval.WithRank(cfg.rank),
 		retrieval.WithWeighting(weighting),
 		cacheOpt,
+		annOpt,
 	}
 	if cfg.shards > 0 {
 		opts = append(opts, retrieval.WithShards(cfg.shards))
@@ -468,6 +485,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if stats.Cache != nil {
 		fmt.Fprintf(stdout, ", query cache %d MiB", stats.Cache.CapBytes>>20)
+	}
+	if stats.ANN != nil {
+		fmt.Fprintf(stdout, ", ann nlist=%d nprobe=%d", stats.ANN.NList, stats.ANN.NProbe)
 	}
 	fmt.Fprintln(stdout)
 	if !stats.TextQueries {

@@ -269,6 +269,30 @@ func (p *PureSampler) SampleSpec(rng *rand.Rand) DocSpec {
 	return spec
 }
 
+// RoundRobinSampler deals single-topic documents out in a fixed topic
+// cycle, so a corpus of count documents holds exactly count/NumTopics
+// per topic (the first count mod NumTopics topics get one extra) — the
+// balanced docs-per-topic regime the paper's theorems assume, with no
+// sampling variance in the topic sizes. Lengths stay uniform in
+// [MinLen, MaxLen]. The sampler is stateful: one value per corpus.
+type RoundRobinSampler struct {
+	NumTopics int
+	MinLen    int
+	MaxLen    int
+	next      int
+}
+
+// SampleSpec implements SpecSampler.
+func (r *RoundRobinSampler) SampleSpec(rng *rand.Rand) DocSpec {
+	id := r.next % r.NumTopics
+	r.next++
+	length := r.MinLen
+	if r.MaxLen > r.MinLen {
+		length += rng.Intn(r.MaxLen - r.MinLen + 1)
+	}
+	return DocSpec{TopicIDs: []int{id}, TopicWeights: []float64{1}, Length: length}
+}
+
 // MixtureSampler draws documents whose topic combination mixes up to
 // MaxTopics topics with Dirichlet(α) weights — the "documents could belong
 // to several topics" regime the paper leaves as an open question after

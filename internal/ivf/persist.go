@@ -1,0 +1,178 @@
+package ivf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// On-disk format (little-endian), written alongside the seg-*.idx files
+// by the shard layer:
+//
+//	magic     "LSIIVF"            6 bytes
+//	version   uint16              currently 1
+//	dim       uint32
+//	nlist     uint32
+//	ndocs     uint32
+//	seed      int64
+//	centroids nlist*dim float64   row-major bit patterns
+//	postings  per cell: uvarint count, then count uvarint deltas
+//	          (strictly ascending doc ids, delta from previous+1 ≥ 1)
+//	crc32     uint32              IEEE, over everything above
+//
+// The decoder is total: every claim the header makes is validated
+// against the actual byte count before any allocation is sized from it,
+// the postings are checked to be a strict permutation of [0, ndocs), and
+// corruption anywhere is caught by the checksum — malformed input yields
+// an error, never a panic and never an oversized allocation.
+
+// WireVersion is the on-disk IVF format version Encode writes. Decode
+// accepts versions up to this one.
+const WireVersion = 1
+
+var wireMagic = [6]byte{'L', 'S', 'I', 'I', 'V', 'F'}
+
+// wireHeaderLen is magic + version + dim + nlist + ndocs + seed.
+const wireHeaderLen = 6 + 2 + 4 + 4 + 4 + 8
+
+// Encode serializes the index into the versioned wire format.
+func (x *Index) Encode() []byte {
+	buf := make([]byte, 0, wireHeaderLen+x.nlist*x.dim*8+2*len(x.docs)+x.nlist+4)
+	buf = append(buf, wireMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, WireVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.nlist))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x.docs)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(x.seed))
+	for _, v := range x.centroids.RawData() {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for c := 0; c < x.nlist; c++ {
+		cell := x.docs[x.cellStart[c]:x.cellStart[c+1]]
+		buf = binary.AppendUvarint(buf, uint64(len(cell)))
+		prev := int32(-1)
+		for _, d := range cell {
+			buf = binary.AppendUvarint(buf, uint64(d-prev))
+			prev = d
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// Decode parses an index from the wire format, validating the checksum,
+// the header bounds, and the postings permutation. It never panics on
+// malformed input and never allocates beyond O(len(data)).
+func Decode(data []byte) (*Index, error) {
+	if len(data) < wireHeaderLen+4 {
+		return nil, fmt.Errorf("ivf: truncated index: %d bytes", len(data))
+	}
+	if !bytes.Equal(data[:6], wireMagic[:]) {
+		return nil, fmt.Errorf("ivf: bad magic %q", data[:6])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("ivf: checksum mismatch: %08x, want %08x", got, want)
+	}
+	if v := binary.LittleEndian.Uint16(body[6:8]); v == 0 || v > WireVersion {
+		return nil, fmt.Errorf("ivf: unsupported wire version %d (this build reads <= %d)", v, WireVersion)
+	}
+	dim := int(binary.LittleEndian.Uint32(body[8:12]))
+	nlist := int(binary.LittleEndian.Uint32(body[12:16]))
+	ndocs := int(binary.LittleEndian.Uint32(body[16:20]))
+	seed := int64(binary.LittleEndian.Uint64(body[20:28]))
+	if dim < 1 || nlist < 1 || ndocs < 1 {
+		return nil, fmt.Errorf("ivf: degenerate header: dim=%d nlist=%d ndocs=%d", dim, nlist, ndocs)
+	}
+	rest := body[wireHeaderLen:]
+	// Every centroid element is 8 bytes and every posting costs at least
+	// one byte, so both claims are checked against the real byte count
+	// before anything is allocated from them.
+	centBytes := uint64(nlist) * uint64(dim) * 8
+	if centBytes > uint64(len(rest)) {
+		return nil, fmt.Errorf("ivf: centroid block needs %d bytes, %d remain", centBytes, len(rest))
+	}
+	cdata := make([]float64, nlist*dim)
+	for i := range cdata {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(rest[i*8:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("ivf: non-finite centroid element %d", i)
+		}
+		cdata[i] = v
+	}
+	starts, docs, err := decodePostings(rest[centBytes:], nlist, ndocs)
+	if err != nil {
+		return nil, err
+	}
+	centroids := mat.NewDenseData(nlist, dim, cdata)
+	cnorms := make([]float64, nlist)
+	for c := 0; c < nlist; c++ {
+		cnorms[c] = mat.Norm(centroids.Row(c))
+	}
+	return &Index{
+		dim:       dim,
+		nlist:     nlist,
+		seed:      seed,
+		centroids: centroids,
+		cnorms:    cnorms,
+		cellStart: starts,
+		docs:      docs,
+	}, nil
+}
+
+// decodePostings parses the delta-coded cell lists and validates that
+// they form a strict permutation of [0, ndocs): every id in range,
+// strictly ascending within its cell, no id in two cells, all ndocs
+// present, no trailing bytes. Allocation is bounded by the validated
+// ndocs, which itself is bounded by len(data) (≥ 1 byte per posting).
+func decodePostings(data []byte, nlist, ndocs int) (starts []int, docs []int32, err error) {
+	if ndocs > len(data) {
+		return nil, nil, fmt.Errorf("ivf: postings claim %d documents in %d bytes", ndocs, len(data))
+	}
+	starts = make([]int, nlist+1)
+	docs = make([]int32, 0, ndocs)
+	seen := make([]uint64, (ndocs+63)/64)
+	off := 0
+	for c := 0; c < nlist; c++ {
+		cnt, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("ivf: cell %d: truncated count", c)
+		}
+		off += n
+		if cnt > uint64(ndocs-len(docs)) {
+			return nil, nil, fmt.Errorf("ivf: cell %d holds %d documents, only %d unaccounted", c, cnt, ndocs-len(docs))
+		}
+		prev := int64(-1)
+		for i := uint64(0); i < cnt; i++ {
+			d, n := binary.Uvarint(data[off:])
+			if n <= 0 {
+				return nil, nil, fmt.Errorf("ivf: cell %d: truncated posting %d", c, i)
+			}
+			off += n
+			if d == 0 || d > uint64(ndocs) {
+				return nil, nil, fmt.Errorf("ivf: cell %d: delta %d out of range", c, d)
+			}
+			v := prev + int64(d)
+			if v >= int64(ndocs) {
+				return nil, nil, fmt.Errorf("ivf: cell %d: document %d out of range [0,%d)", c, v, ndocs)
+			}
+			if seen[v/64]&(1<<(v%64)) != 0 {
+				return nil, nil, fmt.Errorf("ivf: document %d appears in two cells", v)
+			}
+			seen[v/64] |= 1 << (v % 64)
+			docs = append(docs, int32(v))
+			prev = v
+		}
+		starts[c+1] = len(docs)
+	}
+	if len(docs) != ndocs {
+		return nil, nil, fmt.Errorf("ivf: postings hold %d of %d documents", len(docs), ndocs)
+	}
+	if off != len(data) {
+		return nil, nil, fmt.Errorf("ivf: %d trailing bytes after postings", len(data)-off)
+	}
+	return starts, docs, nil
+}

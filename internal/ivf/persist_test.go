@@ -1,0 +1,147 @@
+package ivf
+
+import (
+	"encoding/binary"
+	"flag"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden wire-format file")
+
+func goldenIndex(t *testing.T) *Index {
+	t.Helper()
+	vecs, norms := clusteredVecs(t, 40, 6, 4, 0.3, 17)
+	return trainT(t, vecs, norms, TrainOptions{NList: 5, Seed: 23})
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	x := goldenIndex(t)
+	got, err := Decode(x.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	sameIndex(t, x, got)
+	for c := range x.cnorms {
+		if math.Float64bits(x.cnorms[c]) != math.Float64bits(got.cnorms[c]) {
+			t.Fatalf("cnorms[%d] differs after round trip", c)
+		}
+	}
+}
+
+// TestGoldenWireFormat pins the exact bytes of wire version 1: training
+// is deterministic, so any drift in either the trainer or the encoder
+// shows up as a byte diff against the committed file. Refresh with
+// `go test ./internal/ivf -run TestGoldenWireFormat -update` after an
+// intentional format bump.
+func TestGoldenWireFormat(t *testing.T) {
+	enc := goldenIndex(t).Encode()
+	path := filepath.Join("testdata", "ivf-v1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if len(enc) != len(want) {
+		t.Fatalf("encoding is %d bytes, golden %d", len(enc), len(want))
+	}
+	for i := range enc {
+		if enc[i] != want[i] {
+			t.Fatalf("encoding differs from golden at byte %d: %#02x vs %#02x", i, enc[i], want[i])
+		}
+	}
+	x, err := Decode(want)
+	if err != nil {
+		t.Fatalf("Decode golden: %v", err)
+	}
+	sameIndex(t, goldenIndex(t), x)
+}
+
+// TestDecodeCorrupt flips every byte of a valid encoding one at a time
+// and truncates it at every length; each variant must error, never
+// panic, never succeed.
+func TestDecodeCorrupt(t *testing.T) {
+	enc := goldenIndex(t).Encode()
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x41
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("Decode with byte %d flipped: want error", i)
+		}
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, err := Decode(enc[:n]); err == nil {
+			t.Fatalf("Decode truncated to %d bytes: want error", n)
+		}
+	}
+}
+
+// frame wraps raw header fields + payload in valid magic/version/CRC so
+// the structural validation beneath the checksum is reachable.
+func frame(dim, nlist, ndocs uint32, seed int64, centroids []float64, postings []byte) []byte {
+	buf := append([]byte(nil), wireMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, WireVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, dim)
+	buf = binary.LittleEndian.AppendUint32(buf, nlist)
+	buf = binary.LittleEndian.AppendUint32(buf, ndocs)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(seed))
+	for _, v := range centroids {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = append(buf, postings...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+func uvarints(vs ...uint64) []byte {
+	var b []byte
+	for _, v := range vs {
+		b = binary.AppendUvarint(b, v)
+	}
+	return b
+}
+
+func TestDecodeRejectsMalformedStructure(t *testing.T) {
+	cent2 := []float64{1, 0, 0, 1} // 2 cells × dim 2
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", func() []byte {
+			b := frame(2, 2, 2, 1, cent2, uvarints(1, 0, 1, 1))
+			b[0] = 'X'
+			return binary.LittleEndian.AppendUint32(b[:len(b)-4], crc32.ChecksumIEEE(b[:len(b)-4]))
+		}()},
+		{"future version", func() []byte {
+			b := frame(2, 2, 2, 1, cent2, uvarints(1, 1, 1, 1))
+			binary.LittleEndian.PutUint16(b[6:8], WireVersion+1)
+			return binary.LittleEndian.AppendUint32(b[:len(b)-4], crc32.ChecksumIEEE(b[:len(b)-4]))
+		}()},
+		{"zero dim", frame(0, 2, 2, 1, nil, uvarints(1, 1, 1, 1))},
+		{"zero ndocs", frame(2, 2, 0, 1, cent2, nil)},
+		{"centroids past end", frame(1<<20, 1<<20, 2, 1, nil, nil)},
+		{"nan centroid", frame(2, 2, 2, 1, []float64{math.NaN(), 0, 0, 1}, uvarints(1, 1, 1, 1))},
+		{"delta zero", frame(2, 2, 2, 1, cent2, uvarints(2, 1, 0))},
+		{"doc out of range", frame(2, 2, 2, 1, cent2, uvarints(1, 3, 1, 1))},
+		{"duplicate across cells", frame(2, 2, 2, 1, cent2, uvarints(1, 1, 1, 1))},
+		{"count overflow", frame(2, 2, 2, 1, cent2, uvarints(9, 1, 1, 1))},
+		{"missing documents", frame(2, 2, 2, 1, cent2, uvarints(1, 1, 0))},
+		{"truncated postings", frame(2, 2, 2, 1, cent2, uvarints(2, 1))},
+		{"trailing bytes", frame(2, 2, 2, 1, cent2, uvarints(1, 1, 1, 2, 0))},
+	}
+	for _, tc := range cases {
+		if _, err := Decode(tc.data); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}

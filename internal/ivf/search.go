@@ -1,0 +1,139 @@
+package ivf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/par"
+	"repro/internal/topk"
+)
+
+// Cell-probe search: rank the cells by the cosine of the query against
+// their centroids, then score only the documents of the nprobe best
+// cells with the same fused DotNorm kernel as the exhaustive scan, and
+// select bounded top-k through internal/topk. Because per-document
+// scores are bitwise-identical to the exhaustive path and selection
+// under the strict (score desc, doc asc) total order is offer-order-
+// insensitive, probing all cells returns exactly the exhaustive result.
+
+// ProbeStats reports the work one cell-probe search performed; the
+// serving layer aggregates it into the /metrics probe counters.
+type ProbeStats struct {
+	// Cells is how many cells the search probed.
+	Cells int
+	// Docs is how many documents the probed cells held — the scored
+	// candidate count. Docs / NumDocs() is the scan fraction the probe
+	// saved over an exhaustive scan.
+	Docs int
+}
+
+// probeScratch pools the per-search selection state: the candidate heap
+// and the probed-cell buffers.
+type probeScratch struct {
+	heap  topk.Heap
+	cells topk.Heap
+	order []int // probed cell ids, ascending
+	offs  []int // flattened candidate offset of each probed cell
+}
+
+var probePool = sync.Pool{New: func() any { return new(probeScratch) }}
+
+// AppendSearch scores the documents of the nprobe best-matching cells
+// against the projected query pq (with qn its precomputed norm, as the
+// exhaustive path computes it) and appends the topN best to dst under
+// the (score desc, doc asc) order. Doc fields are row indices into vecs,
+// which must be the matrix the index was trained on, with its norms.
+// nprobe is clamped to [1, NList()]; nprobe <= 0 probes every cell,
+// which returns results bitwise-identical to the exhaustive scan.
+// topN <= 0 keeps every candidate.
+func (x *Index) AppendSearch(dst []topk.Match, vecs *mat.Dense, norms []float64, pq []float64, qn float64, topN, nprobe int) ([]topk.Match, ProbeStats) {
+	if vecs.Rows() != len(x.docs) {
+		panic(fmt.Sprintf("ivf: index over %d documents, matrix has %d rows", len(x.docs), vecs.Rows()))
+	}
+	if len(pq) != x.dim {
+		panic(fmt.Sprintf("ivf: query dimension %d, index dimension %d", len(pq), x.dim))
+	}
+	if nprobe <= 0 || nprobe > x.nlist {
+		nprobe = x.nlist
+	}
+
+	sc := probePool.Get().(*probeScratch)
+	defer probePool.Put(sc)
+
+	// Rank the cells: one DotNorm per centroid, bounded selection under
+	// the same total order (ties to the lower cell id). nlist is O(√m),
+	// so this stays negligible next to the candidate scan.
+	sc.cells.Reset(nprobe)
+	for c := 0; c < x.nlist; c++ {
+		sc.cells.Offer(topk.Match{Doc: c, Score: mat.DotNorm(pq, x.centroids.Row(c), qn, x.cnorms[c])})
+	}
+	sc.order = sc.order[:0]
+	for _, m := range sc.cells.Items() {
+		sc.order = append(sc.order, m.Doc)
+	}
+	sort.Ints(sc.order)
+
+	// Flatten the probed cells into one candidate range [0, total) so
+	// the parallel scan chunks it with par's deterministic layout.
+	sc.offs = sc.offs[:0]
+	total := 0
+	for _, c := range sc.order {
+		sc.offs = append(sc.offs, total)
+		total += x.cellStart[c+1] - x.cellStart[c]
+	}
+	stats := ProbeStats{Cells: len(sc.order), Docs: total}
+	if total == 0 {
+		return dst, stats
+	}
+	keep := topN
+	if keep <= 0 || keep > total {
+		keep = total
+	}
+
+	scoreRange := func(h *topk.Heap, lo, hi int) {
+		ci := sort.Search(len(sc.offs), func(i int) bool { return sc.offs[i] > lo }) - 1
+		for f := lo; f < hi; {
+			c := sc.order[ci]
+			base := x.cellStart[c] - sc.offs[ci]
+			end := sc.offs[ci] + x.cellStart[c+1] - x.cellStart[c]
+			if end > hi {
+				end = hi
+			}
+			for ; f < end; f++ {
+				j := int(x.docs[base+f])
+				h.Offer(topk.Match{Doc: j, Score: mat.DotNorm(pq, vecs.Row(j), qn, norms[j])})
+			}
+			ci++
+		}
+	}
+
+	h := &sc.heap
+	h.Reset(keep)
+	grain := par.GrainFor(2*x.dim + 1)
+	if par.MaxProcs() == 1 || total <= grain {
+		scoreRange(h, 0, total)
+		return h.AppendSorted(dst), stats
+	}
+	partials := par.MapChunks(total, grain, func(lo, hi int) *probeScratch {
+		csc := probePool.Get().(*probeScratch)
+		csc.heap.Reset(keep)
+		scoreRange(&csc.heap, lo, hi)
+		return csc
+	})
+	for _, csc := range partials {
+		h.Merge(&csc.heap)
+		probePool.Put(csc)
+	}
+	return h.AppendSorted(dst), stats
+}
+
+// Search is AppendSearch into a fresh slice.
+func (x *Index) Search(vecs *mat.Dense, norms []float64, pq []float64, qn float64, topN, nprobe int) ([]topk.Match, ProbeStats) {
+	keep := topN
+	if keep <= 0 || keep > len(x.docs) {
+		keep = len(x.docs)
+	}
+	return x.AppendSearch(make([]topk.Match, 0, keep), vecs, norms, pq, qn, topN, nprobe)
+}

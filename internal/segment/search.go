@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/ivf"
 	"repro/internal/mat"
 	"repro/internal/par"
 	"repro/internal/topk"
@@ -139,6 +140,93 @@ func SearchSparse(segs []*Segment, terms []int, weights []float64, topN int) []t
 func SearchVec(segs []*Segment, q []float64, topN int) []topk.Match {
 	p := project(segs, func(s *Segment) []float64 { return s.Ix.Project(q) })
 	return p.selectTop(topN)
+}
+
+// ProbeStats aggregates the work a probe-aware search performed across
+// the segment set; the serving layer turns it into /metrics counters.
+type ProbeStats struct {
+	// Probed counts segments answered through their IVF quantizer; Cells
+	// and Docs total the cells probed and candidates scored in them.
+	Probed int
+	Cells  int
+	Docs   int
+	// ExactDocs counts documents scanned exhaustively — segments with no
+	// quantizer (live fold-ins, tiny or reloaded segments) plus every
+	// segment when nprobe <= 0 disables probing.
+	ExactDocs int
+}
+
+// searchProbe is the probe-aware variant of the flattened scan: segments
+// carrying an IVF quantizer are answered by cell-probe search, the rest
+// by the exhaustive path, and all candidates merge through one bounded
+// heap under the (score desc, global doc asc) order. nprobe <= 0 forces
+// the exhaustive path everywhere (the escape hatch); nprobe >= nlist on
+// every quantized segment returns results bitwise-identical to the
+// exhaustive scan, because per-document scores come from the same
+// ProjectSparse/DotNorm pipeline and selection under a strict total
+// order is offer-order-insensitive.
+func searchProbe(segs []*Segment, fold func(s *Segment) []float64, topN, nprobe int) ([]topk.Match, ProbeStats) {
+	if nprobe <= 0 {
+		p := project(segs, fold)
+		return p.selectTop(topN), ProbeStats{ExactDocs: p.total}
+	}
+	total := NumDocs(segs)
+	if total == 0 {
+		return []topk.Match{}, ProbeStats{}
+	}
+	keep := topN
+	if keep <= 0 || keep > total {
+		keep = total
+	}
+
+	sc := searchPool.Get().(*searchScratch)
+	defer searchPool.Put(sc)
+	h := &sc.heap
+	h.Reset(keep)
+
+	var st ProbeStats
+	var exact []*Segment
+	var buf []topk.Match
+	for _, s := range segs {
+		if s.Ann == nil {
+			exact = append(exact, s)
+			continue
+		}
+		proj := fold(s)
+		qn := mat.Norm(proj)
+		var ps ivf.ProbeStats
+		buf, ps = s.Ann.AppendSearch(buf[:0], s.Ix.DocVectors(), s.Ix.Norms(), proj, qn, keep, nprobe)
+		for _, m := range buf {
+			// Global is ascending, so the remap is monotone: the strict
+			// (score desc, doc asc) order — and with it determinism and the
+			// full-probe equivalence — survives the renumbering.
+			h.Offer(topk.Match{Doc: s.Global[m.Doc], Score: m.Score})
+		}
+		st.Probed++
+		st.Cells += ps.Cells
+		st.Docs += ps.Docs
+	}
+	if len(exact) > 0 {
+		p := project(exact, fold)
+		st.ExactDocs = p.total
+		for _, m := range p.selectTop(keep) {
+			h.Offer(m)
+		}
+	}
+	return h.AppendSorted(make([]topk.Match, 0, keep)), st
+}
+
+// SearchSparseProbe is SearchSparse with an IVF probe budget: segments
+// carrying a quantizer score only their nprobe best cells. Results carry
+// GLOBAL document numbers and are deterministic for any worker count and
+// segment layout; nprobe <= 0 is the exhaustive escape hatch.
+func SearchSparseProbe(segs []*Segment, terms []int, weights []float64, topN, nprobe int) ([]topk.Match, ProbeStats) {
+	return searchProbe(segs, func(s *Segment) []float64 { return s.Ix.ProjectSparse(terms, weights) }, topN, nprobe)
+}
+
+// SearchVecProbe is SearchSparseProbe for a dense term-space query.
+func SearchVecProbe(segs []*Segment, q []float64, topN, nprobe int) ([]topk.Match, ProbeStats) {
+	return searchProbe(segs, func(s *Segment) []float64 { return s.Ix.Project(q) }, topN, nprobe)
 }
 
 // NumDocs returns the total number of documents across segs.

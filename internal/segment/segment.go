@@ -33,6 +33,7 @@ package segment
 import (
 	"fmt"
 
+	"repro/internal/ivf"
 	"repro/internal/lsi"
 )
 
@@ -85,6 +86,13 @@ type Segment struct {
 	// Compacted marks a segment whose latent space was derived from its
 	// own documents (initial build or Compact) rather than by fold-in.
 	Compacted bool
+	// Ann is the optional IVF coarse quantizer over Ix's document vectors
+	// (nil = none; the segment is always servable by exhaustive scan).
+	// The shard layer trains it for compacted segments at (re-)SVD time —
+	// fold-in extensions never carry one, so live segments stay exact by
+	// construction. Ann indexes segment-LOCAL rows; search remaps through
+	// Global like the exhaustive path does.
+	Ann *ivf.Index
 }
 
 // New wraps a latent index and its global document numbers as a segment.
@@ -101,6 +109,24 @@ func New(ix *lsi.Index, global []int, raw *Raw, compacted bool) (*Segment, error
 
 // Len returns the number of documents in the segment.
 func (s *Segment) Len() int { return len(s.Global) }
+
+// WithAnn returns a copy of the segment carrying the given IVF quantizer
+// (nil detaches any existing one). The quantizer must cover exactly this
+// segment's document vectors: one posting per local row, centroids in
+// the segment's rank-k latent space.
+func (s *Segment) WithAnn(ann *ivf.Index) (*Segment, error) {
+	if ann != nil {
+		if ann.NumDocs() != s.Len() {
+			return nil, fmt.Errorf("segment: quantizer over %d documents, segment has %d", ann.NumDocs(), s.Len())
+		}
+		if ann.Dim() != s.Ix.K() {
+			return nil, fmt.Errorf("segment: quantizer dimension %d, segment rank %d", ann.Dim(), s.Ix.K())
+		}
+	}
+	next := *s
+	next.Ann = ann
+	return &next, nil
+}
 
 // Extend returns a NEW segment with the given sparse documents folded in
 // (represented in this segment's basis) and their global numbers and raw

@@ -1,0 +1,185 @@
+package retrieval
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/ivf"
+	"repro/internal/mat"
+)
+
+// The ANN tier at the retrieval layer (see WithANN). Unsharded LSI
+// indexes carry one IVF quantizer over the whole document-vector matrix,
+// trained at Build (and at Open, when the opening options ask for the
+// tier — the quantizer is derived state, cheap to rebuild and
+// deterministic for a fixed seed, so single-stream index files stay
+// format-stable). Sharded indexes delegate to retrieval/shard, where
+// every compacted segment owns a quantizer persisted as an ann-*.ivf
+// sidecar next to its seg-*.idx file.
+
+// annSeedOffset separates the quantizer-training random stream from the
+// decomposition seeds derived from the same configured seed.
+const annSeedOffset = 500009
+
+// trainANN trains the unsharded index's quantizer per cfg; a no-op when
+// the tier is not configured. Build and Open call it after the LSI index
+// exists.
+func (ix *Index) trainANN(cfg config) error {
+	ix.annList, ix.annProbe = cfg.annList, cfg.annProbe
+	if cfg.annList <= 0 || ix.lsiIndex == nil {
+		return nil
+	}
+	ann, err := ivf.Train(ix.lsiIndex.DocVectors(), ix.lsiIndex.Norms(), ivf.TrainOptions{
+		NList: cfg.annList,
+		Seed:  cfg.seed + annSeedOffset,
+	})
+	if err != nil {
+		return fmt.Errorf("retrieval: training quantizer: %w", err)
+	}
+	ix.ann = ann
+	return nil
+}
+
+// searchSparseProbe is searchSparse with an explicit probe budget:
+// nprobe > 0 probes that many cells per quantizer, nprobe <= 0 scans
+// exhaustively. Indexes without a quantizer always scan exhaustively.
+func (ix *Index) searchSparseProbe(terms []int, weights []float64, topN, nprobe int) []Result {
+	if ix.sharded != nil {
+		ms, _ := ix.sharded.SearchSparseProbe(terms, weights, topN, nprobe)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	}
+	if ix.ann == nil || nprobe <= 0 || ix.backend != BackendLSI {
+		ms := ix.lsiIndex.SearchSparse(terms, weights, topN)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	}
+	pq := ix.lsiIndex.ProjectSparse(terms, weights)
+	return ix.probeProjected(pq, topN, nprobe)
+}
+
+// searchVecProbe is searchSparseProbe for a dense term-space vector.
+func (ix *Index) searchVecProbe(q []float64, topN, nprobe int) []Result {
+	if ix.sharded != nil {
+		ms, _ := ix.sharded.SearchVecProbe(q, topN, nprobe)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	}
+	if ix.ann == nil || nprobe <= 0 || ix.backend != BackendLSI {
+		ms := ix.lsiIndex.Search(q, topN)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	}
+	return ix.probeProjected(ix.lsiIndex.Project(q), topN, nprobe)
+}
+
+// probeProjected runs the unsharded cell-probe scan over an
+// already-projected query. The norm is computed exactly as the
+// exhaustive path computes it, so a full probe (nprobe >= nlist) is
+// bitwise-identical to lsi's own scan.
+func (ix *Index) probeProjected(pq []float64, topN, nprobe int) []Result {
+	ms, st := ix.ann.Search(ix.lsiIndex.DocVectors(), ix.lsiIndex.Norms(), pq, mat.Norm(pq), topN, nprobe)
+	ix.annSearches.Add(1)
+	ix.annCells.Add(int64(st.Cells))
+	ix.annDocs.Add(int64(st.Docs))
+	return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+}
+
+// SearchProbe is Search with a per-request probe budget overriding the
+// configured default: nprobe > 0 scores only that many cells per
+// quantizer (clamped to nlist; nprobe >= nlist returns exactly the
+// exhaustive ranking), nprobe <= 0 forces the exhaustive scan — the
+// per-request escape hatch. Indexes without an ANN tier serve every
+// budget exhaustively. SearchProbe bypasses the query cache: cache keys
+// assume the configured default budget, and a per-request override must
+// not poison them.
+func (ix *Index) SearchProbe(ctx context.Context, query string, topN, nprobe int) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ix.vocab == nil {
+		return nil, ErrNoVocabulary
+	}
+	terms, weights, known := ix.querySparse(query)
+	if known == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoQueryTerms, query)
+	}
+	var res []Result
+	if ix.backend == BackendVSM {
+		// No latent space to probe; serve the ordinary VSM ranking.
+		res = ix.searchSparse(terms, weights, topN)
+	} else {
+		res = ix.searchSparseProbe(terms, weights, topN, nprobe)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SearchVectorProbe is SearchVector with a per-request probe budget; the
+// budget semantics are those of SearchProbe. The vector length must
+// equal NumTerms.
+func (ix *Index) SearchVectorProbe(ctx context.Context, q []float64, topN, nprobe int) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(q) != ix.NumTerms() {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVectorLength, len(q), ix.NumTerms())
+	}
+	var res []Result
+	if ix.backend == BackendVSM {
+		res = ix.searchVec(q, topN)
+	} else {
+		res = ix.searchVecProbe(q, topN, nprobe)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ANNStats describes the IVF ANN tier of an index built or opened with
+// WithANN (surfaced as the "ann" block of /v1/stats).
+type ANNStats struct {
+	// NList is the configured cell count; NProbe the default probe
+	// budget (0 = the default search scans exhaustively).
+	NList  int `json:"nlist"`
+	NProbe int `json:"nprobe"`
+	// Segments counts quantizers serving (1 for an unsharded index; one
+	// per quantized segment for sharded indexes) and Docs the documents
+	// they cover — Docs/NumDocs is the corpus fraction served
+	// sublinearly.
+	Segments int `json:"segments"`
+	Docs     int `json:"docs"`
+	// Lifetime probe counters: searches that used the tier, cells
+	// probed, and candidates scored in them.
+	Searches    int64 `json:"searches"`
+	CellsProbed int64 `json:"cellsProbed"`
+	DocsScored  int64 `json:"docsScored"`
+}
+
+// ANNStats reports the ANN tier's configuration and probe counters; ok
+// is false when the index has no tier (not configured, or a backend
+// without one).
+func (ix *Index) ANNStats() (ANNStats, bool) {
+	st := ANNStats{NList: ix.annList, NProbe: ix.annProbe}
+	switch {
+	case ix.sharded != nil:
+		ss := ix.sharded.Stats()
+		if ix.annList <= 0 && ss.ANNSegments == 0 {
+			return ANNStats{}, false
+		}
+		st.Segments = ss.ANNSegments
+		st.Docs = ss.ANNDocs
+		st.Searches = ss.ANNSearches
+		st.CellsProbed = ss.ANNCellsProbed
+		st.DocsScored = ss.ANNDocsScored
+	case ix.ann != nil:
+		st.NList = ix.ann.NList() // post-clamp truth beats the config
+		st.Segments = 1
+		st.Docs = ix.ann.NumDocs()
+		st.Searches = ix.annSearches.Load()
+		st.CellsProbed = ix.annCells.Load()
+		st.DocsScored = ix.annDocs.Load()
+	default:
+		return ANNStats{}, false
+	}
+	return st, true
+}

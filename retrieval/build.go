@@ -6,9 +6,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/corpus"
 	"repro/internal/ir"
+	"repro/internal/ivf"
 	"repro/internal/lsi"
 	"repro/internal/par"
 	"repro/internal/sparse"
@@ -36,6 +38,18 @@ type Index struct {
 	stemming        bool
 	docIDs          []string
 
+	// The ANN tier (WithANN). ann is the unsharded index's quantizer —
+	// sharded indexes keep one per compacted segment down in
+	// retrieval/shard. annList/annProbe remember the configuration
+	// (annProbe is the default probe budget of Search; 0 = exhaustive);
+	// the atomics count unsharded probe work for Stats and /metrics.
+	ann         *ivf.Index
+	annList     int
+	annProbe    int
+	annSearches atomic.Int64
+	annCells    atomic.Int64
+	annDocs     atomic.Int64
+
 	qc *queryCache // non-nil iff built/opened with WithQueryCache
 
 	// wlog is the attached write-ahead log (AttachWAL); nil means Adds
@@ -59,6 +73,9 @@ func Build(docs []Document, opts ...Option) (*Index, error) {
 	}
 	if len(docs) == 0 {
 		return nil, fmt.Errorf("%w: no documents", ErrEmptyCorpus)
+	}
+	if cfg.annList > 0 && cfg.backend != BackendLSI {
+		return nil, fmt.Errorf("retrieval: WithANN requires the LSI backend (got %s)", cfg.backend)
 	}
 	if cfg.workers > 0 {
 		par.SetMaxProcs(cfg.workers)
@@ -117,6 +134,9 @@ func Build(docs []Document, opts ...Option) (*Index, error) {
 		ix.lsiIndex, err = lsi.Build(a, rank, lsi.Options{Engine: engine, Seed: cfg.seed})
 		if err != nil {
 			return nil, fmt.Errorf("retrieval: building LSI index: %w", err)
+		}
+		if err := ix.trainANN(cfg); err != nil {
+			return nil, err
 		}
 	case BackendVSM:
 		ix.vsmIndex = vsm.NewFromMatrix(a)
@@ -219,10 +239,17 @@ func (ix *Index) Stats() Stats {
 		m := int64(ix.lsiIndex.NumDocs())
 		k := int64(ix.lsiIndex.K())
 		st.MemoryBytes += 8 * (n*k + m*k + k + m) // basis + doc rows + sigma + norms
+		if ann := ix.ann; ann != nil {
+			nlist := int64(ann.NList())
+			st.MemoryBytes += 8*nlist*int64(ann.Dim()) + 8*nlist + 8*(nlist+1) + 4*int64(ann.NumDocs())
+		}
 	}
 	if cs, ok := ix.CacheStats(); ok {
 		st.Cache = &cs
 		st.MemoryBytes += cs.Bytes
+	}
+	if as, ok := ix.ANNStats(); ok {
+		st.ANN = &as
 	}
 	return st
 }
@@ -294,6 +321,9 @@ func (ix *Index) toResults(n int, at func(int) (int, float64)) []Result {
 // searchVec ranks documents against a validated dense term-space vector
 // (the SearchVector path; text queries go through searchSparse).
 func (ix *Index) searchVec(q []float64, topN int) []Result {
+	if ix.annProbe > 0 {
+		return ix.searchVecProbe(q, topN, ix.annProbe)
+	}
 	if ix.sharded != nil {
 		ms := ix.sharded.SearchVec(q, topN)
 		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
@@ -307,8 +337,13 @@ func (ix *Index) searchVec(q []float64, topN int) []Result {
 }
 
 // searchSparse ranks documents against a validated sparse query (terms
-// sorted ascending), staying on the backends' sparse hot paths.
+// sorted ascending), staying on the backends' sparse hot paths. With a
+// configured default probe budget (WithANN's nprobe > 0) it routes
+// through the ANN tier.
 func (ix *Index) searchSparse(terms []int, weights []float64, topN int) []Result {
+	if ix.annProbe > 0 {
+		return ix.searchSparseProbe(terms, weights, topN, ix.annProbe)
+	}
 	if ix.sharded != nil {
 		ms := ix.sharded.SearchSparse(terms, weights, topN)
 		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
@@ -414,10 +449,11 @@ func (ix *Index) SearchBatch(ctx context.Context, queries []string, topN int) ([
 		}
 		hi := min(lo+batchChunk, len(qterms))
 		var chunk [][]Result
-		if ix.sharded != nil {
+		if ix.sharded != nil || (ix.annProbe > 0 && ix.ann != nil) {
+			// Sharded and ANN-probed searches go query-by-query through the
+			// same dispatch as Search; each query parallelizes internally.
 			for i := lo; i < hi; i++ {
-				ms := ix.sharded.SearchSparse(qterms[i], qweights[i], topN)
-				chunk = append(chunk, ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score }))
+				chunk = append(chunk, ix.searchSparse(qterms[i], qweights[i], topN))
 			}
 		} else if ix.backend == BackendVSM {
 			for _, ms := range ix.vsmIndex.SearchBatchSparse(qterms[lo:hi], qweights[lo:hi], topN) {

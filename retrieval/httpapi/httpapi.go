@@ -1,7 +1,10 @@
 // Package httpapi exposes a retrieval.Retriever over HTTP/JSON — the
 // handler behind cmd/lsiserve. Endpoints:
 //
-//	POST /v1/search        {"query":"car engine","topN":10} or {"vector":[...],"topN":10}
+//	POST /v1/search        {"query":"car engine","topN":10} or {"vector":[...],"topN":10};
+//	                       an optional "nprobe" overrides the ANN tier's
+//	                       probe budget for this request (0 = exhaustive;
+//	                       see retrieval.WithANN)
 //	POST /v1/search:batch  {"queries":["car","galaxy"],"topN":10}
 //	POST /v1/docs          {"id":"doc-x","text":"..."} — live append (sharded indexes)
 //	POST /v1/docs:batch    {"docs":[{"id":"...","text":"..."}, ...]}
@@ -204,6 +207,18 @@ type FanoutSearcher interface {
 	SearchBatchPartial(ctx context.Context, queries []string, topN int) (results [][]retrieval.Result, partial bool, err error)
 }
 
+// ProbeSearcher is the optional ANN probe-override capability: the
+// concrete *retrieval.Index implements it (meaningfully when built or
+// opened with retrieval.WithANN; without an ANN tier every budget is
+// served exhaustively). A search request carrying "nprobe" routes
+// through it — bypassing the query cache, whose keys assume the
+// configured default budget. Handlers reject nprobe requests with 400
+// when the retriever lacks the capability (e.g. the cluster router).
+type ProbeSearcher interface {
+	SearchProbe(ctx context.Context, query string, topN, nprobe int) ([]retrieval.Result, error)
+	SearchVectorProbe(ctx context.Context, q []float64, topN, nprobe int) ([]retrieval.Result, error)
+}
+
 // WALTailer is the optional replication catch-up capability behind GET
 // /v1/replicate/wal: a *retrieval.Index with an attached WAL implements
 // it usefully (WALAttached reports whether a log is armed).
@@ -218,6 +233,11 @@ type SearchRequest struct {
 	Query  string    `json:"query,omitempty"`
 	Vector []float64 `json:"vector,omitempty"`
 	TopN   int       `json:"topN,omitempty"`
+	// NProbe, when present, overrides the ANN tier's probe budget for
+	// this request: > 0 scores that many cells per quantizer (clamped to
+	// nlist), 0 forces the exhaustive scan. Absent means the configured
+	// default. Requires a ProbeSearcher retriever (400 otherwise).
+	NProbe *int `json:"nprobe,omitempty"`
 }
 
 // SearchResponse is the body of a successful POST /v1/search.
@@ -455,7 +475,25 @@ func (h *handler) search(w http.ResponseWriter, r *http.Request) {
 
 	var results []retrieval.Result
 	var err error
-	if hasVector {
+	if req.NProbe != nil {
+		if *req.NProbe < 0 {
+			writeError(w, http.StatusBadRequest, "nprobe must be >= 0, got %d", *req.NProbe)
+			return
+		}
+		ps, ok := h.ret.(ProbeSearcher)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "this index does not accept per-request probe budgets")
+			return
+		}
+		if hasVector {
+			results, err = ps.SearchVectorProbe(ctx, req.Vector, topN, *req.NProbe)
+		} else {
+			results, err = ps.SearchProbe(ctx, req.Query, topN, *req.NProbe)
+			if errors.Is(err, retrieval.ErrNoQueryTerms) {
+				results, err = []retrieval.Result{}, nil
+			}
+		}
+	} else if hasVector {
 		vs, ok := h.ret.(VectorSearcher)
 		if !ok {
 			writeError(w, http.StatusBadRequest, "this index does not accept vector queries")

@@ -57,6 +57,14 @@ type CacheStatsReporter interface {
 	CacheStats() (retrieval.QueryCacheStats, bool)
 }
 
+// ANNStatsReporter is the optional ANN-tier observability capability of
+// the concrete *retrieval.Index (ok is false when the index has no IVF
+// tier — see retrieval.WithANN). The handler exports the configuration
+// gauges and probe counters as live /metrics series.
+type ANNStatsReporter interface {
+	ANNStats() (retrieval.ANNStats, bool)
+}
+
 // gateClass says how the admission gate treats a route.
 type gateClass int
 
@@ -178,6 +186,28 @@ func newObserver(reg *metrics.Registry, ret retrieval.Retriever) *observer {
 				lookups(func(s retrieval.QueryCacheStats) int64 { return s.Bytes }))
 			reg.GaugeFunc("lsi_cache_capacity_bytes", "Query-cache byte budget.",
 				lookups(func(s retrieval.QueryCacheStats) int64 { return s.CapBytes }))
+		}
+	}
+
+	if ar, ok := ret.(ANNStatsReporter); ok {
+		if _, has := ar.ANNStats(); has {
+			ann := func(pick func(retrieval.ANNStats) int64) func() float64 {
+				return func() float64 { st, _ := ar.ANNStats(); return float64(pick(st)) }
+			}
+			reg.GaugeFunc("lsi_ann_nprobe", "Configured default probe budget (0 = default searches scan exhaustively).",
+				ann(func(s retrieval.ANNStats) int64 { return int64(s.NProbe) }))
+			reg.GaugeFunc("lsi_ann_nlist", "Configured IVF cell count per quantizer.",
+				ann(func(s retrieval.ANNStats) int64 { return int64(s.NList) }))
+			reg.GaugeFunc("lsi_ann_segments", "Quantized segments serving cell-probe searches.",
+				ann(func(s retrieval.ANNStats) int64 { return int64(s.Segments) }))
+			reg.GaugeFunc("lsi_ann_docs", "Documents covered by a quantizer (the sublinearly served corpus fraction).",
+				ann(func(s retrieval.ANNStats) int64 { return int64(s.Docs) }))
+			reg.CounterFunc("lsi_ann_searches_total", "Searches that probed the ANN tier (exhaustive escapes excluded).",
+				ann(func(s retrieval.ANNStats) int64 { return s.Searches }))
+			reg.CounterFunc("lsi_ann_cells_probed_total", "IVF cells probed across all ANN searches.",
+				ann(func(s retrieval.ANNStats) int64 { return s.CellsProbed }))
+			reg.CounterFunc("lsi_ann_docs_scored_total", "Candidate documents scored across all ANN searches.",
+				ann(func(s retrieval.ANNStats) int64 { return s.DocsScored }))
 		}
 	}
 

@@ -153,6 +153,8 @@ type config struct {
 	sealEvery       int   // 0 = shard package default
 	cacheBytes      int64 // <= 0 = no query result cache
 	autoCompact     *bool
+	annList         int // 0 = no ANN tier; >= 1 trains IVF quantizers with this many cells
+	annProbe        int // default probe budget; 0 = exhaustive unless a request overrides
 }
 
 func defaultConfig() config {
@@ -224,6 +226,25 @@ func WithSealEvery(n int) Option { return func(c *config) { c.sealEvery = n } }
 // segments keep serving their fold-in representations until Compact is
 // called explicitly — useful for tests that need a fixed segment layout.
 func WithAutoCompact(on bool) Option { return func(c *config) { c.autoCompact = &on } }
+
+// WithANN enables the IVF ANN tier of the LSI backend: a k-means coarse
+// quantizer with nlist cells (clamped to the corpus size) is trained
+// over the rank-k document vectors, and searches score only the nprobe
+// cells whose centroids best match the projected query instead of
+// scanning every document — sublinear candidate work on the
+// topic-clustered corpora the paper's model produces. nprobe is the
+// default probe budget: 0 keeps the default search exhaustive while
+// still training quantizers (probe only via SearchProbe's per-request
+// override), and nprobe >= nlist is bitwise-identical to the exhaustive
+// scan. On sharded indexes every compacted segment carries its own
+// quantizer, retrained by the compactor at re-SVD time; live fold-in
+// segments always scan exhaustively, so freshly added documents are
+// never missed. Training is deterministic for a fixed seed; results are
+// deterministic for any worker count. Requires the LSI backend;
+// nlist <= 0 disables the tier.
+func WithANN(nlist, nprobe int) Option {
+	return func(c *config) { c.annList = nlist; c.annProbe = nprobe }
+}
 
 // WithQueryCache attaches a query result cache bounded at maxBytes
 // (estimated footprint; <= 0, the default, disables caching). The cache

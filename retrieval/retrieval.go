@@ -136,6 +136,10 @@ type Stats struct {
 	// Cache reports the query result cache (WithQueryCache); nil when
 	// the index is uncached.
 	Cache *QueryCacheStats `json:"cache,omitempty"`
+
+	// ANN reports the IVF ANN tier (WithANN); nil when the index has
+	// none.
+	ANN *ANNStats `json:"ann,omitempty"`
 }
 
 // QueryCacheStats describes the query result cache of an index built

@@ -137,6 +137,13 @@ func (x *Index) Compact() (int, error) {
 		if err != nil {
 			return rebuilt, fmt.Errorf("shard %d: %w", s, err)
 		}
+		// Re-train the segment's coarse quantizer against the fresh
+		// decomposition, still outside every lock: the quantizer publishes
+		// in the same swap as the re-SVD, so the epoch bump below covers
+		// both and cached pre-compaction rankings retire exactly once.
+		if comp, err = x.trainAnn(comp, s); err != nil {
+			return rebuilt, err
+		}
 
 		sh.mu.Lock()
 		cur := sh.state.Load()

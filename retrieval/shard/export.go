@@ -91,12 +91,23 @@ func (x *Index) SaveShardDir(s int, dir string) error {
 			return fmt.Errorf("shard: export segment %s: %w", name, err)
 		}
 		keep[name] = true
+		// The quantizer indexes segment-local rows, which the global
+		// renumbering does not touch, so the sidecar exports byte-identical.
+		annName := ""
+		if seg.Ann != nil {
+			annName = fmt.Sprintf("ann-%d-0-%d.ivf", gen, i)
+			if err := writeFileAtomic(dir, annName, seg.Ann.Encode(), faultinject.OS{}); err != nil {
+				return fmt.Errorf("shard: export quantizer %s: %w", annName, err)
+			}
+			keep[annName] = true
+		}
 		man.Segments[0] = append(man.Segments[0], ManifestSegment{
 			File:      name,
 			Docs:      seg.Len(),
 			Globals:   locals,
 			Compacted: seg.Compacted,
 			Base:      base != nil && seg.Ix == base,
+			ANNFile:   annName,
 		})
 	}
 
@@ -130,8 +141,9 @@ func retireStaleGenerations(dir string, keep map[string]bool) {
 		name := e.Name()
 		var g, a, b int
 		isSeg := func() bool { n, _ := fmt.Sscanf(name, "seg-%d-%d-%d.idx", &g, &a, &b); return n == 3 }
+		isAnn := func() bool { n, _ := fmt.Sscanf(name, "ann-%d-%d-%d.ivf", &g, &a, &b); return n == 3 }
 		isIDs := func() bool { n, _ := fmt.Sscanf(name, "ids-%d.json", &g); return n == 1 }
-		if (isSeg() || isIDs()) && !keep[name] {
+		if (isSeg() || isAnn() || isIDs()) && !keep[name] {
 			os.Remove(filepath.Join(dir, name))
 		}
 	}

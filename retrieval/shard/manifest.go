@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/faultinject"
+	"repro/internal/ivf"
 	"repro/internal/lsi"
 	"repro/internal/segment"
 )
@@ -64,6 +65,12 @@ type ManifestSegment struct {
 	// Base marks the segment whose latent index is the shard's fold-in
 	// basis for future ingest.
 	Base bool `json:"base,omitempty"`
+	// ANNFile names the segment's IVF quantizer sidecar (internal/ivf
+	// wire format), empty when the segment has none. Optional by
+	// construction: a version-1 manifest without it still opens, the
+	// segment just serves exhaustively (or re-trains, if the opening
+	// config asks for the ANN tier).
+	ANNFile string `json:"annFile,omitempty"`
 }
 
 // ParseManifest decodes and validates manifest bytes. It is total:
@@ -112,6 +119,11 @@ func ParseManifest(data []byte) (*Manifest, error) {
 		for i, e := range segs {
 			if err := validFileName(e.File); err != nil {
 				return nil, fmt.Errorf("shard: manifest: shard %d segment %d: %w", s, i, err)
+			}
+			if e.ANNFile != "" {
+				if err := validFileName(e.ANNFile); err != nil {
+					return nil, fmt.Errorf("shard: manifest: shard %d segment %d: ann file: %w", s, i, err)
+				}
 			}
 			if e.Docs != len(e.Globals) {
 				return nil, fmt.Errorf("shard: manifest: shard %d segment %d: docs=%d but %d globals",
@@ -183,6 +195,9 @@ func nextGeneration(dir string, fsys faultinject.FS) (int, error) {
 	for _, e := range entries {
 		var g, a, b int
 		if n, _ := fmt.Sscanf(e.Name(), "seg-%d-%d-%d.idx", &g, &a, &b); n == 3 && g >= gen {
+			gen = g + 1
+		}
+		if n, _ := fmt.Sscanf(e.Name(), "ann-%d-%d-%d.ivf", &g, &a, &b); n == 3 && g >= gen {
 			gen = g + 1
 		}
 		if n, _ := fmt.Sscanf(e.Name(), "ids-%d.json", &g); n == 1 && g >= gen {
@@ -266,12 +281,21 @@ func (x *Index) SaveDirFS(dir string, fsys faultinject.FS) error {
 				return fmt.Errorf("shard: save segment %s: %w", name, err)
 			}
 			keep[name] = true
+			annName := ""
+			if seg.Ann != nil {
+				annName = fmt.Sprintf("ann-%d-%d-%d.ivf", gen, s, i)
+				if err := writeFileAtomic(dir, annName, seg.Ann.Encode(), fsys); err != nil {
+					return fmt.Errorf("shard: save quantizer %s: %w", annName, err)
+				}
+				keep[annName] = true
+			}
 			man.Segments[s] = append(man.Segments[s], ManifestSegment{
 				File:      name,
 				Docs:      seg.Len(),
 				Globals:   seg.Global,
 				Compacted: seg.Compacted,
 				Base:      bases[s] != nil && seg.Ix == bases[s],
+				ANNFile:   annName,
 			})
 		}
 	}
@@ -364,6 +388,24 @@ func Open(dir string, cfg Config) (*Index, error) {
 			}
 			seg, err := segment.New(ix, e.Globals, nil, e.Compacted)
 			if err != nil {
+				return nil, fmt.Errorf("shard: open segment %s: %w", e.File, err)
+			}
+			if e.ANNFile != "" {
+				annData, err := os.ReadFile(filepath.Join(dir, e.ANNFile))
+				if err != nil {
+					return nil, fmt.Errorf("shard: open: %w", err)
+				}
+				ann, err := ivf.Decode(annData)
+				if err != nil {
+					return nil, fmt.Errorf("shard: open quantizer %s: %w", e.ANNFile, err)
+				}
+				if seg, err = seg.WithAnn(ann); err != nil {
+					return nil, fmt.Errorf("shard: open quantizer %s: %w", e.ANNFile, err)
+				}
+			} else if seg, err = x.trainAnn(seg, s); err != nil {
+				// An older save without sidecars opens into an ANN-enabled
+				// config by training in place, so the tier is available
+				// without a rebuild.
 				return nil, fmt.Errorf("shard: open segment %s: %w", e.File, err)
 			}
 			st.stable = append(st.stable, seg)

@@ -68,6 +68,18 @@ type Config struct {
 	AutoCompact bool
 	// CompactL overrides the two-step projection dimension (0 = auto).
 	CompactL int
+	// ANNList enables the IVF ANN tier: compacted segments of at least
+	// ANNMinDocs documents carry a coarse quantizer with ANNList cells
+	// (clamped per segment to its document count). 0 disables training;
+	// quantizers already present on loaded segments still serve.
+	ANNList int
+	// ANNProbe is the default probe budget the owning layer passes to
+	// SearchSparseProbe; the shard layer stores it for Stats only.
+	ANNProbe int
+	// ANNMinDocs is the smallest segment worth a quantizer (0 = default
+	// 256; set negative-impossible sizes like 1 in tests to train tiny
+	// segments).
+	ANNMinDocs int
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +168,11 @@ type Index struct {
 	// comparable between a primary and its replicas.
 	generation atomic.Uint64
 
+	// ANN probe counters (see ANNSearches and friends in ann.go).
+	annSearches atomic.Int64
+	annCells    atomic.Int64
+	annDocs     atomic.Int64
+
 	// globalEpoch counts published mutations index-wide. It is bumped
 	// AFTER the mutation's state pointers are stored (ingest publishes
 	// ids + every shard state first; compaction swaps its segment
@@ -209,6 +226,9 @@ func Build(a *sparse.CSR, ids []string, cfg Config) (*Index, error) {
 		seg, err := segment.New(ix, globals, nil, true)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		if seg, err = x.trainAnn(seg, s); err != nil {
+			return nil, err
 		}
 		x.shards[s].base = ix
 		x.shards[s].state.Store(&shardState{stable: []*segment.Segment{seg}})
@@ -359,6 +379,15 @@ type Stats struct {
 	Compacting bool `json:"compacting"`
 	// MemoryBytes estimates the heap held by segment data.
 	MemoryBytes int64 `json:"memoryBytes"`
+	// The ANN tier: ANNSegments counts segments carrying an IVF
+	// quantizer, ANNDocs the documents they cover (ANNDocs/Docs is the
+	// corpus fraction served sublinearly); the lifetime counters mirror
+	// the ANNSearches/ANNCellsProbed/ANNDocsScored accessors.
+	ANNSegments    int   `json:"annSegments"`
+	ANNDocs        int   `json:"annDocs"`
+	ANNSearches    int64 `json:"annSearches"`
+	ANNCellsProbed int64 `json:"annCellsProbed"`
+	ANNDocsScored  int64 `json:"annDocsScored"`
 }
 
 // Stats snapshots the segment topology.
@@ -398,6 +427,12 @@ func (x *Index) Stats() Stats {
 				seenBasis[b] = true
 				st.MemoryBytes += 8 * int64(seg.Ix.NumTerms()) * k
 			}
+			if ann := seg.Ann; ann != nil {
+				st.ANNSegments++
+				st.ANNDocs += seg.Len()
+				nlist := int64(ann.NList())
+				st.MemoryBytes += 8*nlist*int64(ann.Dim()) + 8*nlist + 8*(nlist+1) + 4*int64(ann.NumDocs())
+			}
 		}
 	}
 	for _, id := range x.ids.Load().ids {
@@ -405,6 +440,9 @@ func (x *Index) Stats() Stats {
 	}
 	st.Compactions = x.compactions.Load()
 	st.Compacting = x.compacting.Load() > 0
+	st.ANNSearches = x.annSearches.Load()
+	st.ANNCellsProbed = x.annCells.Load()
+	st.ANNDocsScored = x.annDocs.Load()
 	return st
 }
 

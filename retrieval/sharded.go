@@ -64,11 +64,14 @@ func buildSharded(ix *Index, a *sparse.CSR, ids []string, numTerms, numDocs int,
 		Seed:        cfg.seed,
 		SealEvery:   cfg.sealEvery,
 		AutoCompact: autoCompact,
+		ANNList:     cfg.annList,
+		ANNProbe:    cfg.annProbe,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("retrieval: building sharded index: %w", err)
 	}
 	ix.sharded = sx
+	ix.annList, ix.annProbe = cfg.annList, cfg.annProbe
 	ix.docIDs = nil // the shard directory owns external IDs in sharded mode
 	return ix, nil
 }
@@ -239,8 +242,10 @@ func (ix *Index) writeTextMeta(dir string) error {
 // serves identical scores to the saved one and keeps accepting Adds;
 // segments reload as-is (pending compaction state is not carried over —
 // run Compact before saving for a fully compacted index). Options
-// control runtime behavior only: WithSealEvery and WithAutoCompact
-// apply, everything structural comes from the manifest.
+// control runtime behavior only: WithSealEvery, WithAutoCompact,
+// WithQueryCache, and WithANN apply (quantizer sidecars saved next to
+// the segments reload directly; WithANN additionally trains segments
+// saved without them), everything structural comes from the manifest.
 func OpenDir(dir string, opts ...Option) (*Index, error) {
 	cfg := defaultConfig()
 	for _, opt := range opts {
@@ -268,6 +273,8 @@ func OpenDir(dir string, opts ...Option) (*Index, error) {
 	sx, err := shard.Open(dir, shard.Config{
 		SealEvery:   cfg.sealEvery,
 		AutoCompact: autoCompact,
+		ANNList:     cfg.annList,
+		ANNProbe:    cfg.annProbe,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("retrieval: open: %w", err)
@@ -289,6 +296,7 @@ func OpenDir(dir string, opts ...Option) (*Index, error) {
 		removeStopwords: meta.RemoveStopwords,
 		stemming:        meta.Stemming,
 	}
+	ix.annList, ix.annProbe = cfg.annList, cfg.annProbe
 	ix.initCache(cfg.cacheBytes)
 	return ix, nil
 }
@@ -296,10 +304,11 @@ func OpenDir(dir string, opts ...Option) (*Index, error) {
 // Open loads an index from path, whichever form it takes: a directory is
 // opened as a sharded index (OpenDir), a file as a single-stream index
 // (Load). This is what `lsiserve -index` calls. The options are the
-// runtime knobs: WithQueryCache applies to both forms, WithSealEvery
-// and WithAutoCompact only to the directory form; everything structural
-// comes from the saved index, and single-stream indexes have no other
-// runtime configuration.
+// runtime knobs: WithQueryCache and WithANN apply to both forms (for a
+// single-stream LSI file, WithANN trains the quantizer at open time —
+// deterministic and cheap next to the SVD the file already paid for),
+// WithSealEvery and WithAutoCompact only to the directory form;
+// everything structural comes from the saved index.
 func Open(path string, opts ...Option) (*Index, error) {
 	info, err := os.Stat(path)
 	if err != nil {
@@ -320,6 +329,14 @@ func Open(path string, opts ...Option) (*Index, error) {
 	ix, err := Load(f)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.annList > 0 {
+		if ix.backend != BackendLSI {
+			return nil, fmt.Errorf("retrieval: open: WithANN requires the LSI backend (got %s)", ix.backend)
+		}
+		if err := ix.trainANN(cfg); err != nil {
+			return nil, err
+		}
 	}
 	ix.initCache(cfg.cacheBytes)
 	return ix, nil

@@ -1,0 +1,43 @@
+#!/bin/sh
+# ANN recall/speedup smoke: sample a balanced corpus from the paper's
+# probabilistic model with corpusgen, index it with the IVF ANN tier,
+# and gate the PR 9 acceptance bar — recall@10 >= 0.95 at nprobe=8 AND
+# the probed path faster than the exhaustive scan — at m >= 100k
+# documents, the scale where sublinear candidate work must pay for the
+# probe overhead. annsmoke does the measurement and exits non-zero when
+# either gate trips; its summary lands in ann-smoke.json (archived by
+# CI). CI runs this via `make ann-smoke`; binary paths come in as $1
+# (corpusgen) and $2 (annsmoke).
+#
+# The corpus shape is overridable for quick local runs, e.g.:
+#   ANN_SMOKE_TOPICS=16 ANN_SMOKE_DOCS_PER_TOPIC=100 sh scripts/ann_smoke.sh ...
+set -eu
+
+CORPUSGEN="${1:?usage: ann_smoke.sh path/to/corpusgen path/to/annsmoke}"
+ANNSMOKE="${2:?usage: ann_smoke.sh path/to/corpusgen path/to/annsmoke}"
+
+TOPICS="${ANN_SMOKE_TOPICS:-128}"
+# 128 topics x 800 docs = 102400 documents: past the m >= 100k bar.
+DOCS_PER_TOPIC="${ANN_SMOKE_DOCS_PER_TOPIC:-800}"
+NPROBE="${ANN_SMOKE_NPROBE:-8}"
+
+CORPUS="$(mktemp)"
+trap 'rm -f "$CORPUS"' EXIT INT TERM
+
+echo "ann-smoke: sampling ${TOPICS}x${DOCS_PER_TOPIC} balanced corpus"
+"$CORPUSGEN" -topics "$TOPICS" -docs-per-topic "$DOCS_PER_TOPIC" \
+    -terms-per-topic 25 -eps 0.1 -seed 1 -o "$CORPUS"
+
+"$ANNSMOKE" -corpus "$CORPUS" -rank 32 -nlist 128 -nprobe "$NPROBE" \
+    -topn 10 -queries 200 -seed 1 \
+    -min-recall 0.95 -min-speedup 1.0 -o ann-smoke.json \
+    || { echo "ann-smoke FAILED: recall/speedup gate tripped" >&2; cat ann-smoke.json >&2 || true; exit 1; }
+cat ann-smoke.json
+
+# Belt and braces on the summary shape: the gates above only bind if
+# annsmoke measured what this script thinks it measured.
+grep -q '"nprobe": '"$NPROBE" ann-smoke.json || { echo "ann-smoke FAILED: summary has wrong nprobe" >&2; exit 1; }
+grep -q '"recall"' ann-smoke.json || { echo "ann-smoke FAILED: no recall in summary" >&2; exit 1; }
+grep -q '"speedup"' ann-smoke.json || { echo "ann-smoke FAILED: no speedup in summary" >&2; exit 1; }
+
+echo "ann-smoke: OK (gates held at nprobe=$NPROBE)"

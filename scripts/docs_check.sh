@@ -12,9 +12,9 @@ GO="${GO:-go}"
 
 # Packages whose godoc is the product: the public retrieval API, its
 # cache/sharding/durability subsystems, the cluster tier, the HTTP
-# layer, the metrics kit, and the fault-injection harness chaos tests
-# and benches script against.
-DIRS="retrieval retrieval/cache retrieval/shard retrieval/wal retrieval/cluster retrieval/httpapi internal/metrics internal/faultinject"
+# layer, the metrics kit, the IVF ANN quantizer, and the
+# fault-injection harness chaos tests and benches script against.
+DIRS="retrieval retrieval/cache retrieval/shard retrieval/wal retrieval/cluster retrieval/httpapi internal/metrics internal/ivf internal/faultinject"
 
 $GO vet $(for d in $DIRS; do printf './%s ' "$d"; done)
 

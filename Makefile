@@ -6,7 +6,7 @@ GO ?= go
 # Base ref for the perf-regression gate (CI passes the PR's base branch).
 BASE ?= origin/main
 
-.PHONY: all build test lint vet fmt-check docs-check race bench-smoke bench bench-record bench-gate fuzz-short serve-smoke load-smoke cluster-smoke chaos-smoke ann-smoke
+.PHONY: all build test lint vet fmt-check docs-check race bench-smoke bench bench-record bench-gate fuzz-short serve-smoke load-smoke cluster-smoke chaos-smoke ann-smoke quant-smoke
 
 all: build test
 
@@ -38,10 +38,11 @@ docs-check:
 # (including the admission-gate degradation tests), the WAL, the
 # cluster router/replica (hedged fan-out, failover, breakers, the chaos
 # suite), the fault-injection harness, the metrics registry, the IVF
-# ANN quantizer (trained and probed concurrently by the compactor and
-# searches), and the load generator.
+# ANN quantizer and the int8 scoring shadow (both trained and probed
+# concurrently by the compactor and searches), the fidelity metrics,
+# and the load generator.
 race:
-	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./internal/segment ./internal/ivf ./internal/metrics ./internal/faultinject ./retrieval ./retrieval/cache ./retrieval/shard ./retrieval/wal ./retrieval/cluster ./retrieval/httpapi ./cmd/lsiserve ./cmd/lsiload
+	$(GO) test -race ./internal/par ./internal/sparse ./internal/mat ./internal/topk ./internal/lsi ./internal/vsm ./internal/segment ./internal/ivf ./internal/quant ./internal/eval ./internal/metrics ./internal/faultinject ./retrieval ./retrieval/cache ./retrieval/shard ./retrieval/wal ./retrieval/cluster ./retrieval/httpapi ./cmd/lsiserve ./cmd/lsiload
 
 # Build the serving daemon, boot it on a free port, and curl the health
 # and search endpoints — fails on any non-200.
@@ -110,12 +111,22 @@ ann-smoke:
 	$(GO) build -o bin/annsmoke ./cmd/annsmoke
 	sh scripts/ann_smoke.sh bin/corpusgen bin/annsmoke
 
+# Sample a balanced >=100k-document corpus from the paper's model with
+# corpusgen, index it with the int8 quantized scoring tier, and gate
+# top-10 overlap >= 0.99 at rank 64, beta=64 plus quantized-faster-than-exact.
+# The measured summary lands in quant-smoke.json (archived by CI).
+quant-smoke:
+	$(GO) build -o bin/corpusgen ./cmd/corpusgen
+	$(GO) build -o bin/quantsmoke ./cmd/quantsmoke
+	sh scripts/quant_smoke.sh bin/corpusgen bin/quantsmoke
+
 # Short local mirror of the nightly fuzz job: 30s per fuzz target (the
 # manifest loader, the query-cache key normalizer, the WAL record
-# decoder, and the IVF postings decoder).
+# decoder, the IVF postings decoder, and the quantized sidecar decoder).
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzParseManifest -fuzztime=30s ./retrieval/shard
 	$(GO) test -run='^$$' -fuzz=FuzzQueryKeyNormalizer -fuzztime=30s ./retrieval/cache
 	$(GO) test -run='^$$' -fuzz=FuzzNormalizeQuery -fuzztime=30s ./retrieval/cache
 	$(GO) test -run='^$$' -fuzz=FuzzScanRecords -fuzztime=30s ./retrieval/wal
 	$(GO) test -run='^$$' -fuzz=FuzzDecodePostings -fuzztime=30s ./internal/ivf
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeQuant -fuzztime=30s ./internal/quant

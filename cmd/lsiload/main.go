@@ -35,6 +35,11 @@
 //	        serve a *retrieval.Index (a node, not the cluster router);
 //	        budget 0 is the exhaustive baseline the others compare to
 //
+// -exact forces nprobe=0 on every search request — the fully exact
+// per-request escape hatch — so a server running with ANN or quantized
+// tiers (-ann-nlist / -quant-beta on lsiserve) can be load-tested
+// against its own exhaustive float baseline with the same trace.
+//
 // The query set defaults to terms drawn from the built-in demo corpus
 // (what `lsiserve` with no arguments serves); -queries points at a file
 // with one query per line for real corpora. With -o the run is merged
@@ -112,6 +117,7 @@ type loadConfig struct {
 	label       string
 	seed        int64
 	nprobeSweep []int // parsed from -nprobe-sweep (trace "ann" only)
+	exact       bool  // force nprobe=0 on searches (the fully exact escape hatch)
 
 	// Chaos driving (-faults).
 	faultsFile string
@@ -133,6 +139,7 @@ func parseFlags(args []string, stderr io.Writer) (loadConfig, error) {
 	fs.StringVar(&cfg.out, "o", "", "merge the run into this BENCH*.json perf record (cmd/benchjson schema)")
 	fs.StringVar(&cfg.label, "l", "", "run label for -o (default: load-<trace>)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "PRNG seed (per-worker streams derive from it)")
+	fs.BoolVar(&cfg.exact, "exact", false, "send nprobe=0 with every search: the fully exact escape hatch, bypassing the server's ANN and quantized tiers (baseline for -quant-beta / ANN runs; not with -trace ann)")
 	fs.StringVar(&cfg.faultsFile, "faults", "", "chaos mode: apply this JSON fault schedule to lsiserve -chaos nodes and gate on resilience invariants (exit 1 on violation)")
 	fs.DurationVar(&cfg.deadline, "deadline", 0, "per-request stuck bound; expiring it is an invariant violation (default 5s under -faults, unset otherwise)")
 	if err := fs.Parse(args); err != nil {
@@ -163,6 +170,9 @@ func parseFlags(args []string, stderr io.Writer) (loadConfig, error) {
 		}
 	default:
 		return cfg, fmt.Errorf("lsiload: unknown trace %q (want zipf, burst, ingest, or ann)", cfg.trace)
+	}
+	if cfg.exact && cfg.trace == "ann" {
+		return cfg, fmt.Errorf("lsiload: -exact conflicts with -trace ann (the sweep sets nprobe per request)")
 	}
 	if cfg.zipfS <= 1 {
 		return cfg, fmt.Errorf("lsiload: -zipf-s must be > 1, got %v", cfg.zipfS)
@@ -314,7 +324,13 @@ func (w *worker) run(ctx context.Context) {
 
 func (w *worker) searchBody() []byte {
 	q := w.queries[int(w.zipf.Uint64())]
-	body, _ := json.Marshal(map[string]any{"query": q, "topN": w.cfg.topN})
+	req := map[string]any{"query": q, "topN": w.cfg.topN}
+	if w.cfg.exact {
+		// nprobe=0 is the per-request fully exact escape hatch: float
+		// kernels over every document, no ANN probing, no int8 scan.
+		req["nprobe"] = 0
+	}
+	body, _ := json.Marshal(req)
 	return body
 }
 

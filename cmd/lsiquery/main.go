@@ -20,8 +20,11 @@
 // -ann-nlist trains an IVF ANN tier over the LSI space (see
 // retrieval.WithANN) and -nprobe sets how many cells each LSI query
 // scores (0 = exhaustive; -nprobe >= -ann-nlist matches the exhaustive
-// ranking exactly). The VSM column always scans exhaustively — it has
-// no latent space to quantize.
+// ranking exactly). -quant-beta adds the int8 quantized scoring tier
+// (see retrieval.WithQuantized): the scan runs over the int8 shadow,
+// the top topN*beta candidates are reranked with the exact float
+// kernels, and both tiers compose. The VSM column always scans
+// exhaustively — it has no latent space to quantize.
 package main
 
 import (
@@ -47,6 +50,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	cacheMB := fs.Int("cache-mb", 0, "attach a query result cache of this many MiB (0 = uncached; repeated interactive queries answer from memory)")
 	annNList := fs.Int("ann-nlist", 0, "train an IVF ANN tier with this many k-means cells over the LSI space (0 = no tier)")
 	nprobe := fs.Int("nprobe", 0, "ANN cells scored per LSI query (0 = exhaustive scan; needs -ann-nlist)")
+	quantBeta := fs.Int("quant-beta", 0, "quantized scoring tier: int8 scan selects top*beta candidates for exact rerank (0 = float scan)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,7 +68,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 	lsiIx, err := retrieval.Build(docs, retrieval.WithRank(*k),
 		retrieval.WithQueryCache(int64(*cacheMB)<<20),
-		retrieval.WithANN(*annNList, *nprobe))
+		retrieval.WithANN(*annNList, *nprobe),
+		retrieval.WithQuantized(*quantBeta))
 	if err != nil {
 		return err
 	}
@@ -177,6 +182,10 @@ func printStats(w io.Writer, st retrieval.Stats) {
 	if st.ANN != nil {
 		fmt.Fprintf(w, "ann tier:     nlist=%d nprobe=%d (%d quantizers over %d documents)\n",
 			st.ANN.NList, st.ANN.NProbe, st.ANN.Segments, st.ANN.Docs)
+	}
+	if st.Quant != nil {
+		fmt.Fprintf(w, "quant tier:   beta=%d (%d int8 shadows over %d documents, %s)\n",
+			st.Quant.Beta, st.Quant.Segments, st.Quant.Docs, humanBytes(st.Quant.Bytes))
 	}
 	if st.Cache != nil {
 		fmt.Fprintf(w, "query cache:  %s cap, %d entries (%s), epoch %d\n",

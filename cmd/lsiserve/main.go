@@ -54,6 +54,16 @@
 // quantizer sidecars). The /v1/stats "ann" block and the lsi_ann_*
 // metrics expose the tier's probe behavior.
 //
+// -quant-beta B enables the quantized scoring tier (see
+// retrieval.WithQuantized): searches scan an int8 shadow of the document
+// matrix (~8x smaller, memory-bandwidth-optimal) and exact-rerank the
+// topN*B best candidates, so every served score is still a true float64
+// cosine. Also a runtime knob: prebuilt -index loads reuse persisted
+// quant-*.qnt sidecars or rebuild the shadow in place. The "nprobe":0
+// request override stays the fully exact escape hatch. The /v1/stats
+// "quant" block and the lsi_quant_* metrics expose the tier's scan
+// behavior.
+//
 // Under overload the daemon sheds rather than collapses: at most
 // -max-inflight search/docs requests execute concurrently, up to
 // -max-queue more wait, and the rest are answered 429 with Retry-After;
@@ -108,6 +118,7 @@ type serveConfig struct {
 	cacheMB     int
 	annNList    int
 	annNProbe   int
+	quantBeta   int
 	timeout     time.Duration
 	maxTopN     int
 	maxInFlight int
@@ -145,6 +156,7 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 	fs.IntVar(&cfg.cacheMB, "cache-mb", 64, "query result cache budget in MiB (0 disables; epoch-keyed, so live appends/compactions invalidate instantly)")
 	fs.IntVar(&cfg.annNList, "ann-nlist", 0, "train an IVF ANN tier with this many k-means cells over the LSI space (0 disables; requires -backend lsi)")
 	fs.IntVar(&cfg.annNProbe, "ann-nprobe", 0, "default ANN probe budget: cells scored per search (0 = exhaustive default; requests override via \"nprobe\")")
+	fs.IntVar(&cfg.quantBeta, "quant-beta", 0, "quantized scoring tier: int8 scan selects topN*beta candidates for exact rerank (0 disables; requires -backend lsi)")
 	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request search timeout")
 	fs.IntVar(&cfg.maxTopN, "top-max", 100, "cap on per-query result count")
 	fs.IntVar(&cfg.maxInFlight, "max-inflight", 256, "max concurrently executing search/docs requests; excess requests queue, then shed with 429 (0 = unlimited)")
@@ -222,13 +234,15 @@ func parseFlags(args []string, stderr io.Writer) (serveConfig, error) {
 func newRetriever(cfg serveConfig) (*retrieval.Index, error) {
 	cacheOpt := retrieval.WithQueryCache(int64(cfg.cacheMB) << 20)
 	annOpt := retrieval.WithANN(cfg.annNList, cfg.annNProbe)
+	quantOpt := retrieval.WithQuantized(cfg.quantBeta)
 	if cfg.indexPath != "" {
 		// Open handles both forms: a directory is a sharded index, a
-		// file a single-stream one. The cache and the ANN tier are
-		// runtime knobs, so they apply to prebuilt indexes too (sharded
-		// directories load their ann-*.ivf sidecars; missing quantizers
-		// are trained in place when -ann-nlist asks for them).
-		return retrieval.Open(cfg.indexPath, cacheOpt, annOpt)
+		// file a single-stream one. The cache, the ANN tier, and the
+		// quantized tier are runtime knobs, so they apply to prebuilt
+		// indexes too (sharded directories load their ann-*.ivf and
+		// quant-*.qnt sidecars; missing ones are rebuilt in place when
+		// -ann-nlist or -quant-beta asks for them).
+		return retrieval.Open(cfg.indexPath, cacheOpt, annOpt, quantOpt)
 	}
 	backend, err := retrieval.ParseBackend(cfg.backend)
 	if err != nil {
@@ -251,6 +265,7 @@ func newRetriever(cfg serveConfig) (*retrieval.Index, error) {
 		retrieval.WithWeighting(weighting),
 		cacheOpt,
 		annOpt,
+		quantOpt,
 	}
 	if cfg.shards > 0 {
 		opts = append(opts, retrieval.WithShards(cfg.shards))
@@ -488,6 +503,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if stats.ANN != nil {
 		fmt.Fprintf(stdout, ", ann nlist=%d nprobe=%d", stats.ANN.NList, stats.ANN.NProbe)
+	}
+	if stats.Quant != nil {
+		fmt.Fprintf(stdout, ", quant beta=%d", stats.Quant.Beta)
 	}
 	fmt.Fprintln(stdout)
 	if !stats.TextQueries {

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func writeCorpus(t *testing.T, topics, docsPerTopic int) string {
+	t.Helper()
+	model, err := corpus.PureSeparableModel(corpus.SeparableConfig{
+		NumTopics: topics, TermsPerTopic: 20, Epsilon: 0.05, MinLen: 30, MaxLen: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Sampler = &corpus.RoundRobinSampler{NumTopics: topics, MinLen: 30, MaxLen: 60}
+	c, err := corpus.Generate(model, topics*docsPerTopic, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corpus.WriteJSON(f, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSmokePassesOnSeparableCorpus(t *testing.T) {
+	path := writeCorpus(t, 8, 50)
+	out := filepath.Join(t.TempDir(), "quant-smoke.json")
+	var stdout, stderr bytes.Buffer
+	// beta=100 saturates a 400-document corpus (10*100 >= 400), so the
+	// two-stage path degenerates to the exact pass and overlap is
+	// exactly 1 by the determinism contract.
+	err := run(context.Background(), []string{
+		"-corpus", path, "-rank", "8", "-beta", "100",
+		"-queries", "40", "-min-overlap", "1.0", "-o", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("summary not valid JSON: %v\n%s", err, data)
+	}
+	if s.Overlap != 1 || s.Docs != 400 || s.Beta != 100 || s.Queries != 40 {
+		t.Errorf("summary: %+v", s)
+	}
+	if s.ExactNsPerQuery <= 0 || s.QuantNsPerQuery <= 0 || s.RerankedPerQuery <= 0 {
+		t.Errorf("latency fields not populated: %+v", s)
+	}
+	if s.QuantBytes <= 0 || s.FloatBytes <= 0 || s.QuantBytes >= s.FloatBytes {
+		t.Errorf("shadow should be smaller than the float matrix: %+v", s)
+	}
+}
+
+func TestSmokeGatesFail(t *testing.T) {
+	path := writeCorpus(t, 4, 25)
+	var stdout, stderr bytes.Buffer
+	// A speedup gate no configuration meets on 100 documents: the gate
+	// must trip and name the ratio.
+	err := run(context.Background(), []string{
+		"-corpus", path, "-rank", "4", "-beta", "4",
+		"-queries", "10", "-min-speedup", "1e9", "-o", "-",
+	}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "speedup") {
+		t.Fatalf("speedup gate did not trip: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "\"overlap\"") {
+		t.Error("summary should be written before the gate verdict")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{},                       // -corpus missing
+		{"-corpus", "x", "junk"}, // positional
+		{"-corpus", "x", "-queries", "0"},
+		{"-corpus", "x", "-beta", "0"},
+		{"-corpus", filepath.Join(t.TempDir(), "nope.jsonl")}, // unreadable
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run(context.Background(), args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

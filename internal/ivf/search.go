@@ -40,6 +40,46 @@ type probeScratch struct {
 
 var probePool = sync.Pool{New: func() any { return new(probeScratch) }}
 
+// rankCells fills sc.order with the ids of the nprobe best-matching
+// cells, ascending: one DotNorm per centroid, bounded selection under
+// the same total order as document scoring (ties to the lower cell id).
+// nlist is O(√m), so this stays negligible next to the candidate scan.
+func (x *Index) rankCells(sc *probeScratch, pq []float64, qn float64, nprobe int) {
+	sc.cells.Reset(nprobe)
+	for c := 0; c < x.nlist; c++ {
+		sc.cells.Offer(topk.Match{Doc: c, Score: mat.DotNorm(pq, x.centroids.Row(c), qn, x.cnorms[c])})
+	}
+	sc.order = sc.order[:0]
+	for _, m := range sc.cells.Items() {
+		sc.order = append(sc.order, m.Doc)
+	}
+	sort.Ints(sc.order)
+}
+
+// AppendProbeDocs ranks cells exactly like AppendSearch but appends the
+// LOCAL document rows of the nprobe best cells to dst instead of scoring
+// them — the composition point with the quantized tier, which scans the
+// handed-over candidates on int8 codes and reranks in float. Rows are
+// appended cell by cell in ascending cell-id order; nprobe is clamped
+// the same way as AppendSearch, so nprobe <= 0 returns every document.
+func (x *Index) AppendProbeDocs(dst []int32, pq []float64, qn float64, nprobe int) ([]int32, ProbeStats) {
+	if len(pq) != x.dim {
+		panic(fmt.Sprintf("ivf: query dimension %d, index dimension %d", len(pq), x.dim))
+	}
+	if nprobe <= 0 || nprobe > x.nlist {
+		nprobe = x.nlist
+	}
+	sc := probePool.Get().(*probeScratch)
+	defer probePool.Put(sc)
+	x.rankCells(sc, pq, qn, nprobe)
+	total := 0
+	for _, c := range sc.order {
+		dst = append(dst, x.docs[x.cellStart[c]:x.cellStart[c+1]]...)
+		total += x.cellStart[c+1] - x.cellStart[c]
+	}
+	return dst, ProbeStats{Cells: len(sc.order), Docs: total}
+}
+
 // AppendSearch scores the documents of the nprobe best-matching cells
 // against the projected query pq (with qn its precomputed norm, as the
 // exhaustive path computes it) and appends the topN best to dst under
@@ -61,19 +101,7 @@ func (x *Index) AppendSearch(dst []topk.Match, vecs *mat.Dense, norms []float64,
 
 	sc := probePool.Get().(*probeScratch)
 	defer probePool.Put(sc)
-
-	// Rank the cells: one DotNorm per centroid, bounded selection under
-	// the same total order (ties to the lower cell id). nlist is O(√m),
-	// so this stays negligible next to the candidate scan.
-	sc.cells.Reset(nprobe)
-	for c := 0; c < x.nlist; c++ {
-		sc.cells.Offer(topk.Match{Doc: c, Score: mat.DotNorm(pq, x.centroids.Row(c), qn, x.cnorms[c])})
-	}
-	sc.order = sc.order[:0]
-	for _, m := range sc.cells.Items() {
-		sc.order = append(sc.order, m.Doc)
-	}
-	sort.Ints(sc.order)
+	x.rankCells(sc, pq, qn, nprobe)
 
 	// Flatten the probed cells into one candidate range [0, total) so
 	// the parallel scan chunks it with par's deterministic layout.

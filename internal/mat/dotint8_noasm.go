@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package mat
+
+// Non-amd64 builds always take the portable scalar kernel; the stub
+// below keeps the dispatch site compiling and is unreachable while
+// hasAVX2 is a false constant.
+
+const hasAVX2 = false
+
+func dotInt8BlockedAVX2(q *int16, codes *int8, dots *int32, dim, rows, dim16 int) {
+	panic("mat: dotInt8BlockedAVX2 called without AVX2 support")
+}

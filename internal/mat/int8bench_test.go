@@ -1,0 +1,63 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel-level microbenchmarks for the quantized scan: DotInt8Blocked
+// against the float64 DotNorm row loop on the same logical shape, both
+// streaming far more rows than fit in L2 so the float side pays its
+// memory-bandwidth bill. The end-to-end scan comparison (selection heap,
+// rerank) lives in internal/quant's BenchmarkQuantizedScan; these isolate
+// the inner loops the quantized tier's throughput claim rests on.
+
+const (
+	i8dim  = 128
+	i8rows = 8192
+)
+
+func i8fixtures() ([]int16, []int8, []int32) {
+	rng := rand.New(rand.NewSource(1))
+	q := make([]int16, i8dim)
+	for i := range q {
+		q[i] = int16(rng.Intn(255) - 127)
+	}
+	codes := make([]int8, i8rows*i8dim)
+	for i := range codes {
+		codes[i] = int8(rng.Intn(255) - 127)
+	}
+	return q, codes, make([]int32, i8rows)
+}
+
+func BenchmarkDotInt8Blocked(b *testing.B) {
+	q, codes, dots := i8fixtures()
+	b.SetBytes(int64(i8rows * i8dim))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DotInt8Blocked(q, codes, dots)
+	}
+}
+
+func BenchmarkDotNormRows(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, i8dim)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	y := make([]float64, i8rows*i8dim)
+	for i := range y {
+		y[i] = rng.Float64()
+	}
+	b.SetBytes(int64(i8rows * i8dim * 8))
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < i8rows; r++ {
+			s += DotNorm(x, y[r*i8dim:(r+1)*i8dim], 1, 1)
+		}
+	}
+	sinkFloat = s
+}
+
+var sinkFloat float64

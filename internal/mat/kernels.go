@@ -46,6 +46,126 @@ func MulTVecSparse(a *Dense, terms []int, weights []float64, dst []float64) {
 	}
 }
 
+// DotInt8 returns the integer dot product Σᵢ x[i]·y[i] of two int8
+// vectors, accumulating in int32 — the quantized counterpart of the
+// float64 dot inside DotNorm. With codes bounded by |c| ≤ 127 the
+// per-element product is bounded by 127² = 16129, so the accumulator
+// cannot overflow before ~133k elements — far beyond any latent rank
+// this system projects to. The loop is unrolled four-wide over two
+// independent accumulators so the compiler can schedule the widening
+// multiplies without a loop-carried dependency on every add; integer
+// accumulation is exact, which is what makes every quantized scan
+// bitwise-deterministic regardless of how callers chunk the work. It
+// panics on length mismatch.
+func DotInt8(x, y []int8) int32 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: DotInt8 length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s0, s1 int32
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += int32(x[i])*int32(y[i]) + int32(x[i+1])*int32(y[i+1])
+		s1 += int32(x[i+2])*int32(y[i+2]) + int32(x[i+3])*int32(y[i+3])
+	}
+	for ; i < len(x); i++ {
+		s0 += int32(x[i]) * int32(y[i])
+	}
+	return s0 + s1
+}
+
+// DotInt8Pre is DotInt8 with the query side pre-widened to int16 — the
+// form the quantized scan uses, since the query is widened once and then
+// streamed against every document row. int16 holds every quantized value
+// exactly (codes are in [-127, 127]) and is the lane width the AVX2
+// blocked kernel consumes, so the same widened query serves both the
+// scalar and SIMD paths; like DotInt8 the accumulation is exact integer
+// arithmetic. It panics on length mismatch.
+func DotInt8Pre(q []int16, y []int8) int32 {
+	if len(q) != len(y) {
+		panic(fmt.Sprintf("mat: DotInt8Pre length mismatch %d vs %d", len(q), len(y)))
+	}
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+8 <= len(y); i += 8 {
+		// Fixed-size sub-slices let the compiler prove every lane access
+		// in bounds with one check per iteration instead of one per lane.
+		ys := y[i : i+8 : i+8]
+		qs := q[i : i+8 : i+8]
+		s0 += int32(qs[0])*int32(ys[0]) + int32(qs[4])*int32(ys[4])
+		s1 += int32(qs[1])*int32(ys[1]) + int32(qs[5])*int32(ys[5])
+		s2 += int32(qs[2])*int32(ys[2]) + int32(qs[6])*int32(ys[6])
+		s3 += int32(qs[3])*int32(ys[3]) + int32(qs[7])*int32(ys[7])
+	}
+	for ; i < len(y); i++ {
+		s0 += int32(q[i]) * int32(y[i])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// DotInt8Blocked computes the integer dot of q against a block of
+// consecutive code rows: dots[j] = Σᵢ q[i]·codes[j·dim+i] for
+// j in [0, len(dots)), with dim = len(q). One call scores a whole block,
+// so the per-document overhead of the quantized scan — call, slice
+// bounds, loop setup — amortizes over the block instead of repeating per
+// row. On amd64 with AVX2 the block is scored by the VPMADDWD kernel in
+// dotint8_amd64.s (16 int8·int16 products and a pairwise int32 add per
+// instruction — products are bounded by 127², so the widening add cannot
+// overflow) with any dim%16 tail finished by the scalar loop below; both
+// paths accumulate in exact int32 lanes, so the result is identical on
+// every CPU. It panics when codes is not exactly len(dots)·len(q)
+// elements.
+func DotInt8Blocked(q []int16, codes []int8, dots []int32) {
+	dim := len(q)
+	if len(codes) != len(dots)*dim {
+		panic(fmt.Sprintf("mat: DotInt8Blocked %d codes for %d rows of dim %d", len(codes), len(dots), dim))
+	}
+	if hasAVX2 && dim >= 16 && len(dots) > 0 {
+		dim16 := dim &^ 15
+		dotInt8BlockedAVX2(&q[0], &codes[0], &dots[0], dim, len(dots), dim16)
+		if dim16 == dim {
+			return
+		}
+		qt := q[dim16:]
+		for j := range dots {
+			var s int32
+			yt := codes[j*dim+dim16 : (j+1)*dim : (j+1)*dim]
+			for i, c := range yt {
+				s += int32(qt[i]) * int32(c)
+			}
+			dots[j] += s
+		}
+		return
+	}
+	dotInt8BlockedGeneric(q, codes, dots)
+}
+
+// dotInt8BlockedGeneric is the portable scalar row loop behind
+// DotInt8Blocked — the row body is the same register-friendly unrolled
+// kernel as DotInt8Pre. It is also the reference the AVX2 path is
+// cross-checked against.
+func dotInt8BlockedGeneric(q []int16, codes []int8, dots []int32) {
+	dim := len(q)
+	off := 0
+	for j := range dots {
+		y := codes[off : off+dim : off+dim]
+		off += dim
+		var s0, s1, s2, s3 int32
+		i := 0
+		for ; i+8 <= len(y); i += 8 {
+			ys := y[i : i+8 : i+8]
+			qs := q[i : i+8 : i+8]
+			s0 += int32(qs[0])*int32(ys[0]) + int32(qs[4])*int32(ys[4])
+			s1 += int32(qs[1])*int32(ys[1]) + int32(qs[5])*int32(ys[5])
+			s2 += int32(qs[2])*int32(ys[2]) + int32(qs[6])*int32(ys[6])
+			s3 += int32(qs[3])*int32(ys[3]) + int32(qs[7])*int32(ys[7])
+		}
+		for ; i < len(y); i++ {
+			s0 += int32(q[i]) * int32(y[i])
+		}
+		dots[j] = s0 + s1 + s2 + s3
+	}
+}
+
 // DotNorm returns the cosine x·y/(nx·ny) clamped to [-1, 1] given the
 // precomputed Euclidean norms nx and ny, or 0 if either norm is 0 — the
 // fused scoring kernel of the query hot path. Where Cosine makes five

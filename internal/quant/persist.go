@@ -1,0 +1,103 @@
+package quant
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// On-disk format (little-endian), written alongside the seg-*.idx files
+// by the shard layer:
+//
+//	magic   "LSIQNT"             6 bytes
+//	version uint16               currently 1
+//	dim     uint32
+//	ndocs   uint32
+//	scales  ndocs float64        per-doc dequantization step bit patterns
+//	                             (finite, ≥ 0)
+//	codes   ndocs*dim int8       row-major, each in [-127, 127]
+//	crc32   uint32               IEEE, over everything above
+//
+// The decoder is total: every size the header claims is validated
+// against the actual byte count before any allocation is sized from it,
+// scales must be finite and non-negative, codes must stay inside the
+// symmetric range Quantize emits, and corruption anywhere is caught by
+// the checksum — malformed input yields an error, never a panic and
+// never an oversized allocation.
+
+// WireVersion is the on-disk quantized-sidecar format version Encode
+// writes. Decode accepts versions up to this one.
+const WireVersion = 1
+
+var wireMagic = [6]byte{'L', 'S', 'I', 'Q', 'N', 'T'}
+
+// wireHeaderLen is magic + version + dim + ndocs.
+const wireHeaderLen = 6 + 2 + 4 + 4
+
+// Encode serializes the quantized matrix into the versioned wire format.
+func (m *Matrix) Encode() []byte {
+	buf := make([]byte, 0, wireHeaderLen+8*len(m.scales)+len(m.codes)+4)
+	buf = append(buf, wireMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, WireVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.NumDocs()))
+	for _, s := range m.scales {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s))
+	}
+	for _, c := range m.codes {
+		buf = append(buf, byte(c))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// Decode parses a quantized matrix from the wire format, validating the
+// checksum, the header bounds, the scale values, and the code range. It
+// never panics on malformed input and never allocates beyond
+// O(len(data)).
+func Decode(data []byte) (*Matrix, error) {
+	if len(data) < wireHeaderLen+4 {
+		return nil, fmt.Errorf("quant: truncated sidecar: %d bytes", len(data))
+	}
+	if !bytes.Equal(data[:6], wireMagic[:]) {
+		return nil, fmt.Errorf("quant: bad magic %q", data[:6])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("quant: checksum mismatch: %08x, want %08x", got, want)
+	}
+	if v := binary.LittleEndian.Uint16(body[6:8]); v == 0 || v > WireVersion {
+		return nil, fmt.Errorf("quant: unsupported wire version %d (this build reads <= %d)", v, WireVersion)
+	}
+	dim := int(binary.LittleEndian.Uint32(body[8:12]))
+	ndocs := int(binary.LittleEndian.Uint32(body[12:16]))
+	if dim < 1 || ndocs < 1 {
+		return nil, fmt.Errorf("quant: degenerate header: dim=%d ndocs=%d", dim, ndocs)
+	}
+	rest := body[wireHeaderLen:]
+	// Scales cost 8 bytes each and codes one, so both claims together are
+	// checked against the real byte count before anything is allocated.
+	need := 8*uint64(ndocs) + uint64(ndocs)*uint64(dim)
+	if need != uint64(len(rest)) {
+		return nil, fmt.Errorf("quant: body needs %d bytes for dim=%d ndocs=%d, has %d", need, dim, ndocs, len(rest))
+	}
+	scales := make([]float64, ndocs)
+	for j := range scales {
+		s := math.Float64frombits(binary.LittleEndian.Uint64(rest[j*8:]))
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			return nil, fmt.Errorf("quant: invalid scale for document %d", j)
+		}
+		scales[j] = s
+	}
+	raw := rest[8*ndocs:]
+	codes := make([]int8, ndocs*dim)
+	for i, b := range raw {
+		c := int8(b)
+		if c < -MaxCode {
+			return nil, fmt.Errorf("quant: code %d out of range at element %d", c, i)
+		}
+		codes[i] = c
+	}
+	return &Matrix{dim: dim, codes: codes, scales: scales}, nil
+}

@@ -1,0 +1,130 @@
+package quant
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// frame assembles a wire frame from raw parts with a fresh checksum, so
+// structural rejection tests are not stopped at the CRC.
+func frame(dim, ndocs uint32, scales []float64, codes []byte) []byte {
+	buf := append([]byte(nil), wireMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, WireVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, dim)
+	buf = binary.LittleEndian.AppendUint32(buf, ndocs)
+	for _, s := range scales {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s))
+	}
+	buf = append(buf, codes...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// reseal recomputes the trailing checksum after a test mutates the body.
+func reseal(b []byte) []byte {
+	return binary.LittleEndian.AppendUint32(b[:len(b)-4], crc32.ChecksumIEEE(b[:len(b)-4]))
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	vecs, _ := clusteredVecs(t, 300, 18, 5, 0.3, 21)
+	qm := Quantize(vecs)
+	got, err := Decode(qm.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.dim != qm.dim || got.NumDocs() != qm.NumDocs() {
+		t.Fatalf("shape = (%d, %d), want (%d, %d)", got.NumDocs(), got.dim, qm.NumDocs(), qm.dim)
+	}
+	for i := range qm.codes {
+		if got.codes[i] != qm.codes[i] {
+			t.Fatalf("code %d differs after round trip", i)
+		}
+	}
+	for j := range qm.scales {
+		if math.Float64bits(got.scales[j]) != math.Float64bits(qm.scales[j]) {
+			t.Fatalf("scale %d differs after round trip", j)
+		}
+	}
+}
+
+func TestEncodeIsDeterministic(t *testing.T) {
+	vecs, _ := clusteredVecs(t, 100, 8, 4, 0.3, 22)
+	a, b := Quantize(vecs).Encode(), Quantize(vecs).Encode()
+	if string(a) != string(b) {
+		t.Fatal("two encodings of the same matrix differ")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	vecs, _ := clusteredVecs(t, 40, 6, 3, 0.3, 23)
+	enc := Quantize(vecs).Encode()
+	// Flip one byte anywhere in the body: the checksum must catch it.
+	for _, off := range []int{0, 7, wireHeaderLen + 3, len(enc) - 10} {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 0x40
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("decoded frame with corrupt byte %d", off)
+		}
+	}
+	for cut := 0; cut < len(enc); cut += 13 {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("decoded truncation at %d bytes", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformedStructure(t *testing.T) {
+	okScales := []float64{0.5, 0.25}
+	okCodes := []byte{1, 2, 3, 0xff, 0x7f, 0x81} // 0x81 = -127, 0x7f = 127
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", func() []byte {
+			b := frame(3, 2, okScales, okCodes)
+			b[0] = 'X'
+			return reseal(b)
+		}()},
+		{"future version", func() []byte {
+			b := frame(3, 2, okScales, okCodes)
+			binary.LittleEndian.PutUint16(b[6:8], WireVersion+1)
+			return reseal(b)
+		}()},
+		{"zero dim", frame(0, 2, okScales, nil)},
+		{"zero ndocs", frame(3, 0, nil, nil)},
+		{"short body", frame(3, 2, okScales, okCodes[:5])},
+		{"long body", frame(3, 2, okScales, append(okCodes, 0))},
+		{"nan scale", frame(3, 2, []float64{math.NaN(), 0.25}, okCodes)},
+		{"inf scale", frame(3, 2, []float64{math.Inf(1), 0.25}, okCodes)},
+		{"negative scale", frame(3, 2, []float64{-0.5, 0.25}, okCodes)},
+		{"code -128", frame(3, 2, okScales, []byte{1, 2, 3, 4, 5, 0x80})},
+		{"huge ndocs claim", frame(3, 1<<31-1, okScales, okCodes)},
+	}
+	for _, tc := range cases {
+		if _, err := Decode(tc.data); err == nil {
+			t.Fatalf("%s: decode accepted malformed frame", tc.name)
+		}
+	}
+	// Sanity: the well-formed control frame decodes.
+	if _, err := Decode(frame(3, 2, okScales, okCodes)); err != nil {
+		t.Fatalf("control frame rejected: %v", err)
+	}
+}
+
+func TestDecodedMatrixSearches(t *testing.T) {
+	// A decoded sidecar must behave exactly like the in-memory original.
+	vecs, norms := clusteredVecs(t, 400, 12, 5, 0.3, 24)
+	qm := Quantize(vecs)
+	loaded, err := Decode(qm.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	queries, qns := searchQueries(vecs, 8, 25)
+	for q := range queries {
+		a, _ := qm.AppendSearch(nil, vecs, norms, queries[q], qns[q], 10, DefaultBeta)
+		b, _ := loaded.AppendSearch(nil, vecs, norms, queries[q], qns[q], 10, DefaultBeta)
+		sameMatches(t, "decoded matrix", b, a)
+	}
+}

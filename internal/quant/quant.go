@@ -1,0 +1,156 @@
+// Package quant implements per-document symmetric int8 scalar
+// quantization of the projected document matrix — the bandwidth
+// optimization of the scoring hot path. At large corpus sizes the
+// exhaustive and in-cell scans are memory-bound on 8-byte floats; the
+// paper's JL projection argument (Lemma 2) already licenses lossy
+// representation of the latent space, and quantizing each projected
+// document row to int8 with one per-document scale cuts the matrix
+// footprint 8× so the scan streams codes instead of doubles.
+//
+// Search is two-stage: a quantized scan scores every candidate with the
+// integer kernel mat.DotInt8 and keeps an over-fetched topN·β set, then
+// an exact float64 rerank through mat.DotNorm — the same fused kernel as
+// the float path — restores the final (score desc, doc asc) order. The
+// integer accumulation is exact and the per-document approximate score
+// is a pure function of the stored codes, so quantized results are
+// bitwise-deterministic for every worker count, exactly like the float
+// scan.
+//
+// A Matrix is derived state, rebuilt from the float matrix it mirrors in
+// one deterministic pass (Quantize takes no seed), and persisted as a
+// versioned sidecar next to its segment (see Encode/Decode).
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/par"
+)
+
+// MaxCode is the largest code magnitude Quantize emits. The symmetric
+// range [-127, 127] deliberately excludes -128 so negation never
+// overflows and every code dequantizes to code·scale with
+// |error| ≤ scale/2.
+const MaxCode = 127
+
+// Matrix is the int8 shadow of a projected document matrix: one
+// contiguous row of codes per document plus one dequantization scale per
+// document, kept as parallel arrays so the scan streams codes
+// sequentially and touches scales once per row.
+type Matrix struct {
+	dim    int
+	codes  []int8    // ndocs × dim, row-major; doc j at codes[j*dim:(j+1)*dim]
+	scales []float64 // per-doc dequantization step: row j ≈ codes[j]·scales[j]
+
+	// snOnce/sn cache scales[j]/norms[j] for the document norms this
+	// matrix is searched against. A Matrix shadows exactly one immutable
+	// float matrix, so the norms are the same on every search and the
+	// ratio — the only per-document float work the stage-1 scan needs
+	// beyond the integer dot — is computed once instead of per query.
+	snOnce sync.Once
+	sn     []float64
+}
+
+// Dim returns the latent dimension each document row quantizes.
+func (m *Matrix) Dim() int { return m.dim }
+
+// NumDocs returns the number of quantized document rows.
+func (m *Matrix) NumDocs() int { return len(m.scales) }
+
+// Bytes returns the in-memory footprint of the quantized representation
+// (codes plus scales) — the number the serving layer reports so
+// operators can size the ~8× reduction against the float matrix.
+func (m *Matrix) Bytes() int64 {
+	return int64(len(m.codes)) + 8*int64(len(m.scales))
+}
+
+// Scale returns the dequantization step of document j.
+func (m *Matrix) Scale(j int) float64 { return m.scales[j] }
+
+// Row returns the code row of document j (shared storage, not a copy).
+func (m *Matrix) Row(j int) []int8 { return m.codes[j*m.dim : (j+1)*m.dim] }
+
+// quantizeVec writes the symmetric int8 quantization of v into dst and
+// returns the dequantization scale: scale = max|v|/127 and
+// dst[i] = round(v[i]/scale), so |v[i] − dst[i]·scale| ≤ scale/2. An
+// all-zero vector quantizes to zero codes with scale 0.
+func quantizeVec(dst []int8, v []float64) float64 {
+	maxAbs := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0
+	}
+	scale := maxAbs / MaxCode
+	for i, x := range v {
+		c := math.RoundToEven(x / scale)
+		// RoundToEven of v/scale with |v| ≤ scale·127 stays in range, but
+		// clamp anyway so a NaN/Inf row cannot smuggle -128 into the codes.
+		if c > MaxCode {
+			c = MaxCode
+		} else if c < -MaxCode {
+			c = -MaxCode
+		}
+		dst[i] = int8(c)
+	}
+	return scale
+}
+
+// Quantize builds the int8 shadow of vecs, one independent symmetric
+// quantization per document row. It is a pure deterministic function of
+// the input matrix — no seed, no iteration — so rebuilding at load time
+// yields a byte-identical sidecar, and the row-parallel pass writes
+// disjoint slices only.
+func Quantize(vecs *mat.Dense) *Matrix {
+	rows, cols := vecs.Dims()
+	m := &Matrix{
+		dim:    cols,
+		codes:  make([]int8, rows*cols),
+		scales: make([]float64, rows),
+	}
+	par.For(rows, par.GrainFor(2*cols+1), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			m.scales[j] = quantizeVec(m.Row(j), vecs.Row(j))
+		}
+	})
+	return m
+}
+
+// scaleOverNorms returns scales[j]/norms[j] per document (0 where the
+// norm is 0, matching DotNorm's zero-norm convention), computed once per
+// matrix and cached — norms belong to the immutable float matrix this
+// Matrix shadows, so they are identical on every search.
+func (m *Matrix) scaleOverNorms(norms []float64) []float64 {
+	m.snOnce.Do(func() {
+		sn := make([]float64, len(m.scales))
+		for j, s := range m.scales {
+			if n := norms[j]; n != 0 {
+				sn[j] = s / n
+			}
+		}
+		m.sn = sn
+	})
+	return m.sn
+}
+
+// checkSearchArgs panics when the float matrix handed to a search does
+// not match the quantized shadow — the same defensive posture as
+// ivf.AppendSearch, catching segment/sidecar mixups at the boundary.
+func (m *Matrix) checkSearchArgs(vecs *mat.Dense, norms []float64, pq []float64) {
+	rows, cols := vecs.Dims()
+	if cols != m.dim || len(pq) != m.dim {
+		panic(fmt.Sprintf("quant: dimension mismatch: matrix %d, vecs %d, query %d", m.dim, cols, len(pq)))
+	}
+	if rows != m.NumDocs() || len(norms) != m.NumDocs() {
+		panic(fmt.Sprintf("quant: document count mismatch: matrix %d, vecs %d, norms %d", m.NumDocs(), rows, len(norms)))
+	}
+}

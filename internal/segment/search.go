@@ -7,6 +7,7 @@ import (
 	"repro/internal/ivf"
 	"repro/internal/mat"
 	"repro/internal/par"
+	"repro/internal/quant"
 	"repro/internal/topk"
 )
 
@@ -142,6 +143,20 @@ func SearchVec(segs []*Segment, q []float64, topN int) []topk.Match {
 	return p.selectTop(topN)
 }
 
+// ProbeOptions selects the approximate tiers a search may use. The zero
+// value is the escape hatch: with both knobs off the scan is fully exact
+// and bitwise-identical to SearchSparse/SearchVec — the truth baseline
+// the fidelity harness and smoke gates compare against.
+type ProbeOptions struct {
+	// NProbe is the IVF cell budget for segments carrying a coarse
+	// quantizer; <= 0 scans every segment exhaustively instead of probing.
+	NProbe int
+	// Beta is the quantized over-fetch factor for segments carrying an
+	// int8 shadow: the scan keeps topN·Beta candidates for the exact
+	// rerank. <= 0 scores in float64 directly, skipping the int8 tier.
+	Beta int
+}
+
 // ProbeStats aggregates the work a probe-aware search performed across
 // the segment set; the serving layer turns it into /metrics counters.
 type ProbeStats struct {
@@ -150,23 +165,33 @@ type ProbeStats struct {
 	Probed int
 	Cells  int
 	Docs   int
-	// ExactDocs counts documents scanned exhaustively — segments with no
-	// quantizer (live fold-ins, tiny or reloaded segments) plus every
-	// segment when nprobe <= 0 disables probing.
+	// QuantSegs counts segments whose candidates were scored through the
+	// int8 tier; QuantDocs totals the documents those scans touched, and
+	// Reranked the stage-2 candidates rescored with exact float kernels.
+	QuantSegs int
+	QuantDocs int
+	Reranked  int
+	// ExactDocs counts documents scored purely in float64 — segments with
+	// no sidecars (live fold-ins, tiny or reloaded segments) plus every
+	// segment when the options disable both tiers.
 	ExactDocs int
 }
 
-// searchProbe is the probe-aware variant of the flattened scan: segments
-// carrying an IVF quantizer are answered by cell-probe search, the rest
-// by the exhaustive path, and all candidates merge through one bounded
-// heap under the (score desc, global doc asc) order. nprobe <= 0 forces
-// the exhaustive path everywhere (the escape hatch); nprobe >= nlist on
-// every quantized segment returns results bitwise-identical to the
-// exhaustive scan, because per-document scores come from the same
-// ProjectSparse/DotNorm pipeline and selection under a strict total
-// order is offer-order-insensitive.
-func searchProbe(segs []*Segment, fold func(s *Segment) []float64, topN, nprobe int) ([]topk.Match, ProbeStats) {
-	if nprobe <= 0 {
+// searchProbe is the tier-aware variant of the flattened scan. Per
+// segment the options pick the cheapest configured path: IVF cell-probe
+// feeding the int8 scan (both sidecars), cell-probe scoring in float
+// (Ann only, or Beta off), full int8 scan with exact rerank (Quant only,
+// or NProbe off), or the exhaustive float path (no sidecars, or both
+// knobs off). All candidates merge through one bounded heap under the
+// (score desc, global doc asc) order, so results are deterministic for
+// any worker count and segment layout. The approximate tiers only narrow
+// CANDIDATE SELECTION — every returned score is an exact float64 cosine:
+// IVF scores through the same DotNorm pipeline, and the quantized tier
+// reranks its over-fetched candidates through it. Probing every cell
+// with the int8 tier off is therefore bitwise-identical to the
+// exhaustive scan, and the zero ProbeOptions IS the exhaustive scan.
+func searchProbe(segs []*Segment, fold func(s *Segment) []float64, topN int, opts ProbeOptions) ([]topk.Match, ProbeStats) {
+	if opts.NProbe <= 0 && opts.Beta <= 0 {
 		p := project(segs, fold)
 		return p.selectTop(topN), ProbeStats{ExactDocs: p.total}
 	}
@@ -187,24 +212,50 @@ func searchProbe(segs []*Segment, fold func(s *Segment) []float64, topN, nprobe 
 	var st ProbeStats
 	var exact []*Segment
 	var buf []topk.Match
+	var docsBuf []int32
 	for _, s := range segs {
-		if s.Ann == nil {
+		useAnn := s.Ann != nil && opts.NProbe > 0
+		useQuant := s.Quant != nil && opts.Beta > 0
+		if !useAnn && !useQuant {
 			exact = append(exact, s)
 			continue
 		}
 		proj := fold(s)
 		qn := mat.Norm(proj)
-		var ps ivf.ProbeStats
-		buf, ps = s.Ann.AppendSearch(buf[:0], s.Ix.DocVectors(), s.Ix.Norms(), proj, qn, keep, nprobe)
+		switch {
+		case useAnn && useQuant:
+			// Composed: the coarse quantizer narrows to the probed cells'
+			// documents, the int8 tier scans exactly those and reranks the
+			// over-fetch in float.
+			var ps ivf.ProbeStats
+			docsBuf, ps = s.Ann.AppendProbeDocs(docsBuf[:0], proj, qn, opts.NProbe)
+			var qs quant.ScanStats
+			buf, qs = s.Quant.AppendSearchDocs(buf[:0], docsBuf, s.Ix.DocVectors(), s.Ix.Norms(), proj, qn, keep, opts.Beta)
+			st.Probed++
+			st.Cells += ps.Cells
+			st.Docs += ps.Docs
+			st.QuantSegs++
+			st.QuantDocs += qs.Scanned
+			st.Reranked += qs.Reranked
+		case useAnn:
+			var ps ivf.ProbeStats
+			buf, ps = s.Ann.AppendSearch(buf[:0], s.Ix.DocVectors(), s.Ix.Norms(), proj, qn, keep, opts.NProbe)
+			st.Probed++
+			st.Cells += ps.Cells
+			st.Docs += ps.Docs
+		default:
+			var qs quant.ScanStats
+			buf, qs = s.Quant.AppendSearch(buf[:0], s.Ix.DocVectors(), s.Ix.Norms(), proj, qn, keep, opts.Beta)
+			st.QuantSegs++
+			st.QuantDocs += qs.Scanned
+			st.Reranked += qs.Reranked
+		}
 		for _, m := range buf {
 			// Global is ascending, so the remap is monotone: the strict
 			// (score desc, doc asc) order — and with it determinism and the
 			// full-probe equivalence — survives the renumbering.
 			h.Offer(topk.Match{Doc: s.Global[m.Doc], Score: m.Score})
 		}
-		st.Probed++
-		st.Cells += ps.Cells
-		st.Docs += ps.Docs
 	}
 	if len(exact) > 0 {
 		p := project(exact, fold)
@@ -216,17 +267,29 @@ func searchProbe(segs []*Segment, fold func(s *Segment) []float64, topN, nprobe 
 	return h.AppendSorted(make([]topk.Match, 0, keep)), st
 }
 
-// SearchSparseProbe is SearchSparse with an IVF probe budget: segments
-// carrying a quantizer score only their nprobe best cells. Results carry
-// GLOBAL document numbers and are deterministic for any worker count and
-// segment layout; nprobe <= 0 is the exhaustive escape hatch.
+// SearchSparseOpts ranks every document held by segs against a sparse
+// query with the given tier options. Results carry GLOBAL document
+// numbers and exact float64 scores, deterministic for any worker count
+// and segment layout; the zero options are the exhaustive escape hatch.
+func SearchSparseOpts(segs []*Segment, terms []int, weights []float64, topN int, opts ProbeOptions) ([]topk.Match, ProbeStats) {
+	return searchProbe(segs, func(s *Segment) []float64 { return s.Ix.ProjectSparse(terms, weights) }, topN, opts)
+}
+
+// SearchVecOpts is SearchSparseOpts for a dense term-space query.
+func SearchVecOpts(segs []*Segment, q []float64, topN int, opts ProbeOptions) ([]topk.Match, ProbeStats) {
+	return searchProbe(segs, func(s *Segment) []float64 { return s.Ix.Project(q) }, topN, opts)
+}
+
+// SearchSparseProbe is SearchSparseOpts with only the IVF budget set —
+// the pre-quantization signature, kept for callers that tune nprobe
+// alone. nprobe <= 0 is the exhaustive escape hatch.
 func SearchSparseProbe(segs []*Segment, terms []int, weights []float64, topN, nprobe int) ([]topk.Match, ProbeStats) {
-	return searchProbe(segs, func(s *Segment) []float64 { return s.Ix.ProjectSparse(terms, weights) }, topN, nprobe)
+	return SearchSparseOpts(segs, terms, weights, topN, ProbeOptions{NProbe: nprobe})
 }
 
 // SearchVecProbe is SearchSparseProbe for a dense term-space query.
 func SearchVecProbe(segs []*Segment, q []float64, topN, nprobe int) ([]topk.Match, ProbeStats) {
-	return searchProbe(segs, func(s *Segment) []float64 { return s.Ix.Project(q) }, topN, nprobe)
+	return searchProbe(segs, func(s *Segment) []float64 { return s.Ix.Project(q) }, topN, ProbeOptions{NProbe: nprobe})
 }
 
 // NumDocs returns the total number of documents across segs.

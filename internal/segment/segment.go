@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/ivf"
 	"repro/internal/lsi"
+	"repro/internal/quant"
 )
 
 // Raw retains the term-space documents of a segment in the sorted
@@ -93,6 +94,12 @@ type Segment struct {
 	// construction. Ann indexes segment-LOCAL rows; search remaps through
 	// Global like the exhaustive path does.
 	Ann *ivf.Index
+	// Quant is the optional int8 shadow of Ix's document vectors (nil =
+	// none), built by the shard layer for compacted segments alongside Ann
+	// with the same lifecycle: fold-in extensions never carry one, so live
+	// segments scan in float by construction. Quant rows are segment-LOCAL
+	// like Ann's postings; search remaps through Global.
+	Quant *quant.Matrix
 }
 
 // New wraps a latent index and its global document numbers as a segment.
@@ -125,6 +132,24 @@ func (s *Segment) WithAnn(ann *ivf.Index) (*Segment, error) {
 	}
 	next := *s
 	next.Ann = ann
+	return &next, nil
+}
+
+// WithQuant returns a copy of the segment carrying the given int8 shadow
+// of its document vectors (nil detaches any existing one). The shadow
+// must cover exactly this segment: one code row per local document, at
+// the segment's rank.
+func (s *Segment) WithQuant(qm *quant.Matrix) (*Segment, error) {
+	if qm != nil {
+		if qm.NumDocs() != s.Len() {
+			return nil, fmt.Errorf("segment: quantized matrix over %d documents, segment has %d", qm.NumDocs(), s.Len())
+		}
+		if qm.Dim() != s.Ix.K() {
+			return nil, fmt.Errorf("segment: quantized dimension %d, segment rank %d", qm.Dim(), s.Ix.K())
+		}
+	}
+	next := *s
+	next.Quant = qm
 	return &next, nil
 }
 

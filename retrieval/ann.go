@@ -5,7 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/ivf"
-	"repro/internal/mat"
+	"repro/internal/segment"
 )
 
 // The ANN tier at the retrieval layer (see WithANN). Unsharded LSI
@@ -41,54 +41,36 @@ func (ix *Index) trainANN(cfg config) error {
 }
 
 // searchSparseProbe is searchSparse with an explicit probe budget:
-// nprobe > 0 probes that many cells per quantizer, nprobe <= 0 scans
-// exhaustively. Indexes without a quantizer always scan exhaustively.
+// nprobe > 0 probes that many cells per quantizer (composing with the
+// configured quantized tier, when one serves), nprobe <= 0 scans fully
+// exactly — float kernels, no tier. Indexes without a quantizer serve
+// every budget through whatever tiers they do have.
 func (ix *Index) searchSparseProbe(terms []int, weights []float64, topN, nprobe int) []Result {
-	if ix.sharded != nil {
-		ms, _ := ix.sharded.SearchSparseProbe(terms, weights, topN, nprobe)
-		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	var opts segment.ProbeOptions
+	if nprobe > 0 {
+		opts = segment.ProbeOptions{NProbe: nprobe, Beta: ix.quantBeta}
 	}
-	if ix.ann == nil || nprobe <= 0 || ix.backend != BackendLSI {
-		ms := ix.lsiIndex.SearchSparse(terms, weights, topN)
-		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
-	}
-	pq := ix.lsiIndex.ProjectSparse(terms, weights)
-	return ix.probeProjected(pq, topN, nprobe)
+	return ix.searchSparseOpts(terms, weights, topN, opts)
 }
 
 // searchVecProbe is searchSparseProbe for a dense term-space vector.
 func (ix *Index) searchVecProbe(q []float64, topN, nprobe int) []Result {
-	if ix.sharded != nil {
-		ms, _ := ix.sharded.SearchVecProbe(q, topN, nprobe)
-		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	var opts segment.ProbeOptions
+	if nprobe > 0 {
+		opts = segment.ProbeOptions{NProbe: nprobe, Beta: ix.quantBeta}
 	}
-	if ix.ann == nil || nprobe <= 0 || ix.backend != BackendLSI {
-		ms := ix.lsiIndex.Search(q, topN)
-		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
-	}
-	return ix.probeProjected(ix.lsiIndex.Project(q), topN, nprobe)
-}
-
-// probeProjected runs the unsharded cell-probe scan over an
-// already-projected query. The norm is computed exactly as the
-// exhaustive path computes it, so a full probe (nprobe >= nlist) is
-// bitwise-identical to lsi's own scan.
-func (ix *Index) probeProjected(pq []float64, topN, nprobe int) []Result {
-	ms, st := ix.ann.Search(ix.lsiIndex.DocVectors(), ix.lsiIndex.Norms(), pq, mat.Norm(pq), topN, nprobe)
-	ix.annSearches.Add(1)
-	ix.annCells.Add(int64(st.Cells))
-	ix.annDocs.Add(int64(st.Docs))
-	return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	return ix.searchVecOpts(q, topN, opts)
 }
 
 // SearchProbe is Search with a per-request probe budget overriding the
 // configured default: nprobe > 0 scores only that many cells per
-// quantizer (clamped to nlist; nprobe >= nlist returns exactly the
-// exhaustive ranking), nprobe <= 0 forces the exhaustive scan — the
-// per-request escape hatch. Indexes without an ANN tier serve every
-// budget exhaustively. SearchProbe bypasses the query cache: cache keys
-// assume the configured default budget, and a per-request override must
-// not poison them.
+// quantizer (clamped to nlist; nprobe >= nlist probes every cell) while
+// keeping the configured quantized rerank, and nprobe <= 0 forces the
+// fully exact scan — float64 kernels over every document, the
+// per-request escape hatch for both tiers. Indexes without an ANN tier
+// serve every budget through whatever tiers they do have. SearchProbe
+// bypasses the query cache: cache keys assume the configured default
+// budget, and a per-request override must not poison them.
 func (ix *Index) SearchProbe(ctx context.Context, query string, topN, nprobe int) ([]Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err

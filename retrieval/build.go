@@ -13,6 +13,7 @@ import (
 	"repro/internal/ivf"
 	"repro/internal/lsi"
 	"repro/internal/par"
+	"repro/internal/quant"
 	"repro/internal/sparse"
 	"repro/internal/vsm"
 	"repro/retrieval/cache"
@@ -50,6 +51,17 @@ type Index struct {
 	annCells    atomic.Int64
 	annDocs     atomic.Int64
 
+	// The quantized scoring tier (WithQuantized). quant is the unsharded
+	// index's int8 shadow — sharded indexes keep one per compacted
+	// segment down in retrieval/shard. quantBeta is the default rerank
+	// over-fetch factor of Search (0 = the tier is off); the atomics
+	// count unsharded scan work for Stats and /metrics.
+	quant         *quant.Matrix
+	quantBeta     int
+	quantSearches atomic.Int64
+	quantScanned  atomic.Int64
+	quantReranked atomic.Int64
+
 	qc *queryCache // non-nil iff built/opened with WithQueryCache
 
 	// wlog is the attached write-ahead log (AttachWAL); nil means Adds
@@ -76,6 +88,9 @@ func Build(docs []Document, opts ...Option) (*Index, error) {
 	}
 	if cfg.annList > 0 && cfg.backend != BackendLSI {
 		return nil, fmt.Errorf("retrieval: WithANN requires the LSI backend (got %s)", cfg.backend)
+	}
+	if cfg.quantBeta > 0 && cfg.backend != BackendLSI {
+		return nil, errQuantBackend(cfg.backend)
 	}
 	if cfg.workers > 0 {
 		par.SetMaxProcs(cfg.workers)
@@ -136,6 +151,9 @@ func Build(docs []Document, opts ...Option) (*Index, error) {
 			return nil, fmt.Errorf("retrieval: building LSI index: %w", err)
 		}
 		if err := ix.trainANN(cfg); err != nil {
+			return nil, err
+		}
+		if err := ix.trainQuant(cfg); err != nil {
 			return nil, err
 		}
 	case BackendVSM:
@@ -243,6 +261,9 @@ func (ix *Index) Stats() Stats {
 			nlist := int64(ann.NList())
 			st.MemoryBytes += 8*nlist*int64(ann.Dim()) + 8*nlist + 8*(nlist+1) + 4*int64(ann.NumDocs())
 		}
+		if qm := ix.quant; qm != nil {
+			st.MemoryBytes += qm.Bytes()
+		}
 	}
 	if cs, ok := ix.CacheStats(); ok {
 		st.Cache = &cs
@@ -250,6 +271,9 @@ func (ix *Index) Stats() Stats {
 	}
 	if as, ok := ix.ANNStats(); ok {
 		st.ANN = &as
+	}
+	if qs, ok := ix.QuantStats(); ok {
+		st.Quant = &qs
 	}
 	return st
 }
@@ -321,8 +345,8 @@ func (ix *Index) toResults(n int, at func(int) (int, float64)) []Result {
 // searchVec ranks documents against a validated dense term-space vector
 // (the SearchVector path; text queries go through searchSparse).
 func (ix *Index) searchVec(q []float64, topN int) []Result {
-	if ix.annProbe > 0 {
-		return ix.searchVecProbe(q, topN, ix.annProbe)
+	if ix.annProbe > 0 || ix.quantBeta > 0 {
+		return ix.searchVecOpts(q, topN, ix.probeOpts())
 	}
 	if ix.sharded != nil {
 		ms := ix.sharded.SearchVec(q, topN)
@@ -341,8 +365,8 @@ func (ix *Index) searchVec(q []float64, topN int) []Result {
 // configured default probe budget (WithANN's nprobe > 0) it routes
 // through the ANN tier.
 func (ix *Index) searchSparse(terms []int, weights []float64, topN int) []Result {
-	if ix.annProbe > 0 {
-		return ix.searchSparseProbe(terms, weights, topN, ix.annProbe)
+	if ix.annProbe > 0 || ix.quantBeta > 0 {
+		return ix.searchSparseOpts(terms, weights, topN, ix.probeOpts())
 	}
 	if ix.sharded != nil {
 		ms := ix.sharded.SearchSparse(terms, weights, topN)
@@ -449,8 +473,8 @@ func (ix *Index) SearchBatch(ctx context.Context, queries []string, topN int) ([
 		}
 		hi := min(lo+batchChunk, len(qterms))
 		var chunk [][]Result
-		if ix.sharded != nil || (ix.annProbe > 0 && ix.ann != nil) {
-			// Sharded and ANN-probed searches go query-by-query through the
+		if ix.sharded != nil || ix.tiered() {
+			// Sharded and tier-routed searches go query-by-query through the
 			// same dispatch as Search; each query parallelizes internally.
 			for i := lo; i < hi; i++ {
 				chunk = append(chunk, ix.searchSparse(qterms[i], qweights[i], topN))

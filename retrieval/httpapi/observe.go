@@ -65,6 +65,15 @@ type ANNStatsReporter interface {
 	ANNStats() (retrieval.ANNStats, bool)
 }
 
+// QuantStatsReporter is the optional quantized-tier observability
+// capability of the concrete *retrieval.Index (ok is false when the
+// index has no int8 tier — see retrieval.WithQuantized). The handler
+// exports the configuration gauges and scan counters as live /metrics
+// series.
+type QuantStatsReporter interface {
+	QuantStats() (retrieval.QuantStats, bool)
+}
+
 // gateClass says how the admission gate treats a route.
 type gateClass int
 
@@ -208,6 +217,28 @@ func newObserver(reg *metrics.Registry, ret retrieval.Retriever) *observer {
 				ann(func(s retrieval.ANNStats) int64 { return s.CellsProbed }))
 			reg.CounterFunc("lsi_ann_docs_scored_total", "Candidate documents scored across all ANN searches.",
 				ann(func(s retrieval.ANNStats) int64 { return s.DocsScored }))
+		}
+	}
+
+	if qr, ok := ret.(QuantStatsReporter); ok {
+		if _, has := qr.QuantStats(); has {
+			qnt := func(pick func(retrieval.QuantStats) int64) func() float64 {
+				return func() float64 { st, _ := qr.QuantStats(); return float64(pick(st)) }
+			}
+			reg.GaugeFunc("lsi_quant_beta", "Configured rerank over-fetch factor (stage 1 selects topN*beta candidates).",
+				qnt(func(s retrieval.QuantStats) int64 { return int64(s.Beta) }))
+			reg.GaugeFunc("lsi_quant_segments", "Segments carrying an int8 shadow of their document matrix.",
+				qnt(func(s retrieval.QuantStats) int64 { return int64(s.Segments) }))
+			reg.GaugeFunc("lsi_quant_docs", "Documents covered by an int8 shadow (the bandwidth-optimally scored corpus fraction).",
+				qnt(func(s retrieval.QuantStats) int64 { return int64(s.Docs) }))
+			reg.GaugeFunc("lsi_quant_bytes", "Heap footprint of the int8 shadows (codes + per-document scales).",
+				qnt(func(s retrieval.QuantStats) int64 { return s.Bytes }))
+			reg.CounterFunc("lsi_quant_searches_total", "Searches that scored through the int8 tier (exact escapes excluded).",
+				qnt(func(s retrieval.QuantStats) int64 { return s.Searches }))
+			reg.CounterFunc("lsi_quant_docs_scanned_total", "Documents scored through the int8 kernels across all quantized searches.",
+				qnt(func(s retrieval.QuantStats) int64 { return s.DocsScanned }))
+			reg.CounterFunc("lsi_quant_docs_reranked_total", "Over-fetched candidates rescored with exact float kernels across all quantized searches.",
+				qnt(func(s retrieval.QuantStats) int64 { return s.DocsReranked }))
 		}
 	}
 

@@ -155,6 +155,7 @@ type config struct {
 	autoCompact     *bool
 	annList         int // 0 = no ANN tier; >= 1 trains IVF quantizers with this many cells
 	annProbe        int // default probe budget; 0 = exhaustive unless a request overrides
+	quantBeta       int // 0 = no quantized tier; >= 1 builds int8 shadows with this rerank over-fetch
 }
 
 func defaultConfig() config {
@@ -244,6 +245,29 @@ func WithAutoCompact(on bool) Option { return func(c *config) { c.autoCompact = 
 // nlist <= 0 disables the tier.
 func WithANN(nlist, nprobe int) Option {
 	return func(c *config) { c.annList = nlist; c.annProbe = nprobe }
+}
+
+// WithQuantized enables the quantized scoring tier of the LSI backend:
+// an int8 shadow of the rank-k document matrix (one symmetric scale per
+// document, ~8× smaller than the float64 matrix) is built alongside the
+// decomposition, and searches run two-stage — the bandwidth-optimal int8
+// scan selects topN·beta candidates, then an exact float64 rerank
+// restores the final (score desc, doc asc) order. Every returned score
+// is a true float64 cosine; only membership deep in the list can differ
+// from the exhaustive scan, and beta large enough to cover the corpus is
+// bitwise-identical to it. On sharded indexes every compacted segment
+// carries its own shadow (persisted as a quant-*.qnt sidecar, rebuilt by
+// the compactor at re-SVD time); live fold-in segments always score in
+// float, so freshly added documents are never subject to quantization
+// error. Quantization is seedless and deterministic: the shadow is a
+// pure function of the document matrix, and results are deterministic
+// for any worker count. Composes with WithANN — the IVF probe narrows
+// the candidate set, the int8 kernels score it, exact float rescoring
+// ranks it. Requires the LSI backend; beta <= 0 disables the tier.
+// SearchProbe's nprobe <= 0 remains the per-request fully exact escape
+// hatch.
+func WithQuantized(beta int) Option {
+	return func(c *config) { c.quantBeta = beta }
 }
 
 // WithQueryCache attaches a query result cache bounded at maxBytes

@@ -1,0 +1,184 @@
+package retrieval
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/quant"
+	"repro/internal/segment"
+)
+
+// The quantized scoring tier at the retrieval layer (see WithQuantized).
+// Unsharded LSI indexes carry one int8 shadow of the whole
+// document-vector matrix, built at Build (and at Open, when the opening
+// options ask for the tier — quantization is seedless derived state,
+// cheap to rebuild, so single-stream index files stay format-stable).
+// Sharded indexes delegate to retrieval/shard, where every compacted
+// segment owns a shadow persisted as a quant-*.qnt sidecar next to its
+// seg-*.idx file. Searches run two-stage: the int8 scan selects
+// topN·beta candidates, an exact float64 rerank restores the final
+// (score desc, doc asc) order — every returned score is a true float64
+// cosine, only membership deep in the list can differ from the exact
+// scan.
+
+// trainQuant builds the unsharded index's int8 shadow per cfg; a no-op
+// when the tier is not configured. Build and Open call it after the LSI
+// index exists.
+func (ix *Index) trainQuant(cfg config) error {
+	ix.quantBeta = cfg.quantBeta
+	if cfg.quantBeta <= 0 || ix.lsiIndex == nil {
+		return nil
+	}
+	ix.quant = quant.Quantize(ix.lsiIndex.DocVectors())
+	return nil
+}
+
+// probeOpts is the tier routing of the default Search: the configured
+// ANN probe budget plus the configured rerank over-fetch factor.
+func (ix *Index) probeOpts() segment.ProbeOptions {
+	return segment.ProbeOptions{NProbe: ix.annProbe, Beta: ix.quantBeta}
+}
+
+// tiered reports whether the default Search routes through any
+// approximate tier (and therefore bypasses the backends' batch kernels).
+func (ix *Index) tiered() bool {
+	return (ix.annProbe > 0 && ix.ann != nil) || (ix.quantBeta > 0 && ix.quant != nil)
+}
+
+// searchSparseOpts is searchSparse with explicit tier options: NProbe >
+// 0 probes that many IVF cells per quantizer, Beta > 0 scores through
+// the int8 shadow and exact-reranks topN·Beta candidates, and the zero
+// options scan exhaustively in float — the fully exact escape hatch.
+// Indexes without the corresponding sidecar serve each budget
+// exhaustively.
+func (ix *Index) searchSparseOpts(terms []int, weights []float64, topN int, opts segment.ProbeOptions) []Result {
+	if ix.sharded != nil {
+		ms, _ := ix.sharded.SearchSparseOpts(terms, weights, topN, opts)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	}
+	if ix.backend != BackendLSI || !ix.useAnn(opts) && !ix.useQuant(opts) {
+		ms := ix.lsiIndex.SearchSparse(terms, weights, topN)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	}
+	return ix.optsProjected(ix.lsiIndex.ProjectSparse(terms, weights), topN, opts)
+}
+
+// searchVecOpts is searchSparseOpts for a dense term-space vector.
+func (ix *Index) searchVecOpts(q []float64, topN int, opts segment.ProbeOptions) []Result {
+	if ix.sharded != nil {
+		ms, _ := ix.sharded.SearchVecOpts(q, topN, opts)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	}
+	if ix.backend != BackendLSI || !ix.useAnn(opts) && !ix.useQuant(opts) {
+		ms := ix.lsiIndex.Search(q, topN)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	}
+	return ix.optsProjected(ix.lsiIndex.Project(q), topN, opts)
+}
+
+func (ix *Index) useAnn(opts segment.ProbeOptions) bool   { return ix.ann != nil && opts.NProbe > 0 }
+func (ix *Index) useQuant(opts segment.ProbeOptions) bool { return ix.quant != nil && opts.Beta > 0 }
+
+// optsProjected runs the unsharded tiered scan over an already-projected
+// query: IVF probe and int8 rerank when both sidecars serve (the probe
+// narrows the candidate set, the shadow scores it, exact float
+// rescores), otherwise whichever single tier is on. The query norm is
+// computed exactly as the exhaustive path computes it, so saturated
+// budgets reproduce lsi's own scan bitwise.
+func (ix *Index) optsProjected(pq []float64, topN int, opts segment.ProbeOptions) []Result {
+	qn := mat.Norm(pq)
+	vecs, norms := ix.lsiIndex.DocVectors(), ix.lsiIndex.Norms()
+	useAnn, useQuant := ix.useAnn(opts), ix.useQuant(opts)
+	switch {
+	case useAnn && useQuant:
+		docs, pst := ix.ann.AppendProbeDocs(nil, pq, qn, opts.NProbe)
+		ms, qst := ix.quant.AppendSearchDocs(nil, docs, vecs, norms, pq, qn, topN, opts.Beta)
+		ix.recordAnn(pst.Cells, pst.Docs)
+		ix.recordQuant(qst)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	case useQuant:
+		ms, qst := ix.quant.AppendSearch(nil, vecs, norms, pq, qn, topN, opts.Beta)
+		ix.recordQuant(qst)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	default: // useAnn
+		ms, st := ix.ann.Search(vecs, norms, pq, qn, topN, opts.NProbe)
+		ix.recordAnn(st.Cells, st.Docs)
+		return ix.toResults(len(ms), func(i int) (int, float64) { return ms[i].Doc, ms[i].Score })
+	}
+}
+
+// recordAnn folds one unsharded probe's work into the lifetime counters.
+func (ix *Index) recordAnn(cells, docs int) {
+	ix.annSearches.Add(1)
+	ix.annCells.Add(int64(cells))
+	ix.annDocs.Add(int64(docs))
+}
+
+// recordQuant folds one unsharded int8 scan's work into the lifetime
+// counters.
+func (ix *Index) recordQuant(st quant.ScanStats) {
+	ix.quantSearches.Add(1)
+	ix.quantScanned.Add(int64(st.Scanned))
+	ix.quantReranked.Add(int64(st.Reranked))
+}
+
+// QuantStats describes the quantized scoring tier of an index built or
+// opened with WithQuantized (surfaced as the "quant" block of
+// /v1/stats).
+type QuantStats struct {
+	// Beta is the configured rerank over-fetch factor of the default
+	// search (stage 1 selects topN·Beta candidates for exact rescoring).
+	Beta int `json:"beta"`
+	// Segments counts int8 shadows serving (1 for an unsharded index;
+	// one per quantized segment for sharded indexes) and Docs the
+	// documents they cover — Docs/NumDocs is the corpus fraction scored
+	// through the bandwidth-optimal kernels.
+	Segments int `json:"segments"`
+	Docs     int `json:"docs"`
+	// Bytes is the shadows' heap footprint — codes plus per-document
+	// scales, roughly NumDocs·(rank + 8) versus the float matrix's
+	// NumDocs·rank·8.
+	Bytes int64 `json:"bytes"`
+	// Lifetime counters: searches that used the tier, documents scored
+	// through the int8 kernels in them, and over-fetched candidates
+	// rescored exactly.
+	Searches     int64 `json:"searches"`
+	DocsScanned  int64 `json:"docsScanned"`
+	DocsReranked int64 `json:"docsReranked"`
+}
+
+// QuantStats reports the quantized tier's configuration and scan
+// counters; ok is false when the index has no tier (not configured, or a
+// backend without one).
+func (ix *Index) QuantStats() (QuantStats, bool) {
+	st := QuantStats{Beta: ix.quantBeta}
+	switch {
+	case ix.sharded != nil:
+		ss := ix.sharded.Stats()
+		if ix.quantBeta <= 0 && ss.QuantSegments == 0 {
+			return QuantStats{}, false
+		}
+		st.Segments = ss.QuantSegments
+		st.Docs = ss.QuantDocs
+		st.Bytes = ss.QuantBytes
+		st.Searches = ss.QuantSearches
+		st.DocsScanned = ss.QuantDocsScanned
+		st.DocsReranked = ss.QuantDocsReranked
+	case ix.quant != nil:
+		st.Segments = 1
+		st.Docs = ix.quant.NumDocs()
+		st.Bytes = ix.quant.Bytes()
+		st.Searches = ix.quantSearches.Load()
+		st.DocsScanned = ix.quantScanned.Load()
+		st.DocsReranked = ix.quantReranked.Load()
+	default:
+		return QuantStats{}, false
+	}
+	return st, true
+}
+
+// errQuantBackend is the shared WithQuantized-requires-LSI complaint of
+// Build and Open.
+func errQuantBackend(b Backend) error {
+	return fmt.Errorf("retrieval: WithQuantized requires the LSI backend (got %s)", b)
+}

@@ -140,6 +140,10 @@ type Stats struct {
 	// ANN reports the IVF ANN tier (WithANN); nil when the index has
 	// none.
 	ANN *ANNStats `json:"ann,omitempty"`
+
+	// Quant reports the quantized scoring tier (WithQuantized); nil when
+	// the index has none.
+	Quant *QuantStats `json:"quant,omitempty"`
 }
 
 // QueryCacheStats describes the query result cache of an index built

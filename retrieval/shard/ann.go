@@ -79,14 +79,18 @@ func (x *Index) SearchVecProbe(q []float64, topN, nprobe int) ([]topk.Match, seg
 	return ms, st
 }
 
-// recordProbe folds one search's probe stats into the lifetime counters.
+// recordProbe folds one search's tier stats into the lifetime counters.
 func (x *Index) recordProbe(st segment.ProbeStats) {
-	if st.Probed == 0 {
-		return
+	if st.Probed > 0 {
+		x.annSearches.Add(1)
+		x.annCells.Add(int64(st.Cells))
+		x.annDocs.Add(int64(st.Docs))
 	}
-	x.annSearches.Add(1)
-	x.annCells.Add(int64(st.Cells))
-	x.annDocs.Add(int64(st.Docs))
+	if st.QuantSegs > 0 {
+		x.quantSearches.Add(1)
+		x.quantDocs.Add(int64(st.QuantDocs))
+		x.quantReranked.Add(int64(st.Reranked))
+	}
 }
 
 // ANNSearches returns how many searches were answered at least partly

@@ -137,12 +137,16 @@ func (x *Index) Compact() (int, error) {
 		if err != nil {
 			return rebuilt, fmt.Errorf("shard %d: %w", s, err)
 		}
-		// Re-train the segment's coarse quantizer against the fresh
-		// decomposition, still outside every lock: the quantizer publishes
-		// in the same swap as the re-SVD, so the epoch bump below covers
-		// both and cached pre-compaction rankings retire exactly once.
+		// Re-derive the segment's sidecars — coarse quantizer and int8
+		// shadow — against the fresh decomposition, still outside every
+		// lock: both publish in the same swap as the re-SVD, so the epoch
+		// bump below covers all of it and cached pre-compaction rankings
+		// retire exactly once.
 		if comp, err = x.trainAnn(comp, s); err != nil {
 			return rebuilt, err
+		}
+		if comp, err = x.trainQuant(comp); err != nil {
+			return rebuilt, fmt.Errorf("shard %d: %w", s, err)
 		}
 
 		sh.mu.Lock()

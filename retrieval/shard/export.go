@@ -91,8 +91,8 @@ func (x *Index) SaveShardDir(s int, dir string) error {
 			return fmt.Errorf("shard: export segment %s: %w", name, err)
 		}
 		keep[name] = true
-		// The quantizer indexes segment-local rows, which the global
-		// renumbering does not touch, so the sidecar exports byte-identical.
+		// The sidecars index segment-local rows, which the global
+		// renumbering does not touch, so both export byte-identical.
 		annName := ""
 		if seg.Ann != nil {
 			annName = fmt.Sprintf("ann-%d-0-%d.ivf", gen, i)
@@ -101,6 +101,14 @@ func (x *Index) SaveShardDir(s int, dir string) error {
 			}
 			keep[annName] = true
 		}
+		quantName := ""
+		if seg.Quant != nil {
+			quantName = fmt.Sprintf("quant-%d-0-%d.qnt", gen, i)
+			if err := writeFileAtomic(dir, quantName, seg.Quant.Encode(), faultinject.OS{}); err != nil {
+				return fmt.Errorf("shard: export quantized matrix %s: %w", quantName, err)
+			}
+			keep[quantName] = true
+		}
 		man.Segments[0] = append(man.Segments[0], ManifestSegment{
 			File:      name,
 			Docs:      seg.Len(),
@@ -108,6 +116,7 @@ func (x *Index) SaveShardDir(s int, dir string) error {
 			Compacted: seg.Compacted,
 			Base:      base != nil && seg.Ix == base,
 			ANNFile:   annName,
+			QuantFile: quantName,
 		})
 	}
 
@@ -142,8 +151,9 @@ func retireStaleGenerations(dir string, keep map[string]bool) {
 		var g, a, b int
 		isSeg := func() bool { n, _ := fmt.Sscanf(name, "seg-%d-%d-%d.idx", &g, &a, &b); return n == 3 }
 		isAnn := func() bool { n, _ := fmt.Sscanf(name, "ann-%d-%d-%d.ivf", &g, &a, &b); return n == 3 }
+		isQuant := func() bool { n, _ := fmt.Sscanf(name, "quant-%d-%d-%d.qnt", &g, &a, &b); return n == 3 }
 		isIDs := func() bool { n, _ := fmt.Sscanf(name, "ids-%d.json", &g); return n == 1 }
-		if (isSeg() || isAnn() || isIDs()) && !keep[name] {
+		if (isSeg() || isAnn() || isQuant() || isIDs()) && !keep[name] {
 			os.Remove(filepath.Join(dir, name))
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/ivf"
 	"repro/internal/lsi"
+	"repro/internal/quant"
 	"repro/internal/segment"
 )
 
@@ -71,6 +72,11 @@ type ManifestSegment struct {
 	// segment just serves exhaustively (or re-trains, if the opening
 	// config asks for the ANN tier).
 	ANNFile string `json:"annFile,omitempty"`
+	// QuantFile names the segment's int8 shadow sidecar (internal/quant
+	// wire format), empty when the segment has none. Optional exactly
+	// like ANNFile: absent, the segment scores in float (or rebuilds the
+	// shadow, if the opening config asks for the quantized tier).
+	QuantFile string `json:"quantFile,omitempty"`
 }
 
 // ParseManifest decodes and validates manifest bytes. It is total:
@@ -123,6 +129,11 @@ func ParseManifest(data []byte) (*Manifest, error) {
 			if e.ANNFile != "" {
 				if err := validFileName(e.ANNFile); err != nil {
 					return nil, fmt.Errorf("shard: manifest: shard %d segment %d: ann file: %w", s, i, err)
+				}
+			}
+			if e.QuantFile != "" {
+				if err := validFileName(e.QuantFile); err != nil {
+					return nil, fmt.Errorf("shard: manifest: shard %d segment %d: quant file: %w", s, i, err)
 				}
 			}
 			if e.Docs != len(e.Globals) {
@@ -198,6 +209,9 @@ func nextGeneration(dir string, fsys faultinject.FS) (int, error) {
 			gen = g + 1
 		}
 		if n, _ := fmt.Sscanf(e.Name(), "ann-%d-%d-%d.ivf", &g, &a, &b); n == 3 && g >= gen {
+			gen = g + 1
+		}
+		if n, _ := fmt.Sscanf(e.Name(), "quant-%d-%d-%d.qnt", &g, &a, &b); n == 3 && g >= gen {
 			gen = g + 1
 		}
 		if n, _ := fmt.Sscanf(e.Name(), "ids-%d.json", &g); n == 1 && g >= gen {
@@ -289,6 +303,14 @@ func (x *Index) SaveDirFS(dir string, fsys faultinject.FS) error {
 				}
 				keep[annName] = true
 			}
+			quantName := ""
+			if seg.Quant != nil {
+				quantName = fmt.Sprintf("quant-%d-%d-%d.qnt", gen, s, i)
+				if err := writeFileAtomic(dir, quantName, seg.Quant.Encode(), fsys); err != nil {
+					return fmt.Errorf("shard: save quantized matrix %s: %w", quantName, err)
+				}
+				keep[quantName] = true
+			}
 			man.Segments[s] = append(man.Segments[s], ManifestSegment{
 				File:      name,
 				Docs:      seg.Len(),
@@ -296,6 +318,7 @@ func (x *Index) SaveDirFS(dir string, fsys faultinject.FS) error {
 				Compacted: seg.Compacted,
 				Base:      bases[s] != nil && seg.Ix == bases[s],
 				ANNFile:   annName,
+				QuantFile: quantName,
 			})
 		}
 	}
@@ -406,6 +429,24 @@ func Open(dir string, cfg Config) (*Index, error) {
 				// An older save without sidecars opens into an ANN-enabled
 				// config by training in place, so the tier is available
 				// without a rebuild.
+				return nil, fmt.Errorf("shard: open segment %s: %w", e.File, err)
+			}
+			if e.QuantFile != "" {
+				quantData, err := os.ReadFile(filepath.Join(dir, e.QuantFile))
+				if err != nil {
+					return nil, fmt.Errorf("shard: open: %w", err)
+				}
+				qm, err := quant.Decode(quantData)
+				if err != nil {
+					return nil, fmt.Errorf("shard: open quantized matrix %s: %w", e.QuantFile, err)
+				}
+				if seg, err = seg.WithQuant(qm); err != nil {
+					return nil, fmt.Errorf("shard: open quantized matrix %s: %w", e.QuantFile, err)
+				}
+			} else if seg, err = x.trainQuant(seg); err != nil {
+				// Same fallback as the ANN sidecar: an older save opens into
+				// a quantization-enabled config by rebuilding the shadow in
+				// place (deterministic, so it matches what a save would hold).
 				return nil, fmt.Errorf("shard: open segment %s: %w", e.File, err)
 			}
 			st.stable = append(st.stable, seg)

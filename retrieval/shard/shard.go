@@ -80,6 +80,14 @@ type Config struct {
 	// 256; set negative-impossible sizes like 1 in tests to train tiny
 	// segments).
 	ANNMinDocs int
+	// Quantize enables the int8 scoring tier: compacted segments of at
+	// least QuantMinDocs documents carry an int8 shadow of their document
+	// matrix, scanned by searches that pass a positive Beta. Shadows
+	// already present on loaded segments still serve when false.
+	Quantize bool
+	// QuantMinDocs is the smallest segment worth an int8 shadow (0 =
+	// default 256; same convention as ANNMinDocs).
+	QuantMinDocs int
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +181,11 @@ type Index struct {
 	annCells    atomic.Int64
 	annDocs     atomic.Int64
 
+	// Quantized-tier counters (see QuantSearches and friends in quant.go).
+	quantSearches atomic.Int64
+	quantDocs     atomic.Int64
+	quantReranked atomic.Int64
+
 	// globalEpoch counts published mutations index-wide. It is bumped
 	// AFTER the mutation's state pointers are stored (ingest publishes
 	// ids + every shard state first; compaction swaps its segment
@@ -229,6 +242,9 @@ func Build(a *sparse.CSR, ids []string, cfg Config) (*Index, error) {
 		}
 		if seg, err = x.trainAnn(seg, s); err != nil {
 			return nil, err
+		}
+		if seg, err = x.trainQuant(seg); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
 		x.shards[s].base = ix
 		x.shards[s].state.Store(&shardState{stable: []*segment.Segment{seg}})
@@ -388,6 +404,17 @@ type Stats struct {
 	ANNSearches    int64 `json:"annSearches"`
 	ANNCellsProbed int64 `json:"annCellsProbed"`
 	ANNDocsScored  int64 `json:"annDocsScored"`
+	// The quantized tier: QuantSegments counts segments carrying an int8
+	// shadow, QuantDocs the documents they cover, QuantBytes the shadows'
+	// footprint (compare against ~8·QuantDocs·rank for the float rows they
+	// stand in for); the lifetime counters mirror the QuantSearches/
+	// QuantDocsScanned/QuantDocsReranked accessors.
+	QuantSegments     int   `json:"quantSegments"`
+	QuantDocs         int   `json:"quantDocs"`
+	QuantBytes        int64 `json:"quantBytes"`
+	QuantSearches     int64 `json:"quantSearches"`
+	QuantDocsScanned  int64 `json:"quantDocsScanned"`
+	QuantDocsReranked int64 `json:"quantDocsReranked"`
 }
 
 // Stats snapshots the segment topology.
@@ -433,6 +460,12 @@ func (x *Index) Stats() Stats {
 				nlist := int64(ann.NList())
 				st.MemoryBytes += 8*nlist*int64(ann.Dim()) + 8*nlist + 8*(nlist+1) + 4*int64(ann.NumDocs())
 			}
+			if qm := seg.Quant; qm != nil {
+				st.QuantSegments++
+				st.QuantDocs += seg.Len()
+				st.QuantBytes += qm.Bytes()
+				st.MemoryBytes += qm.Bytes()
+			}
 		}
 	}
 	for _, id := range x.ids.Load().ids {
@@ -443,6 +476,9 @@ func (x *Index) Stats() Stats {
 	st.ANNSearches = x.annSearches.Load()
 	st.ANNCellsProbed = x.annCells.Load()
 	st.ANNDocsScored = x.annDocs.Load()
+	st.QuantSearches = x.quantSearches.Load()
+	st.QuantDocsScanned = x.quantDocs.Load()
+	st.QuantDocsReranked = x.quantReranked.Load()
 	return st
 }
 

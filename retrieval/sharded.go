@@ -66,12 +66,14 @@ func buildSharded(ix *Index, a *sparse.CSR, ids []string, numTerms, numDocs int,
 		AutoCompact: autoCompact,
 		ANNList:     cfg.annList,
 		ANNProbe:    cfg.annProbe,
+		Quantize:    cfg.quantBeta > 0,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("retrieval: building sharded index: %w", err)
 	}
 	ix.sharded = sx
 	ix.annList, ix.annProbe = cfg.annList, cfg.annProbe
+	ix.quantBeta = cfg.quantBeta
 	ix.docIDs = nil // the shard directory owns external IDs in sharded mode
 	return ix, nil
 }
@@ -275,6 +277,7 @@ func OpenDir(dir string, opts ...Option) (*Index, error) {
 		AutoCompact: autoCompact,
 		ANNList:     cfg.annList,
 		ANNProbe:    cfg.annProbe,
+		Quantize:    cfg.quantBeta > 0,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("retrieval: open: %w", err)
@@ -297,6 +300,7 @@ func OpenDir(dir string, opts ...Option) (*Index, error) {
 		stemming:        meta.Stemming,
 	}
 	ix.annList, ix.annProbe = cfg.annList, cfg.annProbe
+	ix.quantBeta = cfg.quantBeta
 	ix.initCache(cfg.cacheBytes)
 	return ix, nil
 }
@@ -335,6 +339,14 @@ func Open(path string, opts ...Option) (*Index, error) {
 			return nil, fmt.Errorf("retrieval: open: WithANN requires the LSI backend (got %s)", ix.backend)
 		}
 		if err := ix.trainANN(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.quantBeta > 0 {
+		if ix.backend != BackendLSI {
+			return nil, fmt.Errorf("retrieval: open: %w", errQuantBackend(ix.backend))
+		}
+		if err := ix.trainQuant(cfg); err != nil {
 			return nil, err
 		}
 	}

@@ -39,12 +39,12 @@ BASEFILE=""
 HEADFILE=""
 THRESH="0.20"
 OUT="bench-gate.txt"
-BENCH='BenchmarkQueryLatency|BenchmarkSearch'
+BENCH='BenchmarkQueryLatency|BenchmarkSearch|BenchmarkQuantizedScan'
 COUNT=5
 TIME="0.3s"
 # The packages holding the gated benchmarks: the root suite (query
-# latency + batch) and the backend hot paths.
-PKGS=". ./internal/vsm ./internal/lsi"
+# latency + batch), the backend hot paths, and the int8 scan kernels.
+PKGS=". ./internal/vsm ./internal/lsi ./internal/quant"
 
 while getopts "r:a:b:t:o:B:c:T:" opt; do
 	case $opt in
@@ -64,9 +64,15 @@ shift $((OPTIND - 1))
 
 runbench() { # runbench <dir> <outfile>
 	# -run '^$' skips tests; compile failures surface as infra errors
-	# (exit 2), not regressions.
+	# (exit 2), not regressions. Packages that do not exist at this
+	# revision are skipped (a merge-base may predate a gated package;
+	# its benchmarks then report as "new" on the head side).
+	pkgs=""
+	for p in $PKGS; do
+		if [ -d "$1/$p" ]; then pkgs="$pkgs $p"; fi
+	done
 	# shellcheck disable=SC2086 # package list is intentionally word-split
-	if ! (cd "$1" && go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$TIME" -count "$COUNT" $PKGS) >"$2" 2>&1; then
+	if ! (cd "$1" && go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$TIME" -count "$COUNT" $pkgs) >"$2" 2>&1; then
 		cat "$2" >&2
 		echo "bench_gate: benchmark run failed in $1" >&2
 		exit 2

@@ -12,9 +12,10 @@ GO="${GO:-go}"
 
 # Packages whose godoc is the product: the public retrieval API, its
 # cache/sharding/durability subsystems, the cluster tier, the HTTP
-# layer, the metrics kit, the IVF ANN quantizer, and the
-# fault-injection harness chaos tests and benches script against.
-DIRS="retrieval retrieval/cache retrieval/shard retrieval/wal retrieval/cluster retrieval/httpapi internal/metrics internal/ivf internal/faultinject"
+# layer, the metrics kit, the IVF ANN quantizer, the int8 scoring
+# shadow and its fidelity metrics, and the fault-injection harness
+# chaos tests and benches script against.
+DIRS="retrieval retrieval/cache retrieval/shard retrieval/wal retrieval/cluster retrieval/httpapi internal/metrics internal/ivf internal/quant internal/eval internal/faultinject"
 
 $GO vet $(for d in $DIRS; do printf './%s ' "$d"; done)
 
